@@ -1,0 +1,90 @@
+// Ablation bench for the design decisions DESIGN.md §5 calls out:
+//   1. opponent modeling in the high-level layer (vs a uniform prior);
+//   2. asynchronous option termination (vs the synchronous mode the paper
+//      rejects for distributed systems);
+//   3. (reference) full HERO.
+//
+// Trains each variant on the cooperative lane-change scenario and reports
+// final-window training metrics plus greedy evaluation.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/flags.h"
+#include "common/table.h"
+
+using namespace hero;
+
+namespace {
+
+struct Variant {
+  std::string name;
+  bool use_opponent_model;
+  bool synchronous_termination;
+  core::Bootstrap bootstrap = core::Bootstrap::kMax;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool quick = flags.get_bool("quick", false);
+  const int episodes = flags.get_int("episodes", quick ? 200 : 600);
+  const int skill_episodes = flags.get_int("skill-episodes", quick ? 100 : 300);
+  const int eval_episodes = flags.get_int("eval-episodes", 50);
+  const unsigned seed = static_cast<unsigned>(flags.get_int("seed", 1));
+  flags.check_unknown();
+
+  std::printf("=== HERO ablations (%d episodes/variant) ===\n", episodes);
+  auto scenario = sim::cooperative_lane_change();
+
+  const Variant variants[] = {
+      {"hero (full)", true, false, core::Bootstrap::kMax},
+      {"no opponent model", false, false, core::Bootstrap::kMax},
+      {"synchronous termination", true, true, core::Bootstrap::kMax},
+      {"expected-sarsa bootstrap", true, false, core::Bootstrap::kExpected},
+  };
+
+  TablePrinter table({"variant", "train reward", "train collision", "train success",
+                      "eval collision", "eval success"});
+  for (const auto& v : variants) {
+    Rng rng(seed);
+    core::HeroConfig cfg;
+    cfg.high.use_opponent_model = v.use_opponent_model;
+    cfg.skill.termination.synchronous = v.synchronous_termination;
+    cfg.high.bootstrap = v.bootstrap;
+    core::HeroTrainer trainer(scenario, cfg, rng);
+    std::fprintf(stderr, "[%s] stage 1...\n", v.name.c_str());
+    trainer.train_skills(skill_episodes, rng);
+    std::fprintf(stderr, "[%s] stage 2...\n", v.name.c_str());
+
+    std::vector<rl::EpisodeStats> stats;
+    trainer.train(episodes, rng,
+                  [&](int, const rl::EpisodeStats& s) { stats.push_back(s); });
+
+    const std::size_t w = std::min<std::size_t>(100, stats.size());
+    double rew = 0, col = 0, suc = 0;
+    for (std::size_t i = stats.size() - w; i < stats.size(); ++i) {
+      rew += stats[i].team_reward;
+      col += stats[i].collision;
+      suc += stats[i].success;
+    }
+
+    Rng eval_rng(seed + 500);
+    sim::LaneWorld eval_world(scenario.config);
+    auto summary = rl::evaluate(eval_world, trainer, eval_rng, eval_episodes,
+                                scenario.merger_index, scenario.merger_target_lane);
+
+    table.add_row({v.name, TablePrinter::num(rew / w, 2),
+                   TablePrinter::num(col / w, 2), TablePrinter::num(suc / w, 2),
+                   TablePrinter::num(summary.collision_rate, 2),
+                   TablePrinter::num(summary.success_rate, 2)});
+  }
+  std::printf("\n");
+  table.print(std::cout);
+  std::printf(
+      "\nexpected: the full model dominates; removing the opponent model slows\n"
+      "convergence / destabilizes the critic; synchronous termination interrupts\n"
+      "lane changes mid-manoeuvre and hurts success.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Infrastructure micro-benchmarks (google-benchmark): simulator step rate,
+// lidar scan, NN forward/backward, replay sampling, attention critic, SAC
+// update. These bound the wall-clock cost of every experiment in
+// EXPERIMENTS.md.
+#include <benchmark/benchmark.h>
+
+#include "algos/attention_critic.h"
+#include "algos/sac.h"
+#include "nn/losses.h"
+#include "nn/mlp.h"
+#include "rl/replay_buffer.h"
+#include "sim/scenario.h"
+
+using namespace hero;
+
+static void BM_LaneWorldStep(benchmark::State& state) {
+  auto sc = sim::cooperative_lane_change();
+  sim::LaneWorld world(sc.config);
+  Rng rng(1);
+  world.reset(rng);
+  std::vector<sim::TwistCmd> cmds(3, {0.04, 0.0});
+  for (auto _ : state) {
+    if (world.done()) world.reset(rng);
+    benchmark::DoNotOptimize(world.step(cmds, rng));
+  }
+}
+BENCHMARK(BM_LaneWorldStep);
+
+static void BM_LidarObservation(benchmark::State& state) {
+  auto sc = sim::cooperative_lane_change();
+  sim::LaneWorld world(sc.config);
+  Rng rng(1);
+  world.reset(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.high_level_obs(1));
+  }
+}
+BENCHMARK(BM_LidarObservation);
+
+static void BM_MlpForward(benchmark::State& state) {
+  Rng rng(1);
+  nn::Mlp net(26, {32, 32}, 25, rng);
+  nn::Matrix x = nn::Matrix::xavier(static_cast<std::size_t>(state.range(0)), 26, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.forward(x));
+  }
+}
+BENCHMARK(BM_MlpForward)->Arg(1)->Arg(128)->Arg(1024);
+
+static void BM_MlpForwardBackward(benchmark::State& state) {
+  Rng rng(1);
+  nn::Mlp net(26, {32, 32}, 25, rng);
+  nn::Matrix x = nn::Matrix::xavier(static_cast<std::size_t>(state.range(0)), 26, rng);
+  nn::Matrix target(x.rows(), 25, 0.1);
+  for (auto _ : state) {
+    auto loss = nn::mse_loss(net.forward(x), target);
+    net.zero_grad();
+    benchmark::DoNotOptimize(net.backward(loss.grad));
+  }
+}
+BENCHMARK(BM_MlpForwardBackward)->Arg(128)->Arg(1024);
+
+static void BM_ReplaySample(benchmark::State& state) {
+  rl::ReplayBuffer<std::vector<double>> buf(100000);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) buf.add(std::vector<double>(26, 0.1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buf.sample(128, rng));
+  }
+}
+BENCHMARK(BM_ReplaySample);
+
+static void BM_AttentionCriticForwardBackward(benchmark::State& state) {
+  Rng rng(1);
+  algos::AttentionCritic critic(26, 25, 32, {32, 32}, rng);
+  const std::size_t B = 128, m = 2;
+  nn::Matrix own = nn::Matrix::xavier(B, 26, rng);
+  nn::Matrix others(m * B, 26 + 25);
+  for (std::size_t r = 0; r < m * B; ++r) {
+    for (std::size_t c = 0; c < 26; ++c) others(r, c) = rng.normal(0, 0.5);
+    others(r, 26 + rng.index(25)) = 1.0;
+  }
+  nn::Matrix dq(B, 25, 0.01);
+  for (auto _ : state) {
+    auto pass = critic.forward(own, others);
+    critic.zero_grad();
+    critic.backward(pass, dq);
+  }
+}
+BENCHMARK(BM_AttentionCriticForwardBackward);
+
+static void BM_SacUpdate(benchmark::State& state) {
+  Rng rng(1);
+  algos::SacConfig cfg;
+  cfg.batch = 128;
+  cfg.warmup_steps = 1;
+  algos::SacAgent agent(8, {0.04, -0.1}, {0.2, 0.1}, cfg, rng);
+  for (int i = 0; i < 1000; ++i) {
+    agent.observe(std::vector<double>(8, 0.1), {0.1, 0.0}, 0.5,
+                  std::vector<double>(8, 0.2), false, rng);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.update(rng));
+  }
+}
+BENCHMARK(BM_SacUpdate);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,170 @@
+#include "algos/attention_critic.h"
+
+#include <cmath>
+
+namespace hero::algos {
+
+AttentionCritic::AttentionCritic(std::size_t obs_dim, std::size_t num_actions,
+                                 std::size_t embed_dim,
+                                 const std::vector<std::size_t>& hidden, Rng& rng)
+    : obs_dim_(obs_dim),
+      num_actions_(num_actions),
+      embed_dim_(embed_dim),
+      state_enc_(obs_dim, {embed_dim}, embed_dim, rng),
+      sa_enc_(obs_dim + num_actions, {embed_dim}, embed_dim, rng),
+      wq_(embed_dim, embed_dim, rng),
+      wk_(embed_dim, embed_dim, rng),
+      wv_(embed_dim, embed_dim, rng),
+      relu_v_(embed_dim),
+      head_(2 * embed_dim, hidden, num_actions, rng) {}
+
+AttentionCritic::Pass AttentionCritic::forward(const nn::Matrix& own_obs,
+                                               const nn::Matrix& others_sa) {
+  const std::size_t B = own_obs.rows();
+  HERO_CHECK(own_obs.cols() == obs_dim_);
+  HERO_CHECK(others_sa.cols() == obs_dim_ + num_actions_);
+  HERO_CHECK(others_sa.rows() % B == 0);
+  const std::size_t m = others_sa.rows() / B;
+  HERO_CHECK_MSG(m >= 1, "attention critic needs at least one other agent");
+
+  Pass p;
+  p.batch = B;
+  p.others = m;
+
+  nn::Matrix e = state_enc_.forward(own_obs);            // (B, d)
+  nn::Matrix u = sa_enc_.forward(others_sa);             // (mB, d)
+  p.qvec = wq_.forward(e);                               // (B, d)
+  p.kvec = wk_.forward(u);                               // (mB, d)
+  p.vvec = relu_v_.forward(wv_.forward(u));              // (mB, d)
+
+  const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(embed_dim_));
+  // Attention scores and weights per batch row.
+  p.attn = nn::Matrix(B, m);
+  for (std::size_t b = 0; b < B; ++b) {
+    double mx = -1e300;
+    std::vector<double> scores(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      double s = 0.0;
+      const std::size_t row = j * B + b;
+      for (std::size_t c = 0; c < embed_dim_; ++c) s += p.qvec(b, c) * p.kvec(row, c);
+      scores[j] = s * inv_sqrt_d;
+      mx = std::max(mx, scores[j]);
+    }
+    double z = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      scores[j] = std::exp(scores[j] - mx);
+      z += scores[j];
+    }
+    for (std::size_t j = 0; j < m; ++j) p.attn(b, j) = scores[j] / z;
+  }
+
+  // Attended context x = Σ_j α_j v_j, then head([e ; x]).
+  nn::Matrix head_in(B, 2 * embed_dim_);
+  for (std::size_t b = 0; b < B; ++b) {
+    for (std::size_t c = 0; c < embed_dim_; ++c) head_in(b, c) = e(b, c);
+    for (std::size_t c = 0; c < embed_dim_; ++c) {
+      double x = 0.0;
+      for (std::size_t j = 0; j < m; ++j) x += p.attn(b, j) * p.vvec(j * B + b, c);
+      head_in(b, embed_dim_ + c) = x;
+    }
+  }
+  p.q = head_.forward(head_in);
+  return p;
+}
+
+void AttentionCritic::backward(const Pass& p, const nn::Matrix& dq) {
+  const std::size_t B = p.batch;
+  const std::size_t m = p.others;
+  const std::size_t d = embed_dim_;
+  HERO_CHECK(dq.rows() == B && dq.cols() == num_actions_);
+
+  nn::Matrix dhead_in = head_.backward(dq);  // (B, 2d)
+  nn::Matrix de(B, d);                       // accumulates into state encoder
+  nn::Matrix dx(B, d);
+  for (std::size_t b = 0; b < B; ++b) {
+    for (std::size_t c = 0; c < d; ++c) {
+      de(b, c) = dhead_in(b, c);
+      dx(b, c) = dhead_in(b, d + c);
+    }
+  }
+
+  const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(d));
+  nn::Matrix dv(m * B, d);
+  nn::Matrix dk(m * B, d);
+  nn::Matrix dqvec(B, d);
+  for (std::size_t b = 0; b < B; ++b) {
+    // dα_j = dx · v_j ; softmax backward → dscore.
+    std::vector<double> dalpha(m), dscore(m);
+    double dot_sum = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      double s = 0.0;
+      for (std::size_t c = 0; c < d; ++c) s += dx(b, c) * p.vvec(j * B + b, c);
+      dalpha[j] = s;
+      dot_sum += p.attn(b, j) * s;
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      dscore[j] = p.attn(b, j) * (dalpha[j] - dot_sum);
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::size_t row = j * B + b;
+      for (std::size_t c = 0; c < d; ++c) {
+        dv(row, c) = p.attn(b, j) * dx(b, c);
+        dk(row, c) = dscore[j] * p.qvec(b, c) * inv_sqrt_d;
+        dqvec(b, c) += dscore[j] * p.kvec(row, c) * inv_sqrt_d;
+      }
+    }
+  }
+
+  // Route through the projection layers back into the encoders.
+  de += wq_.backward(dqvec);
+  nn::Matrix du = wk_.backward(dk);
+  du += wv_.backward(relu_v_.backward(dv));
+  sa_enc_.backward(du);
+  state_enc_.backward(de);
+}
+
+std::vector<nn::ParamRef> AttentionCritic::params() {
+  std::vector<nn::ParamRef> out;
+  for (auto p : state_enc_.params()) out.push_back(p);
+  for (auto p : sa_enc_.params()) out.push_back(p);
+  for (auto p : wq_.params()) out.push_back(p);
+  for (auto p : wk_.params()) out.push_back(p);
+  for (auto p : wv_.params()) out.push_back(p);
+  for (auto p : head_.params()) out.push_back(p);
+  return out;
+}
+
+void AttentionCritic::zero_grad() {
+  for (auto p : params()) p.grad->fill(0.0);
+}
+
+void AttentionCritic::soft_update_from(AttentionCritic& src, double tau) {
+  auto dst_p = params();
+  auto src_p = src.params();
+  HERO_CHECK(dst_p.size() == src_p.size());
+  for (std::size_t i = 0; i < dst_p.size(); ++i) {
+    nn::Matrix& dstv = *dst_p[i].value;
+    const nn::Matrix& srcv = *src_p[i].value;
+    HERO_CHECK(dstv.same_shape(srcv));
+    for (std::size_t k = 0; k < dstv.size(); ++k) {
+      dstv.data()[k] = tau * srcv.data()[k] + (1.0 - tau) * dstv.data()[k];
+    }
+  }
+}
+
+double AttentionCritic::clip_grad_norm(double max_norm) {
+  double sq = 0.0;
+  auto ps = params();
+  for (auto p : ps)
+    for (std::size_t k = 0; k < p.grad->size(); ++k)
+      sq += p.grad->data()[k] * p.grad->data()[k];
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const double scale = max_norm / norm;
+    for (auto p : ps)
+      for (std::size_t k = 0; k < p.grad->size(); ++k) p.grad->data()[k] *= scale;
+  }
+  return norm;
+}
+
+}  // namespace hero::algos

@@ -1,0 +1,74 @@
+// Single-head attention critic (Iqbal & Sha 2019, "Actor-Attention-Critic").
+//
+// Shared across agents (parameter sharing, as the paper notes for MAAC):
+// for agent i the critic embeds the agent's own observation, attends over
+// the other agents' (observation, action) embeddings, and outputs Q-values
+// for each of agent i's discrete actions:
+//
+//   e_i = f_s(o_i)
+//   u_j = f_sa([o_j ; onehot(a_j)])          for each j ≠ i
+//   α_j ∝ exp( (W_q e_i)·(W_k u_j) / √d )
+//   x_i = Σ_j α_j · relu(W_v u_j)
+//   Q_i(·) = f_head([e_i ; x_i])
+//
+// Forward/backward are explicit (no autograd); tests finite-difference-check
+// the full attention backward pass.
+#pragma once
+
+#include <vector>
+
+#include "nn/activation.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+
+namespace hero::algos {
+
+class AttentionCritic {
+ public:
+  AttentionCritic(std::size_t obs_dim, std::size_t num_actions,
+                  std::size_t embed_dim, const std::vector<std::size_t>& hidden,
+                  Rng& rng);
+
+  // All state forward() needs to hand to backward().
+  struct Pass {
+    nn::Matrix q;        // (B, |A|) — Q-values for the focal agent's actions
+    nn::Matrix attn;     // (B, m)   — attention weights over the others
+    // caches
+    nn::Matrix qvec;     // (B, d)
+    nn::Matrix kvec;     // (m·B, d), j-major
+    nn::Matrix vvec;     // (m·B, d), post-ReLU
+    nn::Matrix dx_cache; // scratch shape holder
+    std::size_t batch = 0;
+    std::size_t others = 0;
+  };
+
+  // `own_obs` is (B, obs_dim); `others_sa` is (m·B, obs_dim + |A|) rows
+  // ordered j-major (all rows of other-agent 0 first, then other-agent 1, …)
+  // with the action one-hot appended to each observation.
+  Pass forward(const nn::Matrix& own_obs, const nn::Matrix& others_sa);
+
+  // Backward for dL/dQ; accumulates every internal parameter gradient.
+  void backward(const Pass& pass, const nn::Matrix& dq);
+
+  std::vector<nn::ParamRef> params();
+  void zero_grad();
+  void soft_update_from(AttentionCritic& src, double tau);
+  double clip_grad_norm(double max_norm);
+
+  std::size_t obs_dim() const { return obs_dim_; }
+  std::size_t num_actions() const { return num_actions_; }
+  std::size_t embed_dim() const { return embed_dim_; }
+
+ private:
+  std::size_t obs_dim_ = 0;
+  std::size_t num_actions_ = 0;
+  std::size_t embed_dim_ = 0;
+
+  nn::Mlp state_enc_;  // obs → d
+  nn::Mlp sa_enc_;     // obs + |A| → d
+  nn::Linear wq_, wk_, wv_;
+  nn::ReLU relu_v_;
+  nn::Mlp head_;       // 2d → |A|
+};
+
+}  // namespace hero::algos

@@ -1,0 +1,171 @@
+#include "algos/coma.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+#include "nn/losses.h"
+
+namespace hero::algos {
+
+ComaTrainer::ComaTrainer(const sim::Scenario& scenario, const ComaConfig& cfg, Rng& rng)
+    : scenario_(scenario),
+      cfg_(cfg),
+      world_(scenario.config),
+      grid_(rl::ActionGrid::standard()),
+      n_(world_.num_learners()),
+      obs_dim_(baseline_obs_dim(world_)) {
+  const std::size_t critic_in = static_cast<std::size_t>(n_) * obs_dim_ +
+                                static_cast<std::size_t>(n_) +
+                                static_cast<std::size_t>(n_ - 1) * grid_.size();
+  for (int i = 0; i < n_; ++i) {
+    actors_.emplace_back(obs_dim_, cfg_.hidden, grid_.size(), rng);
+    actor_opt_.push_back(
+        std::make_unique<nn::Adam>(actors_.back().net().params(), cfg_.lr));
+  }
+  critic_ = nn::Mlp(critic_in, cfg_.hidden, grid_.size(), rng);
+  critic_target_ = critic_;
+  critic_opt_ =
+      std::make_unique<nn::Adam>(critic_.params(), cfg_.lr * cfg_.critic_lr_scale);
+}
+
+std::vector<double> ComaTrainer::critic_input(const StepRecord& rec, int agent) const {
+  std::vector<double> in = rec.joint_obs;
+  // Agent id one-hot.
+  for (int j = 0; j < n_; ++j) in.push_back(j == agent ? 1.0 : 0.0);
+  // Other agents' actions, one-hot, in agent order skipping `agent`.
+  for (int j = 0; j < n_; ++j) {
+    if (j == agent) continue;
+    for (std::size_t a = 0; a < grid_.size(); ++a) {
+      in.push_back(rec.actions[static_cast<std::size_t>(j)] == a ? 1.0 : 0.0);
+    }
+  }
+  return in;
+}
+
+std::vector<sim::TwistCmd> ComaTrainer::act(const sim::LaneWorld& world, Rng& rng,
+                                            bool explore) {
+  std::vector<sim::TwistCmd> cmds;
+  for (int k = 0; k < n_; ++k) {
+    const int vi = world.learners()[static_cast<std::size_t>(k)];
+    const std::size_t a = actors_[static_cast<std::size_t>(k)].act(
+        baseline_obs(world, vi), rng, /*greedy=*/!explore);
+    cmds.push_back(grid_.decode(a));
+  }
+  return cmds;
+}
+
+void ComaTrainer::update_from_episode(const std::vector<StepRecord>& episode,
+                                      Rng& rng) {
+  (void)rng;
+  if (episode.empty()) return;
+  const std::size_t T = episode.size();
+
+  // Monte-Carlo returns (COMA's TD(λ) with λ = 1): G_t = r_t + γ G_{t+1}.
+  std::vector<double> returns(T);
+  double g = 0.0;
+  for (std::size_t t = T; t-- > 0;) {
+    g = episode[t].reward + cfg_.gamma * g;
+    returns[t] = g;
+  }
+
+  for (int i = 0; i < n_; ++i) {
+    // ----- critic regression: Q(s_t, a^i_t) → G_t -----
+    std::vector<std::vector<double>> critic_rows;
+    std::vector<std::size_t> taken;
+    critic_rows.reserve(T);
+    for (std::size_t t = 0; t < T; ++t) {
+      critic_rows.push_back(critic_input(episode[t], i));
+      taken.push_back(episode[t].actions[static_cast<std::size_t>(i)]);
+    }
+    nn::Matrix critic_in_m = nn::Matrix::stack_rows(critic_rows);
+    nn::Matrix qs = critic_.forward(critic_in_m);
+    auto closs = nn::mse_loss_selected(qs, taken, returns);
+    critic_.zero_grad();
+    critic_.backward(closs.grad);
+    critic_.clip_grad_norm(cfg_.grad_clip);
+    critic_opt_->step();
+
+    // ----- actor update with the counterfactual advantage -----
+    // Recompute Q after the critic step for a slightly fresher estimate.
+    nn::Matrix q_now = critic_.forward(critic_in_m);
+    std::vector<std::vector<double>> obs_rows;
+    obs_rows.reserve(T);
+    for (std::size_t t = 0; t < T; ++t)
+      obs_rows.push_back(episode[t].obs[static_cast<std::size_t>(i)]);
+    nn::Matrix obs_m = nn::Matrix::stack_rows(obs_rows);
+
+    auto& actor = actors_[static_cast<std::size_t>(i)];
+    nn::Matrix logits = actor.net().forward(obs_m);
+    nn::Matrix probs = nn::softmax(logits);
+
+    // Advantage A_t = Q(a_taken) − Σ_a π(a) Q(a); loss = −A·log π(a_taken)
+    // − β·H(π). Gradient w.r.t. logits assembled directly.
+    const double inv_t = 1.0 / static_cast<double>(T);
+    nn::Matrix dlogits(T, grid_.size());
+    nn::Matrix logp = nn::log_softmax(logits);
+    for (std::size_t t = 0; t < T; ++t) {
+      double baseline = 0.0;
+      for (std::size_t a = 0; a < grid_.size(); ++a) baseline += probs(t, a) * q_now(t, a);
+      const double adv = q_now(t, taken[t]) - baseline;
+      // policy-gradient part: d(−adv·logπ(a_t))/dlogits = adv·(π − onehot)
+      for (std::size_t a = 0; a < grid_.size(); ++a) {
+        dlogits(t, a) += adv * probs(t, a) * inv_t;
+      }
+      dlogits(t, taken[t]) -= adv * inv_t;
+      // entropy bonus: d(−β·H)/dlogits = β·π·(logπ + H)
+      double ent = 0.0;
+      for (std::size_t a = 0; a < grid_.size(); ++a) ent -= probs(t, a) * logp(t, a);
+      for (std::size_t a = 0; a < grid_.size(); ++a) {
+        dlogits(t, a) += cfg_.entropy_coef * probs(t, a) * (logp(t, a) + ent) * inv_t;
+      }
+    }
+    actor.net().zero_grad();
+    actor.net().backward(dlogits);
+    actor.net().clip_grad_norm(cfg_.grad_clip);
+    actor_opt_[static_cast<std::size_t>(i)]->step();
+  }
+  critic_target_.soft_update_from(critic_, cfg_.tau);
+}
+
+void ComaTrainer::train(int episodes, Rng& rng, const EpisodeHook& hook) {
+  for (int ep = 0; ep < episodes; ++ep) {
+    world_.reset(rng);
+    rl::EpisodeStats stats;
+    std::vector<StepRecord> episode;
+
+    while (!world_.done()) {
+      StepRecord rec;
+      rec.obs.resize(static_cast<std::size_t>(n_));
+      rec.actions.resize(static_cast<std::size_t>(n_));
+      std::vector<sim::TwistCmd> cmds;
+      for (int k = 0; k < n_; ++k) {
+        const int vi = world_.learners()[static_cast<std::size_t>(k)];
+        rec.obs[static_cast<std::size_t>(k)] = baseline_obs(world_, vi);
+        rec.joint_obs.insert(rec.joint_obs.end(),
+                             rec.obs[static_cast<std::size_t>(k)].begin(),
+                             rec.obs[static_cast<std::size_t>(k)].end());
+        rec.actions[static_cast<std::size_t>(k)] = actors_[static_cast<std::size_t>(k)].act(
+            rec.obs[static_cast<std::size_t>(k)], rng, /*greedy=*/false);
+        cmds.push_back(grid_.decode(rec.actions[static_cast<std::size_t>(k)]));
+      }
+
+      auto result = world_.step(cmds, rng);
+      rec.reward = mean_of(result.reward);
+      stats.team_reward += rec.reward;
+      if (result.collision) stats.collision = true;
+      episode.push_back(std::move(rec));
+    }
+
+    update_from_episode(episode, rng);
+
+    stats.steps = world_.steps();
+    stats.success = !stats.collision &&
+                    world_.lane(scenario_.merger_index) == scenario_.merger_target_lane;
+    double speed = 0.0;
+    for (int vi : world_.learners()) speed += world_.mean_speed(vi);
+    stats.mean_speed = speed / static_cast<double>(world_.num_learners());
+    if (hook) hook(ep, stats);
+  }
+}
+
+}  // namespace hero::algos

@@ -1,0 +1,62 @@
+// COMA baseline (Foerster et al. 2018): counterfactual multi-agent policy
+// gradients. On-policy actors with a centralized critic that outputs
+// Q(s, ·) over agent i's discrete actions given the other agents' actions;
+// the counterfactual baseline b = Σ_a π_i(a|o_i) Q(s, a) marginalizes out
+// agent i for per-agent credit assignment (paper Sec. V-A).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "algos/common.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "nn/policy_heads.h"
+#include "rl/discretizer.h"
+
+namespace hero::algos {
+
+struct ComaConfig : TrainConfig {
+  double entropy_coef = 0.01;
+  double critic_lr_scale = 2.0;  // critic learns faster than the actors
+};
+
+class ComaTrainer : public rl::Controller {
+ public:
+  ComaTrainer(const sim::Scenario& scenario, const ComaConfig& cfg, Rng& rng);
+
+  void train(int episodes, Rng& rng, const EpisodeHook& hook = {});
+
+  std::vector<sim::TwistCmd> act(const sim::LaneWorld& world, Rng& rng,
+                                 bool explore) override;
+
+  sim::LaneWorld& world() { return world_; }
+
+ private:
+  // One time-step of on-policy experience for the whole team.
+  struct StepRecord {
+    std::vector<std::vector<double>> obs;  // per agent (local)
+    std::vector<double> joint_obs;         // concatenated
+    std::vector<std::size_t> actions;      // per agent
+    double reward;                         // shared team reward
+  };
+
+  // Critic input for agent i at one step: [joint_obs | onehot(i) | onehot
+  // actions of the other agents].
+  std::vector<double> critic_input(const StepRecord& rec, int agent) const;
+  void update_from_episode(const std::vector<StepRecord>& episode, Rng& rng);
+
+  sim::Scenario scenario_;
+  ComaConfig cfg_;
+  sim::LaneWorld world_;
+  rl::ActionGrid grid_;
+  int n_;
+  std::size_t obs_dim_;
+
+  std::vector<nn::CategoricalPolicy> actors_;
+  std::vector<std::unique_ptr<nn::Adam>> actor_opt_;
+  nn::Mlp critic_, critic_target_;
+  std::unique_ptr<nn::Adam> critic_opt_;
+};
+
+}  // namespace hero::algos

@@ -1,0 +1,19 @@
+#include "algos/common.h"
+
+namespace hero::algos {
+
+std::vector<double> baseline_obs(const sim::LaneWorld& world, int vehicle) {
+  std::vector<double> obs = world.high_level_obs(vehicle);
+  std::vector<double> cam = world.low_level_obs(vehicle, world.lane(vehicle));
+  obs.insert(obs.end(), cam.begin(), cam.end());
+  return obs;
+}
+
+std::size_t baseline_obs_dim(const sim::LaneWorld& world) {
+  return world.high_level_obs_dim() + world.low_level_obs_dim();
+}
+
+std::vector<double> primitive_lo() { return {0.04, -0.25}; }
+std::vector<double> primitive_hi() { return {0.20, 0.25}; }
+
+}  // namespace hero::algos

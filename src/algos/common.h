@@ -1,0 +1,56 @@
+// Shared plumbing for the end-to-end MARL baselines (Sec. V-A of the paper):
+// the common observation each baseline consumes, the shared hyper-parameter
+// block (paper Table I), and the per-episode training hook used by the
+// learning-curve benches.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "rl/evaluation.h"
+#include "sim/scenario.h"
+
+namespace hero::algos {
+
+// Hyper-parameters shared by all trainers. Defaults follow paper Table I
+// where it is specific (γ, τ, buffer, hidden width); learning rate and batch
+// are tuned down for single-core wall-clock (Table I's lr 0.01 / batch 1024
+// remain reachable via config).
+struct TrainConfig {
+  double gamma = 0.95;
+  double lr = 0.002;
+  double tau = 0.01;            // soft target-update rate
+  std::size_t buffer_capacity = 100000;
+  std::size_t batch = 128;
+  std::size_t warmup_steps = 500;  // env steps before learning starts
+  int update_every = 2;            // env steps between gradient updates
+  double grad_clip = 10.0;
+  std::vector<std::size_t> hidden = {32, 32};  // paper: hidden width 32
+
+  // ε-greedy schedule (value-based methods). The decay horizon is sized for
+  // the single-core episode budgets used in the benches (~1-2k episodes of
+  // ~10-30 steps); the paper's 14k-episode runs would use a longer horizon.
+  double eps_start = 1.0;
+  double eps_end = 0.05;
+  long eps_decay_steps = 8000;
+
+  // Gaussian exploration noise (deterministic-policy methods).
+  double act_noise = 0.1;
+};
+
+// Per-episode callback: (episode index, training-episode stats).
+using EpisodeHook = std::function<void(int, const rl::EpisodeStats&)>;
+
+// The local observation every end-to-end baseline receives: the high-level
+// sensor state (lidar, speed, lane id) concatenated with the lane-camera
+// features — i.e. the union of what HERO's two layers see, so no method has
+// an information advantage.
+std::vector<double> baseline_obs(const sim::LaneWorld& world, int vehicle);
+std::size_t baseline_obs_dim(const sim::LaneWorld& world);
+
+// Primitive action bounds shared by the continuous-control baselines
+// (the envelope of the paper's per-skill ranges).
+std::vector<double> primitive_lo();
+std::vector<double> primitive_hi();
+
+}  // namespace hero::algos

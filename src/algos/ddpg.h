@@ -1,0 +1,72 @@
+// Deep deterministic policy gradient (Lillicrap et al. 2016), single-agent.
+//
+// Included both as a library component (the paper's preliminaries build on
+// it) and as the per-agent core that MADDPG extends with a centralized
+// critic. Environment-agnostic, same calling convention as SacAgent.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "nn/policy_heads.h"
+#include "rl/replay_buffer.h"
+
+namespace hero::algos {
+
+struct DdpgConfig {
+  double gamma = 0.95;
+  double lr_actor = 0.001;
+  double lr_critic = 0.002;
+  double tau = 0.01;
+  std::size_t buffer_capacity = 100000;
+  std::size_t batch = 128;
+  std::size_t warmup_steps = 500;
+  int update_every = 1;
+  double grad_clip = 10.0;
+  double noise_stddev = 0.1;  // Gaussian exploration noise
+  std::vector<std::size_t> hidden = {32, 32};
+};
+
+struct DdpgUpdateStats {
+  double critic_loss = 0.0;
+  double actor_objective = 0.0;  // mean Q under the current policy
+  bool updated = false;
+};
+
+class DdpgAgent {
+ public:
+  DdpgAgent(std::size_t obs_dim, std::vector<double> action_lo,
+            std::vector<double> action_hi, const DdpgConfig& cfg, Rng& rng);
+
+  std::vector<double> act(const std::vector<double>& obs, Rng& rng, bool explore);
+
+  DdpgUpdateStats observe(std::vector<double> obs, std::vector<double> action,
+                          double reward, std::vector<double> next_obs, bool done,
+                          Rng& rng);
+  DdpgUpdateStats update(Rng& rng);
+
+  nn::DeterministicTanhPolicy& policy() { return actor_; }
+  nn::Mlp& critic() { return q_; }
+
+ private:
+  struct Transition {
+    std::vector<double> obs;
+    std::vector<double> action;
+    double reward;
+    std::vector<double> next_obs;
+    bool done;
+  };
+
+  DdpgConfig cfg_;
+  std::size_t obs_dim_;
+  nn::DeterministicTanhPolicy actor_;
+  nn::DeterministicTanhPolicy actor_target_;
+  nn::Mlp q_, q_target_;
+  std::unique_ptr<nn::Adam> actor_opt_, q_opt_;
+  rl::ReplayBuffer<Transition> buffer_;
+  long total_steps_ = 0;
+};
+
+}  // namespace hero::algos

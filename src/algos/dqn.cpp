@@ -1,0 +1,165 @@
+#include "algos/dqn.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+#include "nn/losses.h"
+#include "rl/exploration.h"
+
+namespace hero::algos {
+
+IndependentDqnTrainer::IndependentDqnTrainer(const sim::Scenario& scenario,
+                                             const DqnConfig& cfg, Rng& rng)
+    : scenario_(scenario),
+      cfg_(cfg),
+      world_(scenario.config),
+      grid_(rl::ActionGrid::standard()) {
+  const std::size_t obs_dim = baseline_obs_dim(world_);
+  const int n = world_.num_learners();
+  for (int i = 0; i < n; ++i) {
+    q_.emplace_back(obs_dim, cfg_.hidden, grid_.size(), rng);
+    q_target_.emplace_back(q_.back());
+    opt_.push_back(std::make_unique<nn::Adam>(q_.back().params(), cfg_.lr));
+    buffers_.emplace_back(cfg_.buffer_capacity);
+    per_buffers_.emplace_back(cfg_.buffer_capacity, cfg_.per_alpha, cfg_.per_beta0);
+  }
+}
+
+std::size_t IndependentDqnTrainer::select_action(int agent,
+                                                 const std::vector<double>& obs,
+                                                 Rng& rng, bool explore) {
+  if (explore) {
+    const double eps = rl::LinearSchedule(cfg_.eps_start, cfg_.eps_end,
+                                          cfg_.eps_decay_steps)
+                           .value(total_steps_);
+    if (rng.chance(eps)) return rng.index(grid_.size());
+  }
+  const auto qs = q_[static_cast<std::size_t>(agent)].forward1(obs);
+  return static_cast<std::size_t>(std::max_element(qs.begin(), qs.end()) - qs.begin());
+}
+
+std::vector<sim::TwistCmd> IndependentDqnTrainer::act(const sim::LaneWorld& world,
+                                                      Rng& rng, bool explore) {
+  std::vector<sim::TwistCmd> cmds;
+  for (int k = 0; k < world.num_learners(); ++k) {
+    const int vi = world.learners()[static_cast<std::size_t>(k)];
+    cmds.push_back(grid_.decode(select_action(k, baseline_obs(world, vi), rng, explore)));
+  }
+  return cmds;
+}
+
+double IndependentDqnTrainer::update_agent(int agent, Rng& rng) {
+  const std::size_t ai = static_cast<std::size_t>(agent);
+  const std::size_t have =
+      cfg_.prioritized ? per_buffers_[ai].size() : buffers_[ai].size();
+  if (have < std::max(cfg_.batch, cfg_.warmup_steps)) return 0.0;
+  ++updates_;
+
+  // Gather the batch (uniform or prioritized with importance weights).
+  std::vector<const Transition*> batch;
+  rl::PrioritizedSample psample;
+  std::vector<double>* weights = nullptr;
+  if (cfg_.prioritized) {
+    auto& per = per_buffers_[ai];
+    per.set_beta(cfg_.per_beta0 +
+                 (1.0 - cfg_.per_beta0) *
+                     std::min(1.0, static_cast<double>(updates_) /
+                                       static_cast<double>(cfg_.per_beta_steps)));
+    psample = per.sample(cfg_.batch, rng);
+    batch.reserve(psample.indices.size());
+    for (std::size_t idx : psample.indices) batch.push_back(&per.at(idx));
+    weights = &psample.weights;
+  } else {
+    batch = buffers_[ai].sample(cfg_.batch, rng);
+  }
+
+  std::vector<std::vector<double>> obs, next_obs;
+  std::vector<std::size_t> actions;
+  obs.reserve(batch.size());
+  for (const auto* t : batch) {
+    obs.push_back(t->obs);
+    next_obs.push_back(t->next_obs);
+    actions.push_back(t->action);
+  }
+
+  // TD target: r + γ·max_a' Q_target(s', a') for non-terminal transitions.
+  nn::Matrix next_q =
+      q_target_[ai].forward(nn::Matrix::stack_rows(next_obs));
+  std::vector<double> targets(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    double mx = next_q(i, 0);
+    for (std::size_t a = 1; a < grid_.size(); ++a) mx = std::max(mx, next_q(i, a));
+    targets[i] = batch[i]->reward + (batch[i]->done ? 0.0 : cfg_.gamma * mx);
+  }
+
+  auto& net = q_[ai];
+  nn::Matrix pred = net.forward(nn::Matrix::stack_rows(obs));
+  auto loss = nn::huber_loss_selected(pred, actions, targets, 1.0, weights);
+  net.zero_grad();
+  net.backward(loss.grad);
+  net.clip_grad_norm(cfg_.grad_clip);
+  opt_[ai]->step();
+  q_target_[ai].soft_update_from(net, cfg_.tau);
+
+  if (cfg_.prioritized) {
+    std::vector<double> td(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      td[i] = pred(i, actions[i]) - targets[i];
+    }
+    per_buffers_[ai].update_priorities(psample.indices, td);
+  }
+  return loss.loss;
+}
+
+void IndependentDqnTrainer::train(int episodes, Rng& rng, const EpisodeHook& hook) {
+  for (int ep = 0; ep < episodes; ++ep) {
+    world_.reset(rng);
+    rl::EpisodeStats stats;
+
+    while (!world_.done()) {
+      const int n = world_.num_learners();
+      std::vector<std::vector<double>> obs(static_cast<std::size_t>(n));
+      std::vector<std::size_t> actions(static_cast<std::size_t>(n));
+      std::vector<sim::TwistCmd> cmds;
+      for (int k = 0; k < n; ++k) {
+        const int vi = world_.learners()[static_cast<std::size_t>(k)];
+        obs[static_cast<std::size_t>(k)] = baseline_obs(world_, vi);
+        actions[static_cast<std::size_t>(k)] =
+            select_action(k, obs[static_cast<std::size_t>(k)], rng, /*explore=*/true);
+        cmds.push_back(grid_.decode(actions[static_cast<std::size_t>(k)]));
+      }
+
+      auto result = world_.step(cmds, rng);
+      stats.team_reward += mean_of(result.reward);
+      if (result.collision) stats.collision = true;
+      ++total_steps_;
+
+      for (int k = 0; k < n; ++k) {
+        const int vi = world_.learners()[static_cast<std::size_t>(k)];
+        Transition t{std::move(obs[static_cast<std::size_t>(k)]),
+                     actions[static_cast<std::size_t>(k)],
+                     result.reward[static_cast<std::size_t>(k)],
+                     baseline_obs(world_, vi), result.done};
+        if (cfg_.prioritized) {
+          per_buffers_[static_cast<std::size_t>(k)].add(std::move(t));
+        } else {
+          buffers_[static_cast<std::size_t>(k)].add(std::move(t));
+        }
+      }
+
+      if (total_steps_ % cfg_.update_every == 0) {
+        for (int k = 0; k < n; ++k) update_agent(k, rng);
+      }
+    }
+
+    stats.steps = world_.steps();
+    stats.success = !stats.collision &&
+                    world_.lane(scenario_.merger_index) == scenario_.merger_target_lane;
+    double speed = 0.0;
+    for (int vi : world_.learners()) speed += world_.mean_speed(vi);
+    stats.mean_speed = speed / static_cast<double>(world_.num_learners());
+    if (hook) hook(ep, stats);
+  }
+}
+
+}  // namespace hero::algos

@@ -1,0 +1,73 @@
+// Independent Deep Q-learning baseline (paper Sec. V-A).
+//
+// Each agent trains its own Q-network from its local observation and the
+// shared team reward; there is no coordination signal beyond that reward —
+// the canonical DTDE lower bound. Actions come from the discretized
+// primitive grid (rl::ActionGrid).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "algos/common.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "rl/discretizer.h"
+#include "rl/prioritized_replay.h"
+#include "rl/replay_buffer.h"
+
+namespace hero::algos {
+
+struct DqnConfig : TrainConfig {
+  // Prioritized experience replay (Schaul et al. 2016); β anneals linearly
+  // from per_beta0 to 1 over per_beta_steps gradient updates.
+  bool prioritized = false;
+  double per_alpha = 0.6;
+  double per_beta0 = 0.4;
+  long per_beta_steps = 20000;
+};
+
+class IndependentDqnTrainer : public rl::Controller {
+ public:
+  IndependentDqnTrainer(const sim::Scenario& scenario, const DqnConfig& cfg, Rng& rng);
+
+  // Runs `episodes` training episodes (exploring, learning); invokes `hook`
+  // with the stats of every episode.
+  void train(int episodes, Rng& rng, const EpisodeHook& hook = {});
+
+  // rl::Controller: greedy when explore == false.
+  std::vector<sim::TwistCmd> act(const sim::LaneWorld& world, Rng& rng,
+                                 bool explore) override;
+
+  sim::LaneWorld& world() { return world_; }
+  const sim::Scenario& scenario() const { return scenario_; }
+  long total_steps() const { return total_steps_; }
+
+ private:
+  struct Transition {
+    std::vector<double> obs;
+    std::size_t action;
+    double reward;
+    std::vector<double> next_obs;
+    bool done;
+  };
+
+  std::size_t select_action(int agent, const std::vector<double>& obs, Rng& rng,
+                            bool explore);
+  double update_agent(int agent, Rng& rng);
+
+  sim::Scenario scenario_;
+  DqnConfig cfg_;
+  sim::LaneWorld world_;
+  rl::ActionGrid grid_;
+
+  std::vector<nn::Mlp> q_;
+  std::vector<nn::Mlp> q_target_;
+  std::vector<std::unique_ptr<nn::Adam>> opt_;
+  std::vector<rl::ReplayBuffer<Transition>> buffers_;
+  std::vector<rl::PrioritizedReplayBuffer<Transition>> per_buffers_;
+  long total_steps_ = 0;
+  long updates_ = 0;
+};
+
+}  // namespace hero::algos

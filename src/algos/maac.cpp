@@ -1,0 +1,220 @@
+#include "algos/maac.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+#include "nn/losses.h"
+
+namespace hero::algos {
+
+MaacTrainer::MaacTrainer(const sim::Scenario& scenario, const MaacConfig& cfg, Rng& rng)
+    : scenario_(scenario),
+      cfg_(cfg),
+      world_(scenario.config),
+      grid_(rl::ActionGrid::standard()),
+      n_(world_.num_learners()),
+      obs_dim_(baseline_obs_dim(world_)),
+      actor_(obs_dim_ + static_cast<std::size_t>(n_), cfg.hidden, grid_.size(), rng),
+      buffer_(cfg.buffer_capacity) {
+  critic_ = std::make_unique<AttentionCritic>(obs_dim_, grid_.size(), cfg_.embed_dim,
+                                              cfg_.hidden, rng);
+  critic_target_ = std::make_unique<AttentionCritic>(*critic_);
+  actor_opt_ = std::make_unique<nn::Adam>(actor_.net().params(), cfg_.lr * 0.5);
+  critic_opt_ = std::make_unique<nn::Adam>(critic_->params(), cfg_.lr);
+}
+
+std::vector<double> MaacTrainer::actor_obs(const std::vector<double>& obs,
+                                           int agent) const {
+  std::vector<double> in = obs;
+  for (int j = 0; j < n_; ++j) in.push_back(j == agent ? 1.0 : 0.0);
+  return in;
+}
+
+std::size_t MaacTrainer::sample_action(int agent, const std::vector<double>& obs,
+                                       Rng& rng, bool greedy) {
+  return actor_.act(actor_obs(obs, agent), rng, greedy);
+}
+
+std::vector<sim::TwistCmd> MaacTrainer::act(const sim::LaneWorld& world, Rng& rng,
+                                            bool explore) {
+  std::vector<sim::TwistCmd> cmds;
+  for (int k = 0; k < n_; ++k) {
+    const int vi = world.learners()[static_cast<std::size_t>(k)];
+    cmds.push_back(grid_.decode(
+        sample_action(k, baseline_obs(world, vi), rng, /*greedy=*/!explore)));
+  }
+  return cmds;
+}
+
+void MaacTrainer::update(Rng& rng) {
+  if (!buffer_.ready(std::max(cfg_.batch, cfg_.warmup_steps))) return;
+  auto batch = buffer_.sample(cfg_.batch, rng);
+  const std::size_t B = batch.size();
+  const std::size_t A = grid_.size();
+  const std::size_t m = static_cast<std::size_t>(n_ - 1);
+
+  // Sample next actions for every agent from the current (shared) actor, and
+  // keep their log-probs for the soft target.
+  std::vector<std::vector<std::size_t>> next_actions(
+      static_cast<std::size_t>(n_), std::vector<std::size_t>(B));
+  std::vector<std::vector<double>> next_logp(static_cast<std::size_t>(n_),
+                                             std::vector<double>(B));
+  for (int j = 0; j < n_; ++j) {
+    std::vector<std::vector<double>> rows;
+    rows.reserve(B);
+    for (const auto* t : batch)
+      rows.push_back(actor_obs(t->next_obs[static_cast<std::size_t>(j)], j));
+    nn::Matrix logits = actor_.net().forward(nn::Matrix::stack_rows(rows));
+    nn::Matrix logp = nn::log_softmax(logits);
+    nn::Matrix probs = nn::softmax(logits);
+    for (std::size_t b = 0; b < B; ++b) {
+      const std::size_t a = rng.categorical(probs.row_vec(b));
+      next_actions[static_cast<std::size_t>(j)][b] = a;
+      next_logp[static_cast<std::size_t>(j)][b] = logp(b, a);
+    }
+  }
+
+  auto build_others_sa = [&](int focal, auto obs_of, auto action_of) {
+    nn::Matrix rows(m * B, obs_dim_ + A);
+    std::size_t jj = 0;
+    for (int j = 0; j < n_; ++j) {
+      if (j == focal) continue;
+      for (std::size_t b = 0; b < B; ++b) {
+        const std::vector<double>& o = obs_of(j, b);
+        for (std::size_t c = 0; c < obs_dim_; ++c) rows(jj * B + b, c) = o[c];
+        rows(jj * B + b, obs_dim_ + action_of(j, b)) = 1.0;
+      }
+      ++jj;
+    }
+    return rows;
+  };
+
+  // ----- critic update (all agents share one critic; grads accumulate) -----
+  critic_->zero_grad();
+  for (int i = 0; i < n_; ++i) {
+    std::vector<std::vector<double>> own_next;
+    own_next.reserve(B);
+    for (const auto* t : batch) own_next.push_back(t->next_obs[static_cast<std::size_t>(i)]);
+    nn::Matrix others_next = build_others_sa(
+        i, [&](int j, std::size_t b) -> const std::vector<double>& {
+          return batch[b]->next_obs[static_cast<std::size_t>(j)];
+        },
+        [&](int j, std::size_t b) { return next_actions[static_cast<std::size_t>(j)][b]; });
+    auto tgt_pass =
+        critic_target_->forward(nn::Matrix::stack_rows(own_next), others_next);
+
+    std::vector<double> y(B);
+    for (std::size_t b = 0; b < B; ++b) {
+      const std::size_t a_next = next_actions[static_cast<std::size_t>(i)][b];
+      const double soft_q = tgt_pass.q(b, a_next) -
+                            cfg_.alpha * next_logp[static_cast<std::size_t>(i)][b];
+      y[b] = batch[b]->rewards[static_cast<std::size_t>(i)] +
+             (batch[b]->done ? 0.0 : cfg_.gamma * soft_q);
+    }
+
+    std::vector<std::vector<double>> own;
+    std::vector<std::size_t> taken;
+    own.reserve(B);
+    for (const auto* t : batch) {
+      own.push_back(t->obs[static_cast<std::size_t>(i)]);
+      taken.push_back(t->actions[static_cast<std::size_t>(i)]);
+    }
+    nn::Matrix others_cur = build_others_sa(
+        i, [&](int j, std::size_t b) -> const std::vector<double>& {
+          return batch[b]->obs[static_cast<std::size_t>(j)];
+        },
+        [&](int j, std::size_t b) { return batch[b]->actions[static_cast<std::size_t>(j)]; });
+    auto pass = critic_->forward(nn::Matrix::stack_rows(own), others_cur);
+    auto loss = nn::mse_loss_selected(pass.q, taken, y);
+    critic_->backward(pass, loss.grad);
+  }
+  critic_->clip_grad_norm(cfg_.grad_clip);
+  critic_opt_->step();
+
+  // ----- actor update (expected soft policy gradient, exact over actions) --
+  // J_t = Σ_a π(a|o)(Q(a) − α log π(a));   dJ/dlogit_c = π_c (f_c − E[f]),
+  // f_a = Q_a − α log π_a. Critic treated as a constant.
+  actor_.net().zero_grad();
+  for (int i = 0; i < n_; ++i) {
+    std::vector<std::vector<double>> own, actor_rows;
+    own.reserve(B);
+    for (const auto* t : batch) {
+      own.push_back(t->obs[static_cast<std::size_t>(i)]);
+      actor_rows.push_back(actor_obs(t->obs[static_cast<std::size_t>(i)], i));
+    }
+    nn::Matrix others_cur = build_others_sa(
+        i, [&](int j, std::size_t b) -> const std::vector<double>& {
+          return batch[b]->obs[static_cast<std::size_t>(j)];
+        },
+        [&](int j, std::size_t b) { return batch[b]->actions[static_cast<std::size_t>(j)]; });
+    auto pass = critic_->forward(nn::Matrix::stack_rows(own), others_cur);
+
+    nn::Matrix logits = actor_.net().forward(nn::Matrix::stack_rows(actor_rows));
+    nn::Matrix probs = nn::softmax(logits);
+    nn::Matrix logp = nn::log_softmax(logits);
+    nn::Matrix dlogits(B, A);
+    const double inv = 1.0 / static_cast<double>(B * static_cast<std::size_t>(n_));
+    for (std::size_t b = 0; b < B; ++b) {
+      double mean_f = 0.0;
+      for (std::size_t a = 0; a < A; ++a) {
+        mean_f += probs(b, a) * (pass.q(b, a) - cfg_.alpha * logp(b, a));
+      }
+      for (std::size_t a = 0; a < A; ++a) {
+        const double f = pass.q(b, a) - cfg_.alpha * logp(b, a);
+        dlogits(b, a) = -probs(b, a) * (f - mean_f) * inv;  // minimize −J
+      }
+    }
+    actor_.net().backward(dlogits);
+  }
+  actor_.net().clip_grad_norm(cfg_.grad_clip);
+  actor_opt_->step();
+
+  critic_target_->soft_update_from(*critic_, cfg_.tau);
+}
+
+void MaacTrainer::train(int episodes, Rng& rng, const EpisodeHook& hook) {
+  for (int ep = 0; ep < episodes; ++ep) {
+    world_.reset(rng);
+    rl::EpisodeStats stats;
+
+    while (!world_.done()) {
+      Transition t;
+      t.obs.resize(static_cast<std::size_t>(n_));
+      t.actions.resize(static_cast<std::size_t>(n_));
+      std::vector<sim::TwistCmd> cmds;
+      for (int k = 0; k < n_; ++k) {
+        const int vi = world_.learners()[static_cast<std::size_t>(k)];
+        t.obs[static_cast<std::size_t>(k)] = baseline_obs(world_, vi);
+        t.actions[static_cast<std::size_t>(k)] =
+            sample_action(k, t.obs[static_cast<std::size_t>(k)], rng, /*greedy=*/false);
+        cmds.push_back(grid_.decode(t.actions[static_cast<std::size_t>(k)]));
+      }
+
+      auto result = world_.step(cmds, rng);
+      stats.team_reward += mean_of(result.reward);
+      if (result.collision) stats.collision = true;
+      ++total_steps_;
+
+      t.rewards = result.reward;
+      t.done = result.done;
+      t.next_obs.resize(static_cast<std::size_t>(n_));
+      for (int k = 0; k < n_; ++k) {
+        const int vi = world_.learners()[static_cast<std::size_t>(k)];
+        t.next_obs[static_cast<std::size_t>(k)] = baseline_obs(world_, vi);
+      }
+      buffer_.add(std::move(t));
+
+      if (total_steps_ % cfg_.update_every == 0) update(rng);
+    }
+
+    stats.steps = world_.steps();
+    stats.success = !stats.collision &&
+                    world_.lane(scenario_.merger_index) == scenario_.merger_target_lane;
+    double speed = 0.0;
+    for (int vi : world_.learners()) speed += world_.mean_speed(vi);
+    stats.mean_speed = speed / static_cast<double>(world_.num_learners());
+    if (hook) hook(ep, stats);
+  }
+}
+
+}  // namespace hero::algos

@@ -1,0 +1,69 @@
+// MAAC baseline (Iqbal & Sha 2019): multi-actor-attention-critic.
+//
+// Discrete soft actor–critic with a shared attention critic
+// (algos/attention_critic.h) and a shared actor (agent-id one-hot appended
+// to the observation — the parameter sharing the paper highlights).
+// Off-policy with experience replay, like the original.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "algos/attention_critic.h"
+#include "algos/common.h"
+#include "nn/optimizer.h"
+#include "nn/policy_heads.h"
+#include "rl/discretizer.h"
+#include "rl/replay_buffer.h"
+
+namespace hero::algos {
+
+struct MaacConfig : TrainConfig {
+  MaacConfig() { update_every = 4; }  // the attention critic is ~4× a plain MLP
+
+  double alpha = 0.05;        // entropy temperature
+  std::size_t embed_dim = 32;
+};
+
+class MaacTrainer : public rl::Controller {
+ public:
+  MaacTrainer(const sim::Scenario& scenario, const MaacConfig& cfg, Rng& rng);
+
+  void train(int episodes, Rng& rng, const EpisodeHook& hook = {});
+
+  std::vector<sim::TwistCmd> act(const sim::LaneWorld& world, Rng& rng,
+                                 bool explore) override;
+
+  sim::LaneWorld& world() { return world_; }
+
+ private:
+  struct Transition {
+    std::vector<std::vector<double>> obs;
+    std::vector<std::size_t> actions;
+    std::vector<double> rewards;
+    std::vector<std::vector<double>> next_obs;
+    bool done;
+  };
+
+  // Observation with the agent-id one-hot appended (shared-actor input).
+  std::vector<double> actor_obs(const std::vector<double>& obs, int agent) const;
+  std::size_t sample_action(int agent, const std::vector<double>& obs, Rng& rng,
+                            bool greedy);
+  void update(Rng& rng);
+
+  sim::Scenario scenario_;
+  MaacConfig cfg_;
+  sim::LaneWorld world_;
+  rl::ActionGrid grid_;
+  int n_;
+  std::size_t obs_dim_;
+
+  nn::CategoricalPolicy actor_;  // shared across agents
+  std::unique_ptr<nn::Adam> actor_opt_;
+  std::unique_ptr<AttentionCritic> critic_, critic_target_;
+  std::unique_ptr<nn::Adam> critic_opt_;
+  rl::ReplayBuffer<Transition> buffer_;
+  long total_steps_ = 0;
+};
+
+}  // namespace hero::algos

@@ -1,0 +1,189 @@
+#include "algos/maddpg.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+#include "nn/losses.h"
+#include "rl/exploration.h"
+
+namespace hero::algos {
+
+namespace {
+// Flattens per-agent rows into one joint row: [o_1 .. o_N] or [a_1 .. a_N].
+std::vector<double> flatten(const std::vector<std::vector<double>>& parts) {
+  std::vector<double> out;
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+}  // namespace
+
+MaddpgTrainer::MaddpgTrainer(const sim::Scenario& scenario, const MaddpgConfig& cfg,
+                             Rng& rng)
+    : scenario_(scenario),
+      cfg_(cfg),
+      world_(scenario.config),
+      n_(world_.num_learners()),
+      obs_dim_(baseline_obs_dim(world_)),
+      act_dim_(primitive_lo().size()),
+      buffer_(cfg.buffer_capacity) {
+  const std::size_t joint = static_cast<std::size_t>(n_) * (obs_dim_ + act_dim_);
+  for (int i = 0; i < n_; ++i) {
+    actors_.emplace_back(obs_dim_, cfg_.hidden, primitive_lo(), primitive_hi(), rng);
+    actor_targets_.emplace_back(actors_.back());
+    critics_.emplace_back(joint, cfg_.hidden, 1, rng);
+    critic_targets_.emplace_back(critics_.back());
+    actor_opt_.push_back(std::make_unique<nn::Adam>(actors_.back().net().params(),
+                                                    cfg_.lr * 0.5));
+    critic_opt_.push_back(std::make_unique<nn::Adam>(critics_.back().params(), cfg_.lr));
+  }
+}
+
+std::vector<double> MaddpgTrainer::actor_action(int agent,
+                                                const std::vector<double>& obs,
+                                                Rng& rng, bool explore) {
+  std::vector<double> a = actors_[static_cast<std::size_t>(agent)].act1(obs);
+  if (explore) {
+    a = rl::gaussian_perturb(a, primitive_lo(), primitive_hi(), cfg_.act_noise, rng);
+  }
+  return a;
+}
+
+std::vector<sim::TwistCmd> MaddpgTrainer::act(const sim::LaneWorld& world, Rng& rng,
+                                              bool explore) {
+  std::vector<sim::TwistCmd> cmds;
+  for (int k = 0; k < n_; ++k) {
+    const int vi = world.learners()[static_cast<std::size_t>(k)];
+    auto a = actor_action(k, baseline_obs(world, vi), rng, explore);
+    cmds.push_back({a[0], a[1]});
+  }
+  return cmds;
+}
+
+void MaddpgTrainer::update(Rng& rng) {
+  if (!buffer_.ready(std::max(cfg_.batch, cfg_.warmup_steps))) return;
+  auto batch = buffer_.sample(cfg_.batch, rng);
+  const std::size_t B = batch.size();
+
+  // Joint matrices reused by every agent's update.
+  std::vector<std::vector<double>> joint_obs_rows, joint_next_obs_rows, joint_act_rows;
+  joint_obs_rows.reserve(B);
+  for (const auto* t : batch) {
+    joint_obs_rows.push_back(flatten(t->obs));
+    joint_next_obs_rows.push_back(flatten(t->next_obs));
+    joint_act_rows.push_back(flatten(t->actions));
+  }
+  nn::Matrix joint_obs = nn::Matrix::stack_rows(joint_obs_rows);
+  nn::Matrix joint_act = nn::Matrix::stack_rows(joint_act_rows);
+
+  // Target joint action a' = (μ'_1(o'_1), ..., μ'_N(o'_N)).
+  nn::Matrix joint_next_act(B, static_cast<std::size_t>(n_) * act_dim_);
+  for (int j = 0; j < n_; ++j) {
+    std::vector<std::vector<double>> next_obs_j;
+    next_obs_j.reserve(B);
+    for (const auto* t : batch) next_obs_j.push_back(t->next_obs[static_cast<std::size_t>(j)]);
+    nn::Matrix aj =
+        actor_targets_[static_cast<std::size_t>(j)].forward(nn::Matrix::stack_rows(next_obs_j));
+    for (std::size_t i = 0; i < B; ++i)
+      for (std::size_t c = 0; c < act_dim_; ++c)
+        joint_next_act(i, static_cast<std::size_t>(j) * act_dim_ + c) = aj(i, c);
+  }
+  nn::Matrix next_in =
+      nn::Matrix::stack_rows(joint_next_obs_rows).hcat(joint_next_act);
+  nn::Matrix cur_in = joint_obs.hcat(joint_act);
+
+  for (int i = 0; i < n_; ++i) {
+    auto& critic = critics_[static_cast<std::size_t>(i)];
+    // Critic i: y = r_i + γ(1−d) Q'_i(o', a').
+    nn::Matrix tq = critic_targets_[static_cast<std::size_t>(i)].forward(next_in);
+    nn::Matrix target(B, 1);
+    for (std::size_t b = 0; b < B; ++b) {
+      target(b, 0) = batch[b]->rewards[static_cast<std::size_t>(i)] +
+                     (batch[b]->done ? 0.0 : cfg_.gamma * tq(b, 0));
+    }
+    nn::Matrix pred = critic.forward(cur_in);
+    auto loss = nn::mse_loss(pred, target);
+    critic.zero_grad();
+    critic.backward(loss.grad);
+    critic.clip_grad_norm(cfg_.grad_clip);
+    critic_opt_[static_cast<std::size_t>(i)]->step();
+
+    // Actor i: ascend Q_i(o, [a_{-i} from buffer, a_i = μ_i(o_i)]).
+    std::vector<std::vector<double>> obs_i;
+    obs_i.reserve(B);
+    for (const auto* t : batch) obs_i.push_back(t->obs[static_cast<std::size_t>(i)]);
+    nn::Matrix obs_i_m = nn::Matrix::stack_rows(obs_i);
+    nn::Matrix a_i = actors_[static_cast<std::size_t>(i)].forward(obs_i_m);
+    nn::Matrix mixed_act = joint_act;
+    for (std::size_t b = 0; b < B; ++b)
+      for (std::size_t c = 0; c < act_dim_; ++c)
+        mixed_act(b, static_cast<std::size_t>(i) * act_dim_ + c) = a_i(b, c);
+    nn::Matrix q = critic.forward(joint_obs.hcat(mixed_act));
+    (void)q;
+    nn::Matrix dq(B, 1, -1.0 / static_cast<double>(B));
+    critic.zero_grad();
+    nn::Matrix din = critic.backward(dq);
+    critic.zero_grad();
+    const std::size_t a_off = static_cast<std::size_t>(n_) * obs_dim_ +
+                              static_cast<std::size_t>(i) * act_dim_;
+    auto& actor = actors_[static_cast<std::size_t>(i)];
+    actor.net().zero_grad();
+    actor.backward(din.col_slice(a_off, a_off + act_dim_));
+    actor.net().clip_grad_norm(cfg_.grad_clip);
+    actor_opt_[static_cast<std::size_t>(i)]->step();
+  }
+
+  for (int i = 0; i < n_; ++i) {
+    actor_targets_[static_cast<std::size_t>(i)].net().soft_update_from(
+        actors_[static_cast<std::size_t>(i)].net(), cfg_.tau);
+    critic_targets_[static_cast<std::size_t>(i)].soft_update_from(
+        critics_[static_cast<std::size_t>(i)], cfg_.tau);
+  }
+}
+
+void MaddpgTrainer::train(int episodes, Rng& rng, const EpisodeHook& hook) {
+  for (int ep = 0; ep < episodes; ++ep) {
+    world_.reset(rng);
+    rl::EpisodeStats stats;
+
+    while (!world_.done()) {
+      Transition t;
+      t.obs.resize(static_cast<std::size_t>(n_));
+      t.actions.resize(static_cast<std::size_t>(n_));
+      std::vector<sim::TwistCmd> cmds;
+      for (int k = 0; k < n_; ++k) {
+        const int vi = world_.learners()[static_cast<std::size_t>(k)];
+        t.obs[static_cast<std::size_t>(k)] = baseline_obs(world_, vi);
+        t.actions[static_cast<std::size_t>(k)] =
+            actor_action(k, t.obs[static_cast<std::size_t>(k)], rng, /*explore=*/true);
+        cmds.push_back({t.actions[static_cast<std::size_t>(k)][0],
+                        t.actions[static_cast<std::size_t>(k)][1]});
+      }
+
+      auto result = world_.step(cmds, rng);
+      stats.team_reward += mean_of(result.reward);
+      if (result.collision) stats.collision = true;
+      ++total_steps_;
+
+      t.rewards = result.reward;
+      t.done = result.done;
+      t.next_obs.resize(static_cast<std::size_t>(n_));
+      for (int k = 0; k < n_; ++k) {
+        const int vi = world_.learners()[static_cast<std::size_t>(k)];
+        t.next_obs[static_cast<std::size_t>(k)] = baseline_obs(world_, vi);
+      }
+      buffer_.add(std::move(t));
+
+      if (total_steps_ % cfg_.update_every == 0) update(rng);
+    }
+
+    stats.steps = world_.steps();
+    stats.success = !stats.collision &&
+                    world_.lane(scenario_.merger_index) == scenario_.merger_target_lane;
+    double speed = 0.0;
+    for (int vi : world_.learners()) speed += world_.mean_speed(vi);
+    stats.mean_speed = speed / static_cast<double>(world_.num_learners());
+    if (hook) hook(ep, stats);
+  }
+}
+
+}  // namespace hero::algos

@@ -1,0 +1,58 @@
+// MADDPG baseline (Lowe et al. 2017): centralized training with
+// decentralized execution. Each agent has a deterministic actor over its
+// local observation and a centralized critic over the joint observation and
+// joint action (paper Sec. V-A).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "algos/common.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "nn/policy_heads.h"
+#include "rl/replay_buffer.h"
+
+namespace hero::algos {
+
+struct MaddpgConfig : TrainConfig {};
+
+class MaddpgTrainer : public rl::Controller {
+ public:
+  MaddpgTrainer(const sim::Scenario& scenario, const MaddpgConfig& cfg, Rng& rng);
+
+  void train(int episodes, Rng& rng, const EpisodeHook& hook = {});
+
+  std::vector<sim::TwistCmd> act(const sim::LaneWorld& world, Rng& rng,
+                                 bool explore) override;
+
+  sim::LaneWorld& world() { return world_; }
+
+ private:
+  struct Transition {
+    std::vector<std::vector<double>> obs;      // per agent
+    std::vector<std::vector<double>> actions;  // per agent
+    std::vector<double> rewards;               // per agent
+    std::vector<std::vector<double>> next_obs;
+    bool done;
+  };
+
+  std::vector<double> actor_action(int agent, const std::vector<double>& obs,
+                                   Rng& rng, bool explore);
+  void update(Rng& rng);
+
+  sim::Scenario scenario_;
+  MaddpgConfig cfg_;
+  sim::LaneWorld world_;
+  int n_;
+  std::size_t obs_dim_;
+  std::size_t act_dim_;
+
+  std::vector<nn::DeterministicTanhPolicy> actors_, actor_targets_;
+  std::vector<nn::Mlp> critics_, critic_targets_;
+  std::vector<std::unique_ptr<nn::Adam>> actor_opt_, critic_opt_;
+  rl::ReplayBuffer<Transition> buffer_;
+  long total_steps_ = 0;
+};
+
+}  // namespace hero::algos

@@ -1,0 +1,127 @@
+#include "algos/sac.h"
+
+#include <algorithm>
+
+#include "nn/losses.h"
+
+namespace hero::algos {
+
+SacAgent::SacAgent(std::size_t obs_dim, std::vector<double> action_lo,
+                   std::vector<double> action_hi, const SacConfig& cfg, Rng& rng)
+    : cfg_(cfg),
+      obs_dim_(obs_dim),
+      actor_(obs_dim, cfg.hidden, std::move(action_lo), std::move(action_hi), rng),
+      q1_(obs_dim + actor_.action_dim(), cfg.hidden, 1, rng),
+      q2_(obs_dim + actor_.action_dim(), cfg.hidden, 1, rng),
+      q1_target_(q1_),
+      q2_target_(q2_),
+      buffer_(cfg.buffer_capacity) {
+  actor_opt_ = std::make_unique<nn::Adam>(actor_.net().params(), cfg_.lr);
+  q1_opt_ = std::make_unique<nn::Adam>(q1_.params(), cfg_.lr);
+  q2_opt_ = std::make_unique<nn::Adam>(q2_.params(), cfg_.lr);
+}
+
+std::vector<double> SacAgent::act(const std::vector<double>& obs, Rng& rng,
+                                  bool deterministic) {
+  HERO_CHECK(obs.size() == obs_dim_);
+  return actor_.act1(obs, rng, deterministic);
+}
+
+SacUpdateStats SacAgent::observe(std::vector<double> obs, std::vector<double> action,
+                                 double reward, std::vector<double> next_obs,
+                                 bool done, Rng& rng) {
+  buffer_.add({std::move(obs), std::move(action), reward, std::move(next_obs), done});
+  ++total_steps_;
+  if (total_steps_ % cfg_.update_every == 0) return update(rng);
+  return {};
+}
+
+SacUpdateStats SacAgent::update(Rng& rng) {
+  if (!buffer_.ready(std::max(cfg_.batch, cfg_.warmup_steps))) return {};
+  SacUpdateStats stats;
+  stats.updated = true;
+
+  auto batch = buffer_.sample(cfg_.batch, rng);
+  const std::size_t B = batch.size();
+  const std::size_t k = actor_.action_dim();
+
+  std::vector<std::vector<double>> obs_rows, next_rows, act_rows;
+  obs_rows.reserve(B);
+  for (const auto* t : batch) {
+    obs_rows.push_back(t->obs);
+    next_rows.push_back(t->next_obs);
+    act_rows.push_back(t->action);
+  }
+  nn::Matrix obs_m = nn::Matrix::stack_rows(obs_rows);
+  nn::Matrix next_m = nn::Matrix::stack_rows(next_rows);
+  nn::Matrix act_m = nn::Matrix::stack_rows(act_rows);
+
+  // ----- critic update: y = r + γ(1−d)[min Q'(s',ã') − α log π(ã'|s')] -----
+  auto next_sample = actor_.sample(next_m, rng);
+  nn::Matrix next_in = next_m.hcat(next_sample.actions);
+  nn::Matrix tq1 = q1_target_.forward(next_in);
+  nn::Matrix tq2 = q2_target_.forward(next_in);
+  nn::Matrix target(B, 1);
+  for (std::size_t i = 0; i < B; ++i) {
+    const double soft_v =
+        std::min(tq1(i, 0), tq2(i, 0)) - cfg_.alpha * next_sample.log_prob[i];
+    target(i, 0) =
+        batch[i]->reward + (batch[i]->done ? 0.0 : cfg_.gamma * soft_v);
+  }
+
+  nn::Matrix critic_in = obs_m.hcat(act_m);
+  for (auto [q, opt] : {std::pair<nn::Mlp*, nn::Adam*>{&q1_, q1_opt_.get()},
+                        std::pair<nn::Mlp*, nn::Adam*>{&q2_, q2_opt_.get()}}) {
+    nn::Matrix pred = q->forward(critic_in);
+    auto loss = nn::mse_loss(pred, target);
+    stats.critic_loss += 0.5 * loss.loss;
+    q->zero_grad();
+    q->backward(loss.grad);
+    q->clip_grad_norm(cfg_.grad_clip);
+    opt->step();
+  }
+
+  // ----- actor update: minimize E[α log π(ã|s) − min Q(s, ã)] -----
+  auto sample = actor_.sample(obs_m, rng);
+  nn::Matrix actor_in = obs_m.hcat(sample.actions);
+  nn::Matrix aq1 = q1_.forward(actor_in);
+  nn::Matrix aq2 = q2_.forward(actor_in);
+
+  // dL/dQ = −1/B through whichever critic attains the minimum per sample.
+  const double inv_b = 1.0 / static_cast<double>(B);
+  nn::Matrix dq1(B, 1), dq2(B, 1);
+  double actor_loss = 0.0;
+  for (std::size_t i = 0; i < B; ++i) {
+    const double qmin = std::min(aq1(i, 0), aq2(i, 0));
+    actor_loss += (cfg_.alpha * sample.log_prob[i] - qmin) * inv_b;
+    (aq1(i, 0) <= aq2(i, 0) ? dq1 : dq2)(i, 0) = -inv_b;
+  }
+  stats.actor_loss = actor_loss;
+
+  q1_.zero_grad();
+  q2_.zero_grad();
+  nn::Matrix din1 = q1_.backward(dq1);
+  nn::Matrix din2 = q2_.backward(dq2);
+  nn::Matrix dL_da = din1.col_slice(obs_dim_, obs_dim_ + k);
+  dL_da += din2.col_slice(obs_dim_, obs_dim_ + k);
+  // Discard the critic parameter grads accumulated by this pass.
+  q1_.zero_grad();
+  q2_.zero_grad();
+
+  std::vector<double> dL_dlogp(B, cfg_.alpha * inv_b);
+  actor_.net().zero_grad();
+  actor_.backward(sample, dL_da, dL_dlogp);
+  actor_.net().clip_grad_norm(cfg_.grad_clip);
+  actor_opt_->step();
+
+  double ent = 0.0;
+  for (double lp : sample.log_prob) ent -= lp;
+  stats.entropy = ent * inv_b;
+
+  // ----- target networks -----
+  q1_target_.soft_update_from(q1_, cfg_.tau);
+  q2_target_.soft_update_from(q2_, cfg_.tau);
+  return stats;
+}
+
+}  // namespace hero::algos

@@ -1,0 +1,81 @@
+// Soft actor–critic (Haarnoja et al. 2018) for continuous control.
+//
+// This is the learner behind HERO's low-level skills (paper Sec. III-D uses
+// "the soft actor-critic method" with intrinsic rewards). The agent is
+// environment-agnostic: callers drive act()/observe() with raw vectors, so
+// the same class trains every skill and is reusable as a standalone
+// single-agent RL component.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "nn/policy_heads.h"
+#include "rl/replay_buffer.h"
+
+namespace hero::algos {
+
+struct SacConfig {
+  double gamma = 0.95;
+  double lr = 0.002;
+  double tau = 0.01;
+  double alpha = 0.05;  // entropy temperature (paper's H regularization weight)
+  std::size_t buffer_capacity = 100000;
+  std::size_t batch = 128;
+  std::size_t warmup_steps = 500;
+  int update_every = 1;
+  double grad_clip = 10.0;
+  std::vector<std::size_t> hidden = {32, 32};
+};
+
+struct SacUpdateStats {
+  double critic_loss = 0.0;
+  double actor_loss = 0.0;
+  double entropy = 0.0;
+  bool updated = false;
+};
+
+class SacAgent {
+ public:
+  SacAgent(std::size_t obs_dim, std::vector<double> action_lo,
+           std::vector<double> action_hi, const SacConfig& cfg, Rng& rng);
+
+  // Stochastic (training) or deterministic squashed-mean (evaluation) action.
+  std::vector<double> act(const std::vector<double>& obs, Rng& rng,
+                          bool deterministic = false);
+
+  // Stores the transition and, on schedule, performs a gradient update.
+  SacUpdateStats observe(std::vector<double> obs, std::vector<double> action,
+                         double reward, std::vector<double> next_obs, bool done,
+                         Rng& rng);
+
+  // One gradient update from the replay buffer (no-op before warmup).
+  SacUpdateStats update(Rng& rng);
+
+  nn::SquashedGaussianPolicy& policy() { return actor_; }
+  nn::Mlp& critic1() { return q1_; }
+  nn::Mlp& critic2() { return q2_; }
+  long total_steps() const { return total_steps_; }
+  const SacConfig& config() const { return cfg_; }
+
+ private:
+  struct Transition {
+    std::vector<double> obs;
+    std::vector<double> action;
+    double reward;
+    std::vector<double> next_obs;
+    bool done;
+  };
+
+  SacConfig cfg_;
+  std::size_t obs_dim_;
+  nn::SquashedGaussianPolicy actor_;
+  nn::Mlp q1_, q2_, q1_target_, q2_target_;
+  std::unique_ptr<nn::Adam> actor_opt_, q1_opt_, q2_opt_;
+  rl::ReplayBuffer<Transition> buffer_;
+  long total_steps_ = 0;
+};
+
+}  // namespace hero::algos

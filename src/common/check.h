@@ -1,0 +1,38 @@
+// Lightweight runtime-check macros used across the library.
+//
+// HERO_CHECK fires in all build types: invariants of the library itself
+// (shape mismatches, invalid configuration) are programming errors that we
+// want to surface loudly rather than propagate NaNs through training.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hero {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace hero
+
+#define HERO_CHECK(cond)                                             \
+  do {                                                               \
+    if (!(cond)) ::hero::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define HERO_CHECK_MSG(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream hero_check_os;                                    \
+      hero_check_os << msg;                                                \
+      ::hero::check_failed(#cond, __FILE__, __LINE__, hero_check_os.str()); \
+    }                                                                      \
+  } while (0)

@@ -1,0 +1,42 @@
+#include "common/csv.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace hero {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& columns)
+    : path_(path), out_(path), width_(columns.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  HERO_CHECK(!columns.empty());
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << columns[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  HERO_CHECK_MSG(values.size() == width_, "CSV row width " << values.size()
+                                                           << " != header " << width_);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  HERO_CHECK(values.size() == width_);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+}  // namespace hero

@@ -1,0 +1,28 @@
+// CSV writer used by the bench harnesses to dump learning-curve series that
+// EXPERIMENTS.md references.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace hero {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+
+  // Appends one row; must match the header width.
+  void row(const std::vector<double>& values);
+  void row(const std::vector<std::string>& values);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+}  // namespace hero

@@ -1,0 +1,75 @@
+#include "common/flags.h"
+
+#include <stdexcept>
+
+namespace hero {
+
+namespace {
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+}  // namespace
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--no-X` is always boolean (never consumes a value); otherwise
+    // `--flag value` when the next token isn't another flag, else boolean.
+    if (starts_with(body, "no-")) {
+      values_[body.substr(3)] = "false";
+    } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";
+    }
+  }
+}
+
+int Flags::get_int(const std::string& name, int def) {
+  consumed_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::stoi(it->second);
+}
+
+double Flags::get_double(const std::string& name, double def) {
+  consumed_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::stod(it->second);
+}
+
+std::string Flags::get_string(const std::string& name, const std::string& def) {
+  consumed_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return it->second;
+}
+
+bool Flags::get_bool(const std::string& name, bool def) {
+  consumed_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return it->second != "false" && it->second != "0";
+}
+
+void Flags::check_unknown() const {
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (!consumed_.count(name)) {
+      throw std::invalid_argument("unknown flag: --" + name);
+    }
+  }
+}
+
+}  // namespace hero

@@ -1,0 +1,38 @@
+// Tiny command-line flag parser used by the bench harnesses and examples.
+//
+// Supports `--name value`, `--name=value` and boolean `--name` /
+// `--no-name` forms. Unknown flags are an error so typos don't silently run
+// the default experiment.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hero {
+
+class Flags {
+ public:
+  // Parses argv; throws std::invalid_argument on malformed input.
+  Flags(int argc, char** argv);
+
+  // Registered-on-first-use accessors: each returns the parsed value or the
+  // given default, and records the flag name so `check_unknown()` can reject
+  // flags no accessor asked about.
+  int get_int(const std::string& name, int def);
+  double get_double(const std::string& name, double def);
+  std::string get_string(const std::string& name, const std::string& def);
+  bool get_bool(const std::string& name, bool def);
+
+  // Throws if the command line contained a flag never requested above.
+  void check_unknown() const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> consumed_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hero

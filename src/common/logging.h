@@ -1,0 +1,47 @@
+// Minimal leveled logger.
+//
+// Training loops and benches log progress through this; tests set the level
+// to kWarn to keep ctest output clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hero {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Process-wide minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() {
+    if (level_ >= log_level()) detail::log_line(level_, os_.str());
+  }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace hero
+
+#define LOG_DEBUG ::hero::LogMessage(::hero::LogLevel::kDebug)
+#define LOG_INFO ::hero::LogMessage(::hero::LogLevel::kInfo)
+#define LOG_WARN ::hero::LogMessage(::hero::LogLevel::kWarn)
+#define LOG_ERROR ::hero::LogMessage(::hero::LogLevel::kError)

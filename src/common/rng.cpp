@@ -1,0 +1,24 @@
+#include "common/rng.h"
+
+#include <numeric>
+
+namespace hero {
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  HERO_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    HERO_CHECK_MSG(w >= 0.0, "categorical weight must be non-negative, got " << w);
+    total += w;
+  }
+  if (total <= 0.0) return index(weights.size());  // degenerate: uniform fallback
+  double u = uniform(0.0, total);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return i;
+  }
+  return weights.size() - 1;  // numerical edge: u == total
+}
+
+}  // namespace hero

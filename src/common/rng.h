@@ -1,0 +1,65 @@
+// Seedable random-number generator shared by the simulator, the exploration
+// strategies and the replay buffers.
+//
+// Everything that draws randomness takes an explicit Rng& so that whole
+// training runs are reproducible from a single seed; no global RNG state.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace hero {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0) : engine_(seed) {}
+
+  // Uniform real in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // Standard normal scaled to (mean, stddev).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int randint(int lo, int hi) {
+    HERO_CHECK(lo <= hi);
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  // Uniform index in [0, n).
+  std::size_t index(std::size_t n) {
+    HERO_CHECK(n > 0);
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+  }
+
+  // Bernoulli draw.
+  bool chance(double p) { return uniform() < p; }
+
+  // Sample an index from an (unnormalized, non-negative) weight vector.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  // Derive an independent child generator (for per-agent / per-env streams).
+  Rng split() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ULL); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace hero

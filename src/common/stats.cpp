@@ -1,0 +1,69 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hero {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::reset() { *this = RunningStat(); }
+
+double RunningStat::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double MovingAverage::add(double x) {
+  buf_.push_back(x);
+  sum_ += x;
+  if (buf_.size() > window_) {
+    sum_ -= buf_.front();
+    buf_.pop_front();
+  }
+  n_ = buf_.size();
+  return value();
+}
+
+std::vector<std::pair<std::size_t, double>> downsample(const std::vector<double>& series,
+                                                       std::size_t points) {
+  std::vector<std::pair<std::size_t, double>> out;
+  if (series.empty() || points == 0) return out;
+  std::size_t block = std::max<std::size_t>(1, series.size() / points);
+  for (std::size_t start = 0; start < series.size(); start += block) {
+    std::size_t end = std::min(series.size(), start + block);
+    double sum = 0.0;
+    for (std::size_t i = start; i < end; ++i) sum += series[i];
+    out.emplace_back(end - 1, sum / static_cast<double>(end - start));
+  }
+  return out;
+}
+
+double mean_of(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double stddev_of(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = mean_of(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size()));
+}
+
+}  // namespace hero

@@ -1,0 +1,56 @@
+// Streaming statistics helpers for training metrics: running mean/variance,
+// windowed moving averages, and series down-sampling for curve reporting.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace hero {
+
+// Welford running mean / variance.
+class RunningStat {
+ public:
+  void add(double x);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Fixed-window moving average (the paper's learning curves are smoothed).
+class MovingAverage {
+ public:
+  explicit MovingAverage(std::size_t window) : window_(window ? window : 1) {}
+
+  double add(double x);  // returns the current average
+  double value() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  bool full() const { return n_ == window_; }
+
+ private:
+  std::size_t window_;
+  std::deque<double> buf_;
+  double sum_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+// Down-samples `series` to at most `points` entries by block-averaging;
+// returns (index, value) pairs. Used when printing long learning curves.
+std::vector<std::pair<std::size_t, double>> downsample(const std::vector<double>& series,
+                                                       std::size_t points);
+
+double mean_of(const std::vector<double>& v);
+double stddev_of(const std::vector<double>& v);
+
+}  // namespace hero

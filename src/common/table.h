@@ -1,0 +1,28 @@
+// Fixed-width ASCII table printer: benches use it to print rows in the same
+// layout as the paper's tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hero {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: format doubles with the given precision.
+  static std::string num(double v, int precision = 4);
+
+  // Renders header + separator + rows to `os`.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hero

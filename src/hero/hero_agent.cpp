@@ -1,0 +1,102 @@
+#include "hero/hero_agent.h"
+
+namespace hero::core {
+
+HeroAgent::HeroAgent(std::size_t hl_obs_dim, int num_opponents,
+                     const HighLevelConfig& high, const OpponentModelConfig& opponent,
+                     const TerminationConfig& term, Rng& rng)
+    : high_cfg_(high), term_(term) {
+  high_ = std::make_unique<HighLevelAgent>(hl_obs_dim, num_opponents, high, rng);
+  opponents_ = std::make_unique<OpponentModel>(hl_obs_dim, num_opponents, opponent, rng);
+}
+
+void HeroAgent::reset_episode() {
+  pending_.reset();
+  exec_ = OptionExecution{};
+}
+
+std::vector<double> HeroAgent::opp_block(const std::vector<double>& obs) {
+  if (!high_cfg_.use_opponent_model || opponents_->num_opponents() == 0) {
+    return std::vector<double>(opponents_->feature_dim(), 1.0 / kNumOptions);
+  }
+  return opponents_->predict_all(obs);
+}
+
+std::vector<double> HeroAgent::one_hot_block(
+    const std::vector<int>& others_options) const {
+  std::vector<double> block(others_options.size() * kNumOptions, 0.0);
+  for (std::size_t j = 0; j < others_options.size(); ++j) {
+    block[j * kNumOptions + static_cast<std::size_t>(others_options[j])] = 1.0;
+  }
+  return block;
+}
+
+void HeroAgent::select(const sim::LaneWorld& world, int vehicle,
+                       const std::vector<int>& others_options, Rng& rng,
+                       bool explore) {
+  const auto obs = world.high_level_obs(vehicle);
+  const int opt = high_->select_option(obs, opp_block(obs), rng, explore);
+
+  exec_ = OptionExecution{};
+  exec_.option = option_from_index(opt);
+  if (exec_.option == Option::kLaneChange) {
+    exec_.target_lane = world.track().num_lanes() - 1 - world.lane(vehicle);
+  } else {
+    exec_.target_lane = world.lane(vehicle);
+  }
+  exec_.hold_speed = world.vehicle(vehicle).state().speed;
+
+  pending_ = Pending{obs, one_hot_block(others_options), opt, 0.0, 1.0};
+}
+
+void HeroAgent::select_initial(const sim::LaneWorld& world, int vehicle,
+                               const std::vector<int>& others_options, Rng& rng,
+                               bool explore) {
+  reset_episode();
+  select(world, vehicle, others_options, rng, explore);
+}
+
+bool HeroAgent::maybe_reselect(const sim::LaneWorld& world, int vehicle,
+                               const std::vector<int>& others_options, Rng& rng,
+                               bool explore, bool learning) {
+  if (!option_terminated(exec_, world, vehicle, term_)) return false;
+  if (pending_ && learning) {
+    high_->store({std::move(pending_->obs), std::move(pending_->opp_actual),
+                  pending_->option, pending_->reward, pending_->discount,
+                  world.high_level_obs(vehicle), /*done=*/false});
+  }
+  pending_.reset();
+  select(world, vehicle, others_options, rng, explore);
+  return true;
+}
+
+void HeroAgent::accumulate(double reward) {
+  if (!pending_) return;
+  pending_->reward += pending_->discount * reward;
+  pending_->discount *= high_cfg_.gamma;
+}
+
+void HeroAgent::finalize_episode(const sim::LaneWorld& world, int vehicle,
+                                 bool learning) {
+  if (pending_ && learning) {
+    high_->store({std::move(pending_->obs), std::move(pending_->opp_actual),
+                  pending_->option, pending_->reward, pending_->discount,
+                  world.high_level_obs(vehicle), /*done=*/true});
+  }
+  pending_.reset();
+}
+
+void HeroAgent::observe_opponents(const std::vector<double>& own_obs,
+                                  const std::vector<int>& others_options) {
+  for (std::size_t j = 0; j < others_options.size(); ++j) {
+    opponents_->observe(static_cast<int>(j), own_obs,
+                        option_from_index(others_options[j]));
+  }
+}
+
+HighLevelUpdateStats HeroAgent::update(Rng& rng) {
+  opponents_->update_all(rng);
+  return high_->update(*opponents_, rng);
+}
+
+}  // namespace hero::core

@@ -1,0 +1,170 @@
+#include "hero/hero_trainer.h"
+
+#include <string>
+
+#include "common/stats.h"
+#include "nn/serialize.h"
+#include "sim/scenario.h"
+
+namespace hero::core {
+
+HeroTrainer::HeroTrainer(const sim::Scenario& scenario, const HeroConfig& cfg,
+                         Rng& rng)
+    : scenario_(scenario),
+      cfg_(cfg),
+      world_(scenario.config),
+      skills_(world_.low_level_obs_dim(), cfg.skill, rng) {
+  const int n = world_.num_learners();
+  for (int k = 0; k < n; ++k) {
+    agents_.push_back(std::make_unique<HeroAgent>(
+        world_.high_level_obs_dim(), n - 1, cfg_.high, cfg_.opponent,
+        cfg_.skill.termination, rng));
+  }
+  current_options_.assign(static_cast<std::size_t>(n),
+                          static_cast<int>(Option::kKeepLane));
+}
+
+std::vector<int> HeroTrainer::others_options(int k) const {
+  std::vector<int> out;
+  for (std::size_t j = 0; j < current_options_.size(); ++j) {
+    if (static_cast<int>(j) != k) out.push_back(current_options_[j]);
+  }
+  return out;
+}
+
+std::map<Option, std::vector<double>> HeroTrainer::train_skills(
+    int episodes_per_skill, Rng& rng, const SkillHook& hook) {
+  if (cfg_.parallel_skills) {
+    return skills_.train_all_parallel(episodes_per_skill, rng.engine()(), hook);
+  }
+  std::map<Option, std::vector<double>> curves;
+  for (int i = 0; i < kNumOptions; ++i) {
+    const Option o = option_from_index(i);
+    if (!skills_.has_agent(o)) continue;
+    sim::LaneWorld skill_world(sim::skill_training_world(/*with_leader=*/false));
+    curves[o] = skills_.train_skill(
+        o, skill_world, episodes_per_skill, rng,
+        [&](int ep, double r) {
+          if (hook) hook(o, ep, r);
+        });
+  }
+  return curves;
+}
+
+void HeroTrainer::save(const std::string& dir) {
+  skills_.save(dir);
+  for (std::size_t k = 0; k < agents_.size(); ++k) {
+    const std::string base = dir + "/agent" + std::to_string(k);
+    auto& agent = *agents_[k];
+    nn::save_params_file(agent.high_level().actor().net(), base + "_actor.ckpt");
+    nn::save_params_file(agent.high_level().critic(), base + "_critic.ckpt");
+    for (int j = 0; j < agent.opponents().num_opponents(); ++j) {
+      nn::save_params_file(agent.opponents().net(j),
+                           base + "_opp" + std::to_string(j) + ".ckpt");
+    }
+  }
+}
+
+void HeroTrainer::load(const std::string& dir) {
+  skills_.load(dir);
+  for (std::size_t k = 0; k < agents_.size(); ++k) {
+    const std::string base = dir + "/agent" + std::to_string(k);
+    auto& agent = *agents_[k];
+    nn::load_params_file(agent.high_level().actor().net(), base + "_actor.ckpt");
+    nn::load_params_file(agent.high_level().critic(), base + "_critic.ckpt");
+    for (int j = 0; j < agent.opponents().num_opponents(); ++j) {
+      nn::load_params_file(agent.opponents().net(j),
+                           base + "_opp" + std::to_string(j) + ".ckpt");
+    }
+    agent.opponents().mark_trained();
+  }
+}
+
+void HeroTrainer::begin_episode(const sim::LaneWorld& world) {
+  (void)world;
+  episode_started_ = false;
+  std::fill(current_options_.begin(), current_options_.end(),
+            static_cast<int>(Option::kKeepLane));
+  for (auto& a : agents_) a->reset_episode();
+}
+
+std::vector<sim::TwistCmd> HeroTrainer::act(const sim::LaneWorld& world, Rng& rng,
+                                            bool explore) {
+  const int n = static_cast<int>(agents_.size());
+  HERO_CHECK_MSG(world.num_learners() == n,
+                 "world has " << world.num_learners() << " learners, trainer has " << n);
+
+  for (int k = 0; k < n; ++k) {
+    const int vi = world.learners()[static_cast<std::size_t>(k)];
+    if (!episode_started_) {
+      agents_[static_cast<std::size_t>(k)]->select_initial(world, vi,
+                                                           others_options(k), rng,
+                                                           explore);
+    } else {
+      agents_[static_cast<std::size_t>(k)]->maybe_reselect(
+          world, vi, others_options(k), rng, explore, learning_);
+    }
+    current_options_[static_cast<std::size_t>(k)] =
+        static_cast<int>(agents_[static_cast<std::size_t>(k)]->execution().option);
+  }
+  episode_started_ = true;
+
+  std::vector<sim::TwistCmd> cmds;
+  cmds.reserve(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    const int vi = world.learners()[static_cast<std::size_t>(k)];
+    auto& exec = agents_[static_cast<std::size_t>(k)]->execution();
+    cmds.push_back(skills_.execute(exec, world, vi, rng,
+                                   /*deterministic=*/!explore));
+    ++exec.steps;  // one world.step() follows each act() by contract
+  }
+  return cmds;
+}
+
+void HeroTrainer::train(int episodes, Rng& rng, const algos::EpisodeHook& hook) {
+  learning_ = true;
+  const int n = static_cast<int>(agents_.size());
+
+  for (int ep = 0; ep < episodes; ++ep) {
+    world_.reset(rng);
+    begin_episode(world_);
+    rl::EpisodeStats stats;
+
+    while (!world_.done()) {
+      auto cmds = act(world_, rng, /*explore=*/true);
+      auto result = world_.step(cmds, rng);
+      stats.team_reward += mean_of(result.reward);
+      if (result.collision) stats.collision = true;
+      ++total_steps_;
+
+      for (int k = 0; k < n; ++k) {
+        const int vi = world_.learners()[static_cast<std::size_t>(k)];
+        agents_[static_cast<std::size_t>(k)]->accumulate(
+            result.reward[static_cast<std::size_t>(k)]);
+        agents_[static_cast<std::size_t>(k)]->observe_opponents(
+            world_.high_level_obs(vi), others_options(k));
+      }
+
+      if (total_steps_ % cfg_.update_every == 0) {
+        for (auto& a : agents_) a->update(rng);
+      }
+    }
+
+    for (int k = 0; k < n; ++k) {
+      const int vi = world_.learners()[static_cast<std::size_t>(k)];
+      agents_[static_cast<std::size_t>(k)]->finalize_episode(world_, vi,
+                                                             /*learning=*/true);
+    }
+
+    stats.steps = world_.steps();
+    stats.success = !stats.collision &&
+                    world_.lane(scenario_.merger_index) == scenario_.merger_target_lane;
+    double speed = 0.0;
+    for (int vi : world_.learners()) speed += world_.mean_speed(vi);
+    stats.mean_speed = speed / static_cast<double>(world_.num_learners());
+    if (hook) hook(ep, stats);
+  }
+  learning_ = false;
+}
+
+}  // namespace hero::core

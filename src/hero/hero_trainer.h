@@ -1,0 +1,85 @@
+// HERO end-to-end: two-stage training (paper Fig. 2) and deployment.
+//
+//   Stage 1 — train_skills(): each low-level skill learns in a single-vehicle
+//   world against its intrinsic reward (Algorithm 2).
+//   Stage 2 — train(): multiple vehicles learn the high-level cooperative
+//   option-selection policy with opponent modeling, skills frozen
+//   (Algorithm 1).
+//
+// HeroTrainer is also an rl::Controller, so the shared evaluation harness
+// (and the Table II domain-shifted world) can run it like any baseline.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "algos/common.h"
+#include "hero/hero_agent.h"
+
+namespace hero::core {
+
+struct HeroConfig {
+  SkillConfig skill;
+  HighLevelConfig high;
+  OpponentModelConfig opponent;
+  int update_every = 2;        // world steps between gradient updates
+  int skill_episodes = 1200;   // default stage-1 budget per skill
+  // Train the skills in parallel environments (paper Sec. V-C), one thread
+  // per skill. Off by default so single-seed runs stay bit-reproducible with
+  // historical results; the parallel path is deterministic per skill.
+  bool parallel_skills = false;
+};
+
+class HeroTrainer : public rl::Controller {
+ public:
+  HeroTrainer(const sim::Scenario& scenario, const HeroConfig& cfg, Rng& rng);
+
+  // --- stage 1 ---
+  using SkillHook = std::function<void(Option, int, double)>;
+  // Trains every learned skill; returns the per-episode intrinsic reward
+  // curves (Fig. 8).
+  std::map<Option, std::vector<double>> train_skills(int episodes_per_skill,
+                                                     Rng& rng,
+                                                     const SkillHook& hook = {});
+
+  // --- stage 2 ---
+  void train(int episodes, Rng& rng, const algos::EpisodeHook& hook = {});
+
+  // --- rl::Controller (deployment / evaluation) ---
+  void begin_episode(const sim::LaneWorld& world) override;
+  std::vector<sim::TwistCmd> act(const sim::LaneWorld& world, Rng& rng,
+                                 bool explore) override;
+
+  // --- checkpointing ---
+  // Persists the full model (skill bank, per-agent high-level actor/critic,
+  // opponent predictors) into `dir`; load() restores into an identically
+  // configured trainer. Note: opponent predictors below their min-samples
+  // threshold still report the uniform prior after load (by design — the
+  // threshold guards deployment on untrained predictors).
+  void save(const std::string& dir);
+  void load(const std::string& dir);
+
+  SkillBank& skills() { return skills_; }
+  HeroAgent& agent(int k) { return *agents_[static_cast<std::size_t>(k)]; }
+  int num_agents() const { return static_cast<int>(agents_.size()); }
+  sim::LaneWorld& world() { return world_; }
+  const sim::Scenario& scenario() const { return scenario_; }
+  const std::vector<int>& current_options() const { return current_options_; }
+
+ private:
+  // Options currently held by every learner except `k` (ascending order) —
+  // the observable option history the paper assumes.
+  std::vector<int> others_options(int k) const;
+
+  sim::Scenario scenario_;
+  HeroConfig cfg_;
+  sim::LaneWorld world_;
+  SkillBank skills_;
+  std::vector<std::unique_ptr<HeroAgent>> agents_;
+  std::vector<int> current_options_;
+  bool episode_started_ = false;
+  bool learning_ = false;
+  long total_steps_ = 0;
+};
+
+}  // namespace hero::core

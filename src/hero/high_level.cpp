@@ -1,0 +1,192 @@
+#include "hero/high_level.h"
+
+#include <algorithm>
+
+#include "nn/losses.h"
+#include "rl/exploration.h"
+
+namespace hero::core {
+
+HighLevelAgent::HighLevelAgent(std::size_t obs_dim, int num_opponents,
+                               const HighLevelConfig& cfg, Rng& rng)
+    : cfg_(cfg),
+      obs_dim_(obs_dim),
+      opp_dim_(static_cast<std::size_t>(num_opponents) * kNumOptions),
+      actor_(obs_dim + opp_dim_, cfg.hidden, kNumOptions, rng),
+      critic_(obs_dim + kNumOptions + opp_dim_, cfg.hidden, 1, rng),
+      critic_target_(critic_),
+      buffer_(cfg.buffer_capacity) {
+  actor_opt_ = std::make_unique<nn::Adam>(actor_.net().params(), cfg_.lr);
+  critic_opt_ = std::make_unique<nn::Adam>(critic_.params(), cfg_.lr);
+}
+
+std::vector<double> HighLevelAgent::critic_input(
+    const std::vector<double>& obs, int option,
+    const std::vector<double>& opp_block) const {
+  HERO_CHECK(obs.size() == obs_dim_ && opp_block.size() == opp_dim_);
+  std::vector<double> in = obs;
+  for (int a = 0; a < kNumOptions; ++a) in.push_back(a == option ? 1.0 : 0.0);
+  in.insert(in.end(), opp_block.begin(), opp_block.end());
+  return in;
+}
+
+std::vector<double> HighLevelAgent::option_probs(
+    const std::vector<double>& obs, const std::vector<double>& opp_block) {
+  std::vector<double> in = obs;
+  in.insert(in.end(), opp_block.begin(), opp_block.end());
+  return actor_.probs1(in);
+}
+
+int HighLevelAgent::select_option(const std::vector<double>& obs,
+                                  const std::vector<double>& opp_block, Rng& rng,
+                                  bool explore) {
+  ++selections_;
+  if (explore) {
+    const double eps = rl::LinearSchedule(cfg_.eps_start, cfg_.eps_end,
+                                          cfg_.eps_decay_selections)
+                           .value(selections_);
+    if (rng.chance(eps)) return static_cast<int>(rng.index(kNumOptions));
+  }
+  auto p = option_probs(obs, opp_block);
+  if (!explore) {
+    return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+  }
+  return static_cast<int>(rng.categorical(p));
+}
+
+HighLevelUpdateStats HighLevelAgent::update(OpponentModel& opponents, Rng& rng) {
+  if (!buffer_.ready(std::max(cfg_.batch, cfg_.warmup_transitions))) return {};
+  HighLevelUpdateStats stats;
+  stats.updated = true;
+
+  auto batch = buffer_.sample(cfg_.batch, rng);
+  const std::size_t B = batch.size();
+
+  auto opp_block_for = [&](const std::vector<double>& obs) {
+    if (!cfg_.use_opponent_model || opp_dim_ == 0) {
+      return std::vector<double>(opp_dim_, 1.0 / kNumOptions);
+    }
+    return opponents.predict_all(obs);
+  };
+
+  // ----- critic TD target -----
+  //   kMax:      y = R + γ^c·max_o' Q'(s', o', ô')
+  //   kExpected: y = R + γ^c·Σ_o' π(o'|s', ô') Q'(s', o', ô')
+  std::vector<double> targets(B);
+  {
+    // Assemble per-sample next-state actor inputs and all 4 next-Q inputs.
+    std::vector<std::vector<double>> actor_rows;
+    std::vector<std::vector<double>> q_rows;  // B × kNumOptions rows
+    actor_rows.reserve(B);
+    q_rows.reserve(B * kNumOptions);
+    std::vector<std::vector<double>> next_blocks(B);
+    for (std::size_t b = 0; b < B; ++b) {
+      next_blocks[b] = opp_block_for(batch[b]->next_obs);
+      std::vector<double> ain = batch[b]->next_obs;
+      ain.insert(ain.end(), next_blocks[b].begin(), next_blocks[b].end());
+      actor_rows.push_back(std::move(ain));
+      for (int o = 0; o < kNumOptions; ++o) {
+        q_rows.push_back(critic_input(batch[b]->next_obs, o, next_blocks[b]));
+      }
+    }
+    nn::Matrix probs =
+        nn::softmax(actor_.net().forward(nn::Matrix::stack_rows(actor_rows)));
+    nn::Matrix qnext = critic_target_.forward(nn::Matrix::stack_rows(q_rows));
+    for (std::size_t b = 0; b < B; ++b) {
+      double v;
+      if (cfg_.bootstrap == Bootstrap::kMax) {
+        v = qnext(b * kNumOptions, 0);
+        for (int o = 1; o < kNumOptions; ++o) {
+          v = std::max(v, qnext(b * kNumOptions + static_cast<std::size_t>(o), 0));
+        }
+      } else {
+        v = 0.0;
+        for (int o = 0; o < kNumOptions; ++o) {
+          v += probs(b, static_cast<std::size_t>(o)) *
+               qnext(b * kNumOptions + static_cast<std::size_t>(o), 0);
+        }
+      }
+      targets[b] =
+          batch[b]->reward + (batch[b]->done ? 0.0 : batch[b]->gamma_pow * v);
+    }
+  }
+
+  std::vector<std::vector<double>> critic_rows;
+  critic_rows.reserve(B);
+  for (std::size_t b = 0; b < B; ++b) {
+    critic_rows.push_back(
+        critic_input(batch[b]->obs, batch[b]->option, batch[b]->opp_actual));
+  }
+  nn::Matrix cin = nn::Matrix::stack_rows(critic_rows);
+  nn::Matrix pred = critic_.forward(cin);
+  nn::Matrix target_m(B, 1);
+  for (std::size_t b = 0; b < B; ++b) target_m(b, 0) = targets[b];
+  auto closs = nn::mse_loss(pred, target_m);
+  stats.critic_loss = closs.loss;
+  critic_.zero_grad();
+  critic_.backward(closs.grad);
+  critic_.clip_grad_norm(cfg_.grad_clip);
+  critic_opt_->step();
+
+  // ----- actor: ∇logπ(o|s, ô)·A with A = Q(s,o,·) − Σ_o π Q, plus entropy --
+  {
+    std::vector<std::vector<double>> actor_rows;
+    std::vector<std::vector<double>> q_rows;
+    std::vector<std::vector<double>> blocks(B);
+    actor_rows.reserve(B);
+    q_rows.reserve(B * kNumOptions);
+    for (std::size_t b = 0; b < B; ++b) {
+      blocks[b] = opp_block_for(batch[b]->obs);
+      std::vector<double> ain = batch[b]->obs;
+      ain.insert(ain.end(), blocks[b].begin(), blocks[b].end());
+      actor_rows.push_back(std::move(ain));
+      for (int o = 0; o < kNumOptions; ++o) {
+        // Q evaluated with the *actual* peer options from the buffer.
+        q_rows.push_back(critic_input(batch[b]->obs, o, batch[b]->opp_actual));
+      }
+    }
+    nn::Matrix q_all = critic_.forward(nn::Matrix::stack_rows(q_rows));
+    nn::Matrix logits = actor_.net().forward(nn::Matrix::stack_rows(actor_rows));
+    nn::Matrix probs = nn::softmax(logits);
+    nn::Matrix logp = nn::log_softmax(logits);
+
+    const double inv_b = 1.0 / static_cast<double>(B);
+    nn::Matrix dlogits(B, kNumOptions);
+    double mean_entropy = 0.0;
+    for (std::size_t b = 0; b < B; ++b) {
+      double baseline = 0.0;
+      for (int o = 0; o < kNumOptions; ++o) {
+        baseline += probs(b, static_cast<std::size_t>(o)) *
+                    q_all(b * kNumOptions + static_cast<std::size_t>(o), 0);
+      }
+      const std::size_t taken = static_cast<std::size_t>(batch[b]->option);
+      const double adv = q_all(b * kNumOptions + taken, 0) - baseline;
+      for (int o = 0; o < kNumOptions; ++o) {
+        dlogits(b, static_cast<std::size_t>(o)) +=
+            adv * probs(b, static_cast<std::size_t>(o)) * inv_b;
+      }
+      dlogits(b, taken) -= adv * inv_b;
+
+      double h = 0.0;
+      for (int o = 0; o < kNumOptions; ++o) {
+        const std::size_t c = static_cast<std::size_t>(o);
+        h -= probs(b, c) * logp(b, c);
+      }
+      mean_entropy += h * inv_b;
+      for (int o = 0; o < kNumOptions; ++o) {
+        const std::size_t c = static_cast<std::size_t>(o);
+        dlogits(b, c) += cfg_.entropy_coef * probs(b, c) * (logp(b, c) + h) * inv_b;
+      }
+    }
+    stats.actor_entropy = mean_entropy;
+    actor_.net().zero_grad();
+    actor_.net().backward(dlogits);
+    actor_.net().clip_grad_norm(cfg_.grad_clip);
+    actor_opt_->step();
+  }
+
+  critic_target_.soft_update_from(critic_, cfg_.tau);
+  return stats;
+}
+
+}  // namespace hero::core

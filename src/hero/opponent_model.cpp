@@ -1,0 +1,96 @@
+#include "hero/opponent_model.h"
+
+#include "nn/losses.h"
+
+namespace hero::core {
+
+OpponentModel::OpponentModel(std::size_t obs_dim, int num_opponents,
+                             const OpponentModelConfig& cfg, Rng& rng)
+    : cfg_(cfg) {
+  HERO_CHECK(num_opponents >= 0);
+  for (int j = 0; j < num_opponents; ++j) {
+    nets_.emplace_back(obs_dim, cfg_.hidden, kNumOptions, rng);
+    opts_.push_back(std::make_unique<nn::Adam>(nets_.back().params(), cfg_.lr));
+    buffers_.emplace_back(cfg_.buffer_capacity);
+    losses_.emplace_back();
+  }
+}
+
+std::vector<double> OpponentModel::predict(int j, const std::vector<double>& obs) {
+  auto& buffer = buffers_[static_cast<std::size_t>(j)];
+  if (!trained_ && buffer.size() < cfg_.min_samples) {
+    return std::vector<double>(kNumOptions, 1.0 / kNumOptions);
+  }
+  nn::Matrix logits = nets_[static_cast<std::size_t>(j)].forward(nn::Matrix::row(obs));
+  return nn::softmax(logits).row_vec(0);
+}
+
+std::vector<double> OpponentModel::predict_all(const std::vector<double>& obs) {
+  std::vector<double> out;
+  out.reserve(feature_dim());
+  for (int j = 0; j < num_opponents(); ++j) {
+    auto p = predict(j, obs);
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+void OpponentModel::observe(int j, std::vector<double> obs, Option option) {
+  buffers_[static_cast<std::size_t>(j)].add(
+      {std::move(obs), static_cast<int>(option)});
+}
+
+double OpponentModel::update(int j, Rng& rng) {
+  auto& buffer = buffers_[static_cast<std::size_t>(j)];
+  if (buffer.size() < cfg_.min_samples) return 0.0;
+  auto batch = buffer.sample(cfg_.batch, rng);
+  const std::size_t B = batch.size();
+
+  std::vector<std::vector<double>> rows;
+  std::vector<std::size_t> labels;
+  rows.reserve(B);
+  for (const auto* s : batch) {
+    rows.push_back(s->obs);
+    labels.push_back(static_cast<std::size_t>(s->option));
+  }
+
+  auto& net = nets_[static_cast<std::size_t>(j)];
+  nn::Matrix logits = net.forward(nn::Matrix::stack_rows(rows));
+  auto ce = nn::softmax_cross_entropy(logits, labels);
+
+  // Entropy regularization: loss −= λ·H(π̂);
+  // d(−H)/dlogit_c = p_c (log p_c + H).
+  nn::Matrix probs = nn::softmax(logits);
+  nn::Matrix logp = nn::log_softmax(logits);
+  const double inv_b = 1.0 / static_cast<double>(B);
+  double mean_entropy = 0.0;
+  for (std::size_t b = 0; b < B; ++b) {
+    double h = 0.0;
+    for (int a = 0; a < kNumOptions; ++a) {
+      h -= probs(b, static_cast<std::size_t>(a)) * logp(b, static_cast<std::size_t>(a));
+    }
+    mean_entropy += h * inv_b;
+    for (int a = 0; a < kNumOptions; ++a) {
+      const std::size_t c = static_cast<std::size_t>(a);
+      ce.grad(b, c) += cfg_.entropy_lambda * probs(b, c) * (logp(b, c) + h) * inv_b;
+    }
+  }
+  const double loss = ce.loss - cfg_.entropy_lambda * mean_entropy;
+
+  net.zero_grad();
+  net.backward(ce.grad);
+  net.clip_grad_norm(10.0);
+  opts_[static_cast<std::size_t>(j)]->step();
+  losses_[static_cast<std::size_t>(j)].push_back(loss);
+  trained_ = true;
+  return loss;
+}
+
+std::vector<double> OpponentModel::update_all(Rng& rng) {
+  std::vector<double> out;
+  out.reserve(nets_.size());
+  for (int j = 0; j < num_opponents(); ++j) out.push_back(update(j, rng));
+  return out;
+}
+
+}  // namespace hero::core

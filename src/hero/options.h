@@ -1,0 +1,81 @@
+// The high-level option space of the cooperative lane-change case study
+// (paper Sec. IV-B):  A_h = [keep lane, slow down, accelerate, lane change],
+// with the per-option primitive action bounds of Sec. IV-C and the
+// asynchronous termination conditions β_o of Sec. III-B.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/lane_world.h"
+
+namespace hero::core {
+
+enum class Option : int {
+  kKeepLane = 0,
+  kSlowDown = 1,
+  kAccelerate = 2,
+  kLaneChange = 3,
+};
+
+constexpr int kNumOptions = 4;
+
+const char* option_name(Option o);
+Option option_from_index(int i);
+
+// Per-option bounds on the low-level continuous action (paper Sec. IV-C).
+// For kLaneChange the angular component is a steering-rate *magnitude*; the
+// skill executor resolves its sign toward the target lane (see skills.h).
+struct OptionActionSpace {
+  std::vector<double> lo;
+  std::vector<double> hi;
+};
+OptionActionSpace option_action_space(Option o);
+
+// Tracks one agent's currently-executing option (semi-MDP bookkeeping).
+struct OptionExecution {
+  Option option = Option::kKeepLane;
+  int steps = 0;           // primitive steps executed under this option
+  int target_lane = 0;     // lane-change goal (valid while option == kLaneChange)
+  double hold_speed = 0.0; // keep-lane holds the speed at selection time
+};
+
+struct TerminationConfig {
+  int in_lane_duration = 3;       // fixed duration c of the in-lane options
+  int lane_change_max_steps = 14; // fail deadline for a lane change
+  double lane_change_tol_y = 0.06;
+  double lane_change_tol_heading = 0.15;
+  // Synchronous mode (the alternative the paper rejects for distributed
+  // systems, Sec. III-B): every option — including an in-flight lane change —
+  // is interrupted after `in_lane_duration` steps so all agents re-select on
+  // a common clock. Kept as an ablation (bench/ablation_hero).
+  bool synchronous = false;
+};
+
+// β_o: returns true when the option must hand control back to the high level.
+bool option_terminated(const OptionExecution& exec, const sim::LaneWorld& world,
+                       int vehicle, const TerminationConfig& cfg);
+
+// Outcome of a lane-change option used by the intrinsic reward (+20/−20).
+enum class LaneChangeOutcome { kInProgress, kSuccess, kFail };
+LaneChangeOutcome lane_change_outcome(const OptionExecution& exec,
+                                      const sim::LaneWorld& world, int vehicle,
+                                      const TerminationConfig& cfg);
+
+// --- intrinsic rewards (paper Sec. IV-C) ---
+
+struct IntrinsicRewardConfig {
+  double beta = 0.5;            // deviate-vs-travel weight for in-lane skills
+  double travel_norm = 0.1;     // metres per step at nominal top speed
+  double lane_change_bonus = 20.0;
+};
+
+// r_driving-in-lane = β·r_deviate + (1−β)·r_travel.
+double driving_in_lane_reward(const sim::LaneWorld& world, int vehicle,
+                              double travel_m, const IntrinsicRewardConfig& cfg);
+
+// r_lane-change = +20 success / −20 fail / r_travel otherwise.
+double lane_change_reward(LaneChangeOutcome outcome, double travel_m,
+                          const IntrinsicRewardConfig& cfg);
+
+}  // namespace hero::core

@@ -1,0 +1,37 @@
+#include "nn/activation.h"
+
+#include <cmath>
+
+namespace hero::nn {
+
+Matrix ReLU::forward(const Matrix& x) {
+  cached_input_ = x;
+  return x.map([](double v) { return v > 0.0 ? v : 0.0; });
+}
+
+Matrix ReLU::backward(const Matrix& grad_out) {
+  HERO_CHECK(grad_out.same_shape(cached_input_));
+  Matrix g = grad_out;
+  for (std::size_t i = 0; i < g.rows(); ++i)
+    for (std::size_t j = 0; j < g.cols(); ++j)
+      if (cached_input_(i, j) <= 0.0) g(i, j) = 0.0;
+  return g;
+}
+
+Matrix Tanh::forward(const Matrix& x) {
+  cached_output_ = x.map([](double v) { return std::tanh(v); });
+  return cached_output_;
+}
+
+Matrix Tanh::backward(const Matrix& grad_out) {
+  HERO_CHECK(grad_out.same_shape(cached_output_));
+  Matrix g = grad_out;
+  for (std::size_t i = 0; i < g.rows(); ++i)
+    for (std::size_t j = 0; j < g.cols(); ++j) {
+      double t = cached_output_(i, j);
+      g(i, j) *= (1.0 - t * t);
+    }
+  return g;
+}
+
+}  // namespace hero::nn

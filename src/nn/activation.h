@@ -1,0 +1,38 @@
+// Pointwise activation layers.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace hero::nn {
+
+enum class Activation { kReLU, kTanh, kIdentity };
+
+class ReLU final : public Layer {
+ public:
+  explicit ReLU(std::size_t dim) : dim_(dim) {}
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::unique_ptr<Layer> clone() const override { return std::make_unique<ReLU>(*this); }
+  std::size_t in_dim() const override { return dim_; }
+  std::size_t out_dim() const override { return dim_; }
+
+ private:
+  std::size_t dim_;
+  Matrix cached_input_;
+};
+
+class Tanh final : public Layer {
+ public:
+  explicit Tanh(std::size_t dim) : dim_(dim) {}
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::unique_ptr<Layer> clone() const override { return std::make_unique<Tanh>(*this); }
+  std::size_t in_dim() const override { return dim_; }
+  std::size_t out_dim() const override { return dim_; }
+
+ private:
+  std::size_t dim_;
+  Matrix cached_output_;
+};
+
+}  // namespace hero::nn

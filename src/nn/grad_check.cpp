@@ -1,0 +1,28 @@
+#include "nn/grad_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hero::nn {
+
+double max_param_grad_error(Mlp& net, const std::function<double()>& loss_fn,
+                            double h) {
+  double worst = 0.0;
+  for (auto p : net.params()) {
+    for (std::size_t i = 0; i < p.value->size(); ++i) {
+      const double saved = p.value->data()[i];
+      p.value->data()[i] = saved + h;
+      const double up = loss_fn();
+      p.value->data()[i] = saved - h;
+      const double down = loss_fn();
+      p.value->data()[i] = saved;
+      const double numeric = (up - down) / (2.0 * h);
+      const double analytic = p.grad->data()[i];
+      const double denom = std::max({std::abs(numeric), std::abs(analytic), 1e-8});
+      worst = std::max(worst, std::abs(numeric - analytic) / denom);
+    }
+  }
+  return worst;
+}
+
+}  // namespace hero::nn

@@ -1,0 +1,20 @@
+// Finite-difference gradient verification, used by the test suite to pin
+// down every analytic backward pass in the library.
+#pragma once
+
+#include <functional>
+
+#include "nn/mlp.h"
+
+namespace hero::nn {
+
+// Compares the analytic parameter gradients of `net` (already accumulated by
+// a backward pass of `loss_fn`'s computation) against central finite
+// differences of `loss_fn`. Returns the maximum absolute relative error.
+//
+// `loss_fn` must recompute the full scalar loss from scratch (it is invoked
+// with perturbed parameters).
+double max_param_grad_error(Mlp& net, const std::function<double()>& loss_fn,
+                            double h = 1e-5);
+
+}  // namespace hero::nn

@@ -1,0 +1,42 @@
+// Layer abstraction: explicit forward / backward with cached activations.
+//
+// The library deliberately avoids a tape-based autograd — the paper's models
+// are short feed-forward stacks and the explicit form keeps every gradient
+// auditable (tests/nn finite-difference-checks each layer).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace hero::nn {
+
+// View over one trainable parameter and its gradient accumulator.
+struct ParamRef {
+  Matrix* value;
+  Matrix* grad;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // Computes the layer output for a (batch, in) input and caches whatever
+  // backward() needs.
+  virtual Matrix forward(const Matrix& x) = 0;
+
+  // Given dL/d(output), accumulates parameter gradients and returns
+  // dL/d(input). Must be called after forward() with the matching batch.
+  virtual Matrix backward(const Matrix& grad_out) = 0;
+
+  // Trainable parameters (empty for activations).
+  virtual std::vector<ParamRef> params() { return {}; }
+
+  virtual std::unique_ptr<Layer> clone() const = 0;
+
+  virtual std::size_t in_dim() const = 0;
+  virtual std::size_t out_dim() const = 0;
+};
+
+}  // namespace hero::nn

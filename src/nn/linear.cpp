@@ -1,0 +1,42 @@
+#include "nn/linear.h"
+
+namespace hero::nn {
+
+Linear::Linear(std::size_t in, std::size_t out, Rng& rng)
+    : in_(in),
+      out_(out),
+      w_(Matrix::xavier(in, out, rng)),
+      b_(1, out, 0.0),
+      grad_w_(in, out, 0.0),
+      grad_b_(1, out, 0.0) {
+  // Tiny bias noise instead of exact zeros: breaks dead-ReLU ties at
+  // initialization (a fully-dead hidden row would otherwise propagate
+  // *exactly* zero pre-activations into every downstream ReLU, parking the
+  // network on the kink where gradients are ill-defined).
+  for (std::size_t j = 0; j < out; ++j) b_(0, j) = rng.uniform(-0.01, 0.01);
+}
+
+Matrix Linear::forward(const Matrix& x) {
+  HERO_CHECK_MSG(x.cols() == in_, "Linear: input dim " << x.cols() << " != " << in_);
+  cached_input_ = x;
+  Matrix y = x.matmul(w_);
+  for (std::size_t i = 0; i < y.rows(); ++i)
+    for (std::size_t j = 0; j < out_; ++j) y(i, j) += b_(0, j);
+  return y;
+}
+
+Matrix Linear::backward(const Matrix& grad_out) {
+  HERO_CHECK(grad_out.rows() == cached_input_.rows() && grad_out.cols() == out_);
+  grad_w_ += cached_input_.transpose().matmul(grad_out);
+  for (std::size_t i = 0; i < grad_out.rows(); ++i)
+    for (std::size_t j = 0; j < out_; ++j) grad_b_(0, j) += grad_out(i, j);
+  return grad_out.matmul(w_.transpose());
+}
+
+std::vector<ParamRef> Linear::params() {
+  return {{&w_, &grad_w_}, {&b_, &grad_b_}};
+}
+
+std::unique_ptr<Layer> Linear::clone() const { return std::make_unique<Linear>(*this); }
+
+}  // namespace hero::nn

@@ -1,0 +1,33 @@
+// Fully-connected layer: y = x W + b with W of shape (in, out).
+#pragma once
+
+#include "nn/layer.h"
+
+namespace hero::nn {
+
+class Linear final : public Layer {
+ public:
+  Linear(std::size_t in, std::size_t out, Rng& rng);
+
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::vector<ParamRef> params() override;
+  std::unique_ptr<Layer> clone() const override;
+
+  std::size_t in_dim() const override { return in_; }
+  std::size_t out_dim() const override { return out_; }
+
+  Matrix& weight() { return w_; }
+  Matrix& bias() { return b_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Matrix w_;       // (in, out)
+  Matrix b_;       // (1, out)
+  Matrix grad_w_;  // accumulated dL/dW
+  Matrix grad_b_;
+  Matrix cached_input_;
+};
+
+}  // namespace hero::nn

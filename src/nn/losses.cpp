@@ -1,0 +1,121 @@
+#include "nn/losses.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hero::nn {
+
+LossResult mse_loss(const Matrix& pred, const Matrix& target) {
+  HERO_CHECK(pred.same_shape(target));
+  const double inv_n = 1.0 / static_cast<double>(pred.rows());
+  Matrix grad(pred.rows(), pred.cols());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < pred.rows(); ++i) {
+    for (std::size_t j = 0; j < pred.cols(); ++j) {
+      double d = pred(i, j) - target(i, j);
+      loss += d * d;
+      grad(i, j) = 2.0 * d * inv_n;
+    }
+  }
+  return {loss * inv_n, std::move(grad)};
+}
+
+LossResult mse_loss_selected(const Matrix& pred, const std::vector<std::size_t>& cols,
+                             const std::vector<double>& targets) {
+  HERO_CHECK(cols.size() == pred.rows() && targets.size() == pred.rows());
+  const double inv_n = 1.0 / static_cast<double>(pred.rows());
+  Matrix grad(pred.rows(), pred.cols());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < pred.rows(); ++i) {
+    HERO_CHECK(cols[i] < pred.cols());
+    double d = pred(i, cols[i]) - targets[i];
+    loss += d * d;
+    grad(i, cols[i]) = 2.0 * d * inv_n;
+  }
+  return {loss * inv_n, std::move(grad)};
+}
+
+Matrix softmax(const Matrix& logits) {
+  Matrix out(logits.rows(), logits.cols());
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    double mx = logits(i, 0);
+    for (std::size_t j = 1; j < logits.cols(); ++j) mx = std::max(mx, logits(i, j));
+    double z = 0.0;
+    for (std::size_t j = 0; j < logits.cols(); ++j) {
+      out(i, j) = std::exp(logits(i, j) - mx);
+      z += out(i, j);
+    }
+    for (std::size_t j = 0; j < logits.cols(); ++j) out(i, j) /= z;
+  }
+  return out;
+}
+
+Matrix log_softmax(const Matrix& logits) {
+  Matrix out(logits.rows(), logits.cols());
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    double mx = logits(i, 0);
+    for (std::size_t j = 1; j < logits.cols(); ++j) mx = std::max(mx, logits(i, j));
+    double z = 0.0;
+    for (std::size_t j = 0; j < logits.cols(); ++j) z += std::exp(logits(i, j) - mx);
+    double logz = mx + std::log(z);
+    for (std::size_t j = 0; j < logits.cols(); ++j) out(i, j) = logits(i, j) - logz;
+  }
+  return out;
+}
+
+std::vector<double> softmax_entropy(const Matrix& logits) {
+  Matrix logp = log_softmax(logits);
+  std::vector<double> ent(logits.rows(), 0.0);
+  for (std::size_t i = 0; i < logits.rows(); ++i)
+    for (std::size_t j = 0; j < logits.cols(); ++j)
+      ent[i] -= std::exp(logp(i, j)) * logp(i, j);
+  return ent;
+}
+
+LossResult softmax_cross_entropy(const Matrix& logits,
+                                 const std::vector<std::size_t>& targets,
+                                 const std::vector<double>* weights) {
+  HERO_CHECK(targets.size() == logits.rows());
+  if (weights) HERO_CHECK(weights->size() == logits.rows());
+  const double inv_n = 1.0 / static_cast<double>(logits.rows());
+  Matrix p = softmax(logits);
+  Matrix logp = log_softmax(logits);
+  Matrix grad(logits.rows(), logits.cols());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    HERO_CHECK(targets[i] < logits.cols());
+    double w = weights ? (*weights)[i] : 1.0;
+    loss += -w * logp(i, targets[i]);
+    for (std::size_t j = 0; j < logits.cols(); ++j) {
+      grad(i, j) = w * p(i, j) * inv_n;
+    }
+    grad(i, targets[i]) -= w * inv_n;
+  }
+  return {loss * inv_n, std::move(grad)};
+}
+
+LossResult huber_loss_selected(const Matrix& pred, const std::vector<std::size_t>& cols,
+                               const std::vector<double>& targets, double delta,
+                               const std::vector<double>* weights) {
+  HERO_CHECK(cols.size() == pred.rows() && targets.size() == pred.rows());
+  if (weights) HERO_CHECK(weights->size() == pred.rows());
+  const double inv_n = 1.0 / static_cast<double>(pred.rows());
+  Matrix grad(pred.rows(), pred.cols());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < pred.rows(); ++i) {
+    const double w = weights ? (*weights)[i] : 1.0;
+    double d = pred(i, cols[i]) - targets[i];
+    if (std::abs(d) <= delta) {
+      loss += w * 0.5 * d * d;
+      grad(i, cols[i]) = w * d * inv_n;
+    } else {
+      loss += w * delta * (std::abs(d) - 0.5 * delta);
+      grad(i, cols[i]) = w * (d > 0 ? delta : -delta) * inv_n;
+    }
+  }
+  return {loss * inv_n, std::move(grad)};
+}
+
+}  // namespace hero::nn

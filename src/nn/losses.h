@@ -1,0 +1,46 @@
+// Loss functions returning both the scalar loss and the gradient w.r.t. the
+// network output, ready to feed Mlp::backward().
+//
+// All losses average over the batch so learning rates are batch-invariant.
+#pragma once
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace hero::nn {
+
+struct LossResult {
+  double loss;
+  Matrix grad;  // dL/d(prediction), same shape as the prediction
+};
+
+// Mean squared error against a dense target.
+LossResult mse_loss(const Matrix& pred, const Matrix& target);
+
+// MSE evaluated only on one selected column per row (Q-learning: only the
+// taken action's Q-value receives gradient).
+LossResult mse_loss_selected(const Matrix& pred, const std::vector<std::size_t>& cols,
+                             const std::vector<double>& targets);
+
+// Softmax cross-entropy with integer class targets; grad is w.r.t. logits.
+// `weights` optionally rescales each row's contribution (e.g. importance).
+LossResult softmax_cross_entropy(const Matrix& logits,
+                                 const std::vector<std::size_t>& targets,
+                                 const std::vector<double>* weights = nullptr);
+
+// Numerically-stable row-wise softmax / log-softmax.
+Matrix softmax(const Matrix& logits);
+Matrix log_softmax(const Matrix& logits);
+
+// Row-wise entropy of softmax(logits).
+std::vector<double> softmax_entropy(const Matrix& logits);
+
+// Huber (smooth-L1) loss on selected columns, used by DQN for robustness to
+// early-training TD-error spikes. `weights` optionally rescales each row
+// (importance-sampling correction for prioritized replay).
+LossResult huber_loss_selected(const Matrix& pred, const std::vector<std::size_t>& cols,
+                               const std::vector<double>& targets, double delta = 1.0,
+                               const std::vector<double>* weights = nullptr);
+
+}  // namespace hero::nn

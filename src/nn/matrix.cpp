@@ -1,0 +1,150 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hero::nn {
+
+Matrix Matrix::row(const std::vector<double>& v) {
+  Matrix m(1, v.size());
+  std::copy(v.begin(), v.end(), m.data_.begin());
+  return m;
+}
+
+Matrix Matrix::stack_rows(const std::vector<std::vector<double>>& rows) {
+  HERO_CHECK(!rows.empty());
+  const std::size_t n = rows.front().size();
+  Matrix m(rows.size(), n);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    HERO_CHECK_MSG(rows[r].size() == n, "stack_rows: ragged input at row " << r);
+    std::copy(rows[r].begin(), rows[r].end(), m.data_.begin() + r * n);
+  }
+  return m;
+}
+
+Matrix Matrix::xavier(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  const double bound = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (auto& v : m.data_) v = rng.uniform(-bound, bound);
+  return m;
+}
+
+std::vector<double> Matrix::row_vec(std::size_t r) const {
+  HERO_CHECK(r < rows_);
+  return std::vector<double>(data_.begin() + r * cols_, data_.begin() + (r + 1) * cols_);
+}
+
+void Matrix::set_row(std::size_t r, const std::vector<double>& v) {
+  HERO_CHECK(r < rows_ && v.size() == cols_);
+  std::copy(v.begin(), v.end(), data_.begin() + r * cols_);
+}
+
+Matrix Matrix::matmul(const Matrix& other) const {
+  HERO_CHECK_MSG(cols_ == other.rows_, "matmul shape mismatch: (" << rows_ << "x" << cols_
+                                        << ") * (" << other.rows_ << "x" << other.cols_
+                                        << ")");
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order keeps the inner loop contiguous in both inputs.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      const double* brow = other.data_.data() + k * other.cols_;
+      double* orow = out.data_.data() + i * other.cols_;
+      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  return out;
+}
+
+Matrix Matrix::hcat(const Matrix& other) const {
+  HERO_CHECK(rows_ == other.rows_);
+  Matrix out(rows_, cols_ + other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) out(i, j) = (*this)(i, j);
+    for (std::size_t j = 0; j < other.cols_; ++j) out(i, cols_ + j) = other(i, j);
+  }
+  return out;
+}
+
+Matrix Matrix::col_slice(std::size_t c0, std::size_t c1) const {
+  HERO_CHECK(c0 <= c1 && c1 <= cols_);
+  Matrix out(rows_, c1 - c0);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = c0; j < c1; ++j) out(i, j - c0) = (*this)(i, j);
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  HERO_CHECK(same_shape(o));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& o) {
+  HERO_CHECK(same_shape(o));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+Matrix Matrix::operator+(const Matrix& o) const {
+  Matrix r = *this;
+  r += o;
+  return r;
+}
+
+Matrix Matrix::operator-(const Matrix& o) const {
+  Matrix r = *this;
+  r -= o;
+  return r;
+}
+
+Matrix Matrix::operator*(double s) const {
+  Matrix r = *this;
+  r *= s;
+  return r;
+}
+
+Matrix Matrix::hadamard(const Matrix& o) const {
+  HERO_CHECK(same_shape(o));
+  Matrix r = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) r.data_[i] *= o.data_[i];
+  return r;
+}
+
+Matrix& Matrix::apply(const std::function<double(double)>& f) {
+  for (auto& v : data_) v = f(v);
+  return *this;
+}
+
+Matrix Matrix::map(const std::function<double(double)>& f) const {
+  Matrix r = *this;
+  r.apply(f);
+  return r;
+}
+
+double Matrix::sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Matrix::abs_max() const {
+  double s = 0.0;
+  for (double v : data_) s = std::max(s, std::abs(v));
+  return s;
+}
+
+}  // namespace hero::nn

@@ -1,0 +1,98 @@
+// Dense row-major matrix of doubles — the single tensor type of the NN
+// library. Shapes in this codebase are tiny (hidden width 32, batch ≤ 1024),
+// so clarity wins over BLAS: all kernels are straightforward loops.
+//
+// Convention used throughout: activations are (batch, features); a Linear
+// layer stores its weight as (in, out) so that forward is `x * W + b`.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace hero::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  // 1×n row vector from a list / std::vector.
+  static Matrix row(const std::vector<double>& v);
+  static Matrix row(std::initializer_list<double> v) {
+    return row(std::vector<double>(v));
+  }
+
+  // Stacks equal-length rows into a (rows.size(), n) matrix.
+  static Matrix stack_rows(const std::vector<std::vector<double>>& rows);
+
+  // Xavier/Glorot-uniform initialization for a (rows, cols) weight.
+  static Matrix xavier(std::size_t rows, std::size_t cols, Rng& rng);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& at(std::size_t r, std::size_t c) {
+    HERO_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double at(std::size_t r, std::size_t c) const {
+    HERO_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  // Unchecked fast path for inner loops.
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  // Extracts row r as a std::vector (copies).
+  std::vector<double> row_vec(std::size_t r) const;
+  // Overwrites row r.
+  void set_row(std::size_t r, const std::vector<double>& v);
+
+  // this (m×k) * other (k×n) -> (m×n).
+  Matrix matmul(const Matrix& other) const;
+  Matrix transpose() const;
+
+  // Horizontal concatenation: [this | other], matching row counts.
+  Matrix hcat(const Matrix& other) const;
+  // Columns [c0, c1) as a new matrix.
+  Matrix col_slice(std::size_t c0, std::size_t c1) const;
+
+  Matrix& operator+=(const Matrix& o);
+  Matrix& operator-=(const Matrix& o);
+  Matrix& operator*=(double s);
+  Matrix operator+(const Matrix& o) const;
+  Matrix operator-(const Matrix& o) const;
+  Matrix operator*(double s) const;
+
+  // Elementwise product (Hadamard).
+  Matrix hadamard(const Matrix& o) const;
+
+  // Applies f to every element in place; returns *this.
+  Matrix& apply(const std::function<double(double)>& f);
+  // Applied copy.
+  Matrix map(const std::function<double(double)>& f) const;
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+  double sum() const;
+  double abs_max() const;
+
+  bool same_shape(const Matrix& o) const { return rows_ == o.rows_ && cols_ == o.cols_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace hero::nn

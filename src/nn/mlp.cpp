@@ -1,0 +1,121 @@
+#include "nn/mlp.h"
+
+#include <cmath>
+
+namespace hero::nn {
+
+namespace {
+std::unique_ptr<Layer> make_activation(Activation act, std::size_t dim) {
+  switch (act) {
+    case Activation::kReLU: return std::make_unique<ReLU>(dim);
+    case Activation::kTanh: return std::make_unique<Tanh>(dim);
+    case Activation::kIdentity: return nullptr;
+  }
+  return nullptr;
+}
+}  // namespace
+
+Mlp::Mlp(std::size_t in, const std::vector<std::size_t>& hidden, std::size_t out,
+         Rng& rng, Activation act, Activation out_act) {
+  std::size_t prev = in;
+  for (std::size_t h : hidden) {
+    layers_.push_back(std::make_unique<Linear>(prev, h, rng));
+    if (auto a = make_activation(act, h)) layers_.push_back(std::move(a));
+    prev = h;
+  }
+  layers_.push_back(std::make_unique<Linear>(prev, out, rng));
+  if (auto a = make_activation(out_act, out)) layers_.push_back(std::move(a));
+}
+
+Mlp::Mlp(const Mlp& other) {
+  layers_.reserve(other.layers_.size());
+  for (const auto& l : other.layers_) layers_.push_back(l->clone());
+}
+
+Mlp& Mlp::operator=(const Mlp& other) {
+  if (this == &other) return *this;
+  layers_.clear();
+  layers_.reserve(other.layers_.size());
+  for (const auto& l : other.layers_) layers_.push_back(l->clone());
+  return *this;
+}
+
+Matrix Mlp::forward(const Matrix& x) {
+  HERO_CHECK(!layers_.empty());
+  Matrix h = x;
+  for (auto& l : layers_) h = l->forward(h);
+  return h;
+}
+
+std::vector<double> Mlp::forward1(const std::vector<double>& x) {
+  return forward(Matrix::row(x)).row_vec(0);
+}
+
+Matrix Mlp::backward(const Matrix& grad_out) {
+  HERO_CHECK(!layers_.empty());
+  Matrix g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<ParamRef> Mlp::params() {
+  std::vector<ParamRef> out;
+  for (auto& l : layers_)
+    for (auto p : l->params()) out.push_back(p);
+  return out;
+}
+
+void Mlp::zero_grad() {
+  for (auto p : params()) p.grad->fill(0.0);
+}
+
+void Mlp::soft_update_from(Mlp& src, double tau) {
+  auto dst_params = params();
+  auto src_params = src.params();
+  HERO_CHECK(dst_params.size() == src_params.size());
+  for (std::size_t i = 0; i < dst_params.size(); ++i) {
+    Matrix& d = *dst_params[i].value;
+    const Matrix& s = *src_params[i].value;
+    HERO_CHECK(d.same_shape(s));
+    for (std::size_t k = 0; k < d.size(); ++k)
+      d.data()[k] = tau * s.data()[k] + (1.0 - tau) * d.data()[k];
+  }
+}
+
+void Mlp::copy_params_from(Mlp& src) { soft_update_from(src, 1.0); }
+
+double Mlp::clip_grad_norm(double max_norm) {
+  double sq = 0.0;
+  auto ps = params();
+  for (auto p : ps)
+    for (std::size_t k = 0; k < p.grad->size(); ++k)
+      sq += p.grad->data()[k] * p.grad->data()[k];
+  double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    double scale = max_norm / norm;
+    for (auto p : ps)
+      for (std::size_t k = 0; k < p.grad->size(); ++k) p.grad->data()[k] *= scale;
+  }
+  return norm;
+}
+
+std::size_t Mlp::in_dim() const {
+  HERO_CHECK(!layers_.empty());
+  return layers_.front()->in_dim();
+}
+
+std::size_t Mlp::out_dim() const {
+  HERO_CHECK(!layers_.empty());
+  return layers_.back()->out_dim();
+}
+
+std::size_t Mlp::num_params() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) {
+    auto& mut = const_cast<Layer&>(*l);
+    for (auto p : mut.params()) n += p.value->size();
+  }
+  return n;
+}
+
+}  // namespace hero::nn

@@ -1,0 +1,57 @@
+// Multi-layer perceptron: the workhorse network of every policy and critic
+// in this reproduction (the paper uses hidden width 32 throughout).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/activation.h"
+#include "nn/linear.h"
+
+namespace hero::nn {
+
+class Mlp {
+ public:
+  Mlp() = default;
+
+  // Builds in -> hidden[0] -> ... -> hidden[n-1] -> out with `act` between
+  // linear layers and `out_act` after the last one.
+  Mlp(std::size_t in, const std::vector<std::size_t>& hidden, std::size_t out, Rng& rng,
+      Activation act = Activation::kReLU, Activation out_act = Activation::kIdentity);
+
+  Mlp(const Mlp& other);
+  Mlp& operator=(const Mlp& other);
+  Mlp(Mlp&&) = default;
+  Mlp& operator=(Mlp&&) = default;
+
+  // Forward pass for a (batch, in) matrix; caches activations for backward().
+  Matrix forward(const Matrix& x);
+  // Convenience single-sample forward.
+  std::vector<double> forward1(const std::vector<double>& x);
+
+  // Backpropagates dL/d(output); accumulates parameter grads, returns
+  // dL/d(input) — callers use the input gradient to chain through
+  // concatenated inputs (e.g. dQ/da for deterministic policy gradients).
+  Matrix backward(const Matrix& grad_out);
+
+  std::vector<ParamRef> params();
+  void zero_grad();
+
+  // Polyak averaging: θ ← τ·θ_src + (1−τ)·θ (target-network update).
+  void soft_update_from(Mlp& src, double tau);
+  // Hard copy of all parameters (architectures must match).
+  void copy_params_from(Mlp& src);
+
+  // Global-norm gradient clipping; returns the pre-clip norm.
+  double clip_grad_norm(double max_norm);
+
+  std::size_t in_dim() const;
+  std::size_t out_dim() const;
+  std::size_t num_params() const;
+  bool empty() const { return layers_.empty(); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace hero::nn

@@ -1,0 +1,56 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace hero::nn {
+
+Sgd::Sgd(std::vector<ParamRef> params, double lr, double momentum)
+    : params_(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (auto& p : params_) velocity_.emplace_back(p.value->rows(), p.value->cols());
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Matrix& w = *params_[i].value;
+    Matrix& g = *params_[i].grad;
+    Matrix& vel = velocity_[i];
+    for (std::size_t k = 0; k < w.size(); ++k) {
+      vel.data()[k] = momentum_ * vel.data()[k] + g.data()[k];
+      w.data()[k] -= lr_ * vel.data()[k];
+    }
+    g.fill(0.0);
+  }
+}
+
+Adam::Adam(std::vector<ParamRef> params, double lr, double beta1, double beta2,
+           double eps)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (auto& p : params_) {
+    m_.emplace_back(p.value->rows(), p.value->cols());
+    v_.emplace_back(p.value->rows(), p.value->cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Matrix& w = *params_[i].value;
+    Matrix& g = *params_[i].grad;
+    for (std::size_t k = 0; k < w.size(); ++k) {
+      double gk = g.data()[k];
+      m_[i].data()[k] = beta1_ * m_[i].data()[k] + (1.0 - beta1_) * gk;
+      v_[i].data()[k] = beta2_ * v_[i].data()[k] + (1.0 - beta2_) * gk * gk;
+      double mhat = m_[i].data()[k] / bc1;
+      double vhat = v_[i].data()[k] / bc2;
+      w.data()[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+    g.fill(0.0);
+  }
+}
+
+}  // namespace hero::nn

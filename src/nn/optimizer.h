@@ -1,0 +1,50 @@
+// First-order optimizers over a flat list of ParamRefs.
+//
+// The optimizer binds to the parameter list once; state (Adam moments) is
+// kept positionally, so the network's parameter order must not change after
+// construction — which holds for all models in this library.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace hero::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  // Applies one update using the currently-accumulated gradients and then
+  // zeroes them.
+  virtual void step() = 0;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<ParamRef> params, double lr, double momentum = 0.0);
+  void step() override;
+
+ private:
+  std::vector<ParamRef> params_;
+  double lr_;
+  double momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<ParamRef> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8);
+  void step() override;
+
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+ private:
+  std::vector<ParamRef> params_;
+  double lr_, beta1_, beta2_, eps_;
+  long t_ = 0;
+  std::vector<Matrix> m_, v_;
+};
+
+}  // namespace hero::nn

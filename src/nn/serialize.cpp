@@ -1,0 +1,56 @@
+#include "nn/serialize.h"
+
+#include <fstream>
+#include <iomanip>
+#include <stdexcept>
+
+namespace hero::nn {
+
+void save_params(Mlp& net, std::ostream& os) {
+  auto ps = net.params();
+  os << "herockpt 1 " << ps.size() << "\n";
+  os << std::setprecision(17);
+  for (auto p : ps) {
+    os << p.value->rows() << ' ' << p.value->cols() << '\n';
+    for (std::size_t i = 0; i < p.value->size(); ++i) {
+      os << p.value->data()[i] << (i + 1 == p.value->size() ? '\n' : ' ');
+    }
+  }
+}
+
+void load_params(Mlp& net, std::istream& is) {
+  std::string magic;
+  int version = 0;
+  std::size_t count = 0;
+  is >> magic >> version >> count;
+  if (magic != "herockpt" || version != 1) {
+    throw std::runtime_error("load_params: not a herockpt v1 stream");
+  }
+  auto ps = net.params();
+  if (count != ps.size()) {
+    throw std::runtime_error("load_params: parameter count mismatch");
+  }
+  for (auto p : ps) {
+    std::size_t r = 0, c = 0;
+    is >> r >> c;
+    if (r != p.value->rows() || c != p.value->cols()) {
+      throw std::runtime_error("load_params: shape mismatch");
+    }
+    for (std::size_t i = 0; i < p.value->size(); ++i) is >> p.value->data()[i];
+  }
+  if (!is) throw std::runtime_error("load_params: truncated stream");
+}
+
+void save_params_file(Mlp& net, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("save_params_file: cannot open " + path);
+  save_params(net, f);
+}
+
+void load_params_file(Mlp& net, const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("load_params_file: cannot open " + path);
+  load_params(net, f);
+}
+
+}  // namespace hero::nn

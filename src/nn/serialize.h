@@ -1,0 +1,20 @@
+// Checkpointing: saves/loads the flat parameter list of a network to a
+// simple self-describing text format (shape header + values). Used to carry
+// trained low-level skills into the high-level training stage and to deploy
+// simulation policies onto the "real-world" (domain-shifted) evaluation.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/mlp.h"
+
+namespace hero::nn {
+
+void save_params(Mlp& net, std::ostream& os);
+void load_params(Mlp& net, std::istream& is);
+
+void save_params_file(Mlp& net, const std::string& path);
+void load_params_file(Mlp& net, const std::string& path);
+
+}  // namespace hero::nn

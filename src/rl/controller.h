@@ -1,0 +1,28 @@
+// The deployment-time interface every method (HERO and all baselines)
+// implements: map the current world state to one twist command per learning
+// vehicle. A single evaluation harness (rl/evaluation.h) then scores any
+// method identically — this is what the Fig. 7/11 and Table II benches use.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/lane_world.h"
+
+namespace hero::rl {
+
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  // Called once per episode right after world.reset(); controllers reset
+  // per-episode state here (current options, noise processes, ...).
+  virtual void begin_episode(const sim::LaneWorld& world) { (void)world; }
+
+  // One command per learner, in world.learners() order. `explore` selects
+  // stochastic (training) vs greedy (evaluation) action selection.
+  virtual std::vector<sim::TwistCmd> act(const sim::LaneWorld& world, Rng& rng,
+                                         bool explore) = 0;
+};
+
+}  // namespace hero::rl

@@ -1,0 +1,44 @@
+#include "rl/discretizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hero::rl {
+
+ActionGrid::ActionGrid(std::vector<double> linear_levels,
+                       std::vector<double> angular_levels)
+    : linear_(std::move(linear_levels)), angular_(std::move(angular_levels)) {
+  HERO_CHECK(!linear_.empty() && !angular_.empty());
+}
+
+ActionGrid ActionGrid::standard() {
+  return ActionGrid({0.04, 0.08, 0.12, 0.16, 0.20},
+                    {-0.25, -0.12, 0.0, 0.12, 0.25});
+}
+
+sim::TwistCmd ActionGrid::decode(std::size_t index) const {
+  HERO_CHECK(index < size());
+  const std::size_t li = index / angular_.size();
+  const std::size_t ai = index % angular_.size();
+  return {linear_[li], angular_[ai]};
+}
+
+std::size_t ActionGrid::encode(const sim::TwistCmd& cmd) const {
+  auto nearest = [](const std::vector<double>& levels, double v) {
+    std::size_t best = 0;
+    double bd = std::abs(levels[0] - v);
+    for (std::size_t i = 1; i < levels.size(); ++i) {
+      double d = std::abs(levels[i] - v);
+      if (d < bd) {
+        bd = d;
+        best = i;
+      }
+    }
+    return best;
+  };
+  return nearest(linear_, cmd.linear) * angular_.size() +
+         nearest(angular_, cmd.angular);
+}
+
+}  // namespace hero::rl

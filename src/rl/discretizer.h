@@ -1,0 +1,37 @@
+// Action grid for value-based baselines.
+//
+// Independent DQN and COMA operate on a discrete action set; the paper runs
+// them end-to-end on the primitive (linear, angular) twist space, which we
+// discretize on a fixed grid spanning the same bounds the continuous methods
+// use.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/vehicle.h"
+
+namespace hero::rl {
+
+class ActionGrid {
+ public:
+  ActionGrid(std::vector<double> linear_levels, std::vector<double> angular_levels);
+
+  // The default grid spans the paper's primitive bounds:
+  // linear ∈ {0.04..0.20}, angular ∈ {−0.25..0.25}.
+  static ActionGrid standard();
+
+  std::size_t size() const { return linear_.size() * angular_.size(); }
+  sim::TwistCmd decode(std::size_t index) const;
+  // Nearest grid index for a continuous command (used in tests / analysis).
+  std::size_t encode(const sim::TwistCmd& cmd) const;
+
+  const std::vector<double>& linear_levels() const { return linear_; }
+  const std::vector<double>& angular_levels() const { return angular_; }
+
+ private:
+  std::vector<double> linear_;
+  std::vector<double> angular_;
+};
+
+}  // namespace hero::rl

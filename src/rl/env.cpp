@@ -1,0 +1,49 @@
+#include "rl/env.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/geometry.h"  // wrap_angle
+
+namespace hero::rl {
+
+std::vector<double> PointRegulatorEnv::reset(Rng& rng) {
+  x_ = rng.uniform(-1.0, 1.0);
+  t_ = 0;
+  return {x_};
+}
+
+EnvStep PointRegulatorEnv::step(const std::vector<double>& action) {
+  const double u = std::clamp(action.at(0), -1.0, 1.0);
+  x_ += gain_ * u;
+  ++t_;
+  return {{x_}, -std::abs(x_), t_ >= horizon_};
+}
+
+std::vector<double> PendulumEnv::observe() const {
+  return {std::cos(theta_), std::sin(theta_), theta_dot_};
+}
+
+std::vector<double> PendulumEnv::reset(Rng& rng) {
+  theta_ = rng.uniform(-M_PI, M_PI);
+  theta_dot_ = rng.uniform(-1.0, 1.0);
+  t_ = 0;
+  return observe();
+}
+
+EnvStep PendulumEnv::step(const std::vector<double>& action) {
+  constexpr double g = 10.0, m = 1.0, l = 1.0, dt = 0.05;
+  const double u = std::clamp(action.at(0), -2.0, 2.0);
+
+  const double cost = theta_ * theta_ + 0.1 * theta_dot_ * theta_dot_ + 0.001 * u * u;
+
+  theta_dot_ += (3.0 * g / (2.0 * l) * std::sin(theta_) +
+                 3.0 / (m * l * l) * u) *
+                dt;
+  theta_dot_ = std::clamp(theta_dot_, -8.0, 8.0);
+  theta_ = sim::wrap_angle(theta_ + theta_dot_ * dt);
+  ++t_;
+  return {observe(), -cost, t_ >= horizon_};
+}
+
+}  // namespace hero::rl

@@ -1,0 +1,106 @@
+// Generic single-agent environment interface plus two reference
+// environments. SacAgent / DdpgAgent are environment-agnostic; this header
+// gives library users (and the test suite) ready-made tasks to validate a
+// learner before pointing it at the lane world.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace hero::rl {
+
+struct EnvStep {
+  std::vector<double> obs;
+  double reward = 0.0;
+  bool done = false;
+};
+
+class SingleAgentEnv {
+ public:
+  virtual ~SingleAgentEnv() = default;
+
+  virtual std::size_t obs_dim() const = 0;
+  virtual std::size_t action_dim() const = 0;
+  virtual std::vector<double> action_lo() const = 0;
+  virtual std::vector<double> action_hi() const = 0;
+
+  // Resets and returns the initial observation.
+  virtual std::vector<double> reset(Rng& rng) = 0;
+  virtual EnvStep step(const std::vector<double>& action) = 0;
+};
+
+// 1-D regulator: drive x to the origin. obs = [x], action = velocity,
+// reward = −|x'|. The minimal sanity task for any continuous learner.
+class PointRegulatorEnv final : public SingleAgentEnv {
+ public:
+  explicit PointRegulatorEnv(int horizon = 20, double gain = 0.2)
+      : horizon_(horizon), gain_(gain) {}
+
+  std::size_t obs_dim() const override { return 1; }
+  std::size_t action_dim() const override { return 1; }
+  std::vector<double> action_lo() const override { return {-1.0}; }
+  std::vector<double> action_hi() const override { return {1.0}; }
+
+  std::vector<double> reset(Rng& rng) override;
+  EnvStep step(const std::vector<double>& action) override;
+
+ private:
+  int horizon_;
+  double gain_;
+  double x_ = 0.0;
+  int t_ = 0;
+};
+
+// Torque-limited pendulum swing-up (the classic continuous-control task):
+// obs = [cos θ, sin θ, θ̇], action = torque ∈ [−2, 2],
+// reward = −(θ² + 0.1·θ̇² + 0.001·u²) with θ wrapped to (−π, π].
+class PendulumEnv final : public SingleAgentEnv {
+ public:
+  explicit PendulumEnv(int horizon = 100) : horizon_(horizon) {}
+
+  std::size_t obs_dim() const override { return 3; }
+  std::size_t action_dim() const override { return 1; }
+  std::vector<double> action_lo() const override { return {-2.0}; }
+  std::vector<double> action_hi() const override { return {2.0}; }
+
+  std::vector<double> reset(Rng& rng) override;
+  EnvStep step(const std::vector<double>& action) override;
+
+  double theta() const { return theta_; }
+
+ private:
+  std::vector<double> observe() const;
+
+  int horizon_;
+  double theta_ = 0.0;
+  double theta_dot_ = 0.0;
+  int t_ = 0;
+};
+
+// Runs `episodes` of `agent` on `env` with observe()-driven learning;
+// returns the per-episode reward sums. Agent must provide
+// act(obs, rng[, deterministic]) and observe(obs, a, r, next, done, rng).
+template <typename Agent>
+std::vector<double> train_on_env(SingleAgentEnv& env, Agent& agent, int episodes,
+                                 Rng& rng) {
+  std::vector<double> curve;
+  curve.reserve(static_cast<std::size_t>(episodes));
+  for (int ep = 0; ep < episodes; ++ep) {
+    std::vector<double> obs = env.reset(rng);
+    double total = 0.0;
+    while (true) {
+      auto action = agent.act(obs, rng);
+      EnvStep s = env.step(action);
+      total += s.reward;
+      agent.observe(obs, action, s.reward, s.obs, s.done, rng);
+      obs = s.obs;
+      if (s.done) break;
+    }
+    curve.push_back(total);
+  }
+  return curve;
+}
+
+}  // namespace hero::rl

@@ -1,0 +1,49 @@
+#include "rl/evaluation.h"
+
+#include "common/stats.h"
+
+namespace hero::rl {
+
+EpisodeStats run_episode(sim::LaneWorld& world, Controller& controller, Rng& rng,
+                         bool explore, int merger_index, int merger_target_lane) {
+  world.reset(rng);
+  controller.begin_episode(world);
+
+  EpisodeStats stats;
+  while (!world.done()) {
+    auto cmds = controller.act(world, rng, explore);
+    auto result = world.step(cmds, rng);
+    stats.team_reward += mean_of(result.reward);
+    if (result.collision) stats.collision = true;
+  }
+  stats.steps = world.steps();
+  stats.success =
+      !stats.collision && world.lane(merger_index) == merger_target_lane;
+  double speed = 0.0;
+  for (int vi : world.learners()) speed += world.mean_speed(vi);
+  stats.mean_speed = speed / static_cast<double>(world.num_learners());
+  return stats;
+}
+
+EvalSummary evaluate(sim::LaneWorld& world, Controller& controller, Rng& rng,
+                     int episodes, int merger_index, int merger_target_lane) {
+  EvalSummary s;
+  s.episodes = episodes;
+  for (int e = 0; e < episodes; ++e) {
+    EpisodeStats ep = run_episode(world, controller, rng, /*explore=*/false,
+                                  merger_index, merger_target_lane);
+    s.mean_reward += ep.team_reward;
+    s.collision_rate += ep.collision ? 1.0 : 0.0;
+    s.success_rate += ep.success ? 1.0 : 0.0;
+    s.mean_speed += ep.mean_speed;
+  }
+  if (episodes > 0) {
+    s.mean_reward /= episodes;
+    s.collision_rate /= episodes;
+    s.success_rate /= episodes;
+    s.mean_speed /= episodes;
+  }
+  return s;
+}
+
+}  // namespace hero::rl

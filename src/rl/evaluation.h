@@ -1,0 +1,37 @@
+// Shared episode-rollout and evaluation harness.
+//
+// Computes the paper's four metrics (Sec. V-B): mean episode reward,
+// collision rate, lane-merge success rate, and mean speed.
+#pragma once
+
+#include "rl/controller.h"
+#include "sim/scenario.h"
+
+namespace hero::rl {
+
+struct EpisodeStats {
+  double team_reward = 0.0;  // summed team reward over the episode
+  bool collision = false;
+  bool success = false;      // merger finished in the target lane, no collision
+  double mean_speed = 0.0;   // averaged over learners
+  int steps = 0;
+};
+
+struct EvalSummary {
+  double mean_reward = 0.0;
+  double collision_rate = 0.0;
+  double success_rate = 0.0;
+  double mean_speed = 0.0;
+  int episodes = 0;
+};
+
+// Rolls one episode of `world` under `controller`. Success is judged against
+// the scenario's merger vehicle / target lane.
+EpisodeStats run_episode(sim::LaneWorld& world, Controller& controller, Rng& rng,
+                         bool explore, int merger_index, int merger_target_lane);
+
+// Greedy evaluation over `episodes` fresh episodes.
+EvalSummary evaluate(sim::LaneWorld& world, Controller& controller, Rng& rng,
+                     int episodes, int merger_index, int merger_target_lane);
+
+}  // namespace hero::rl

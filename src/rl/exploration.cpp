@@ -1,0 +1,38 @@
+#include "rl/exploration.h"
+
+#include <algorithm>
+
+namespace hero::rl {
+
+double LinearSchedule::value(long t) const {
+  if (t >= decay_steps_) return end_;
+  if (t <= 0) return start_;
+  const double frac = static_cast<double>(t) / static_cast<double>(decay_steps_);
+  return start_ + frac * (end_ - start_);
+}
+
+OrnsteinUhlenbeck::OrnsteinUhlenbeck(std::size_t dim, double theta, double sigma,
+                                     double dt)
+    : theta_(theta), sigma_(sigma), dt_(dt), state_(dim, 0.0) {}
+
+void OrnsteinUhlenbeck::reset() { std::fill(state_.begin(), state_.end(), 0.0); }
+
+const std::vector<double>& OrnsteinUhlenbeck::sample(Rng& rng) {
+  for (double& x : state_) {
+    x += theta_ * (0.0 - x) * dt_ + sigma_ * std::sqrt(dt_) * rng.normal();
+  }
+  return state_;
+}
+
+std::vector<double> gaussian_perturb(const std::vector<double>& action,
+                                     const std::vector<double>& lo,
+                                     const std::vector<double>& hi, double stddev,
+                                     Rng& rng) {
+  std::vector<double> out(action.size());
+  for (std::size_t i = 0; i < action.size(); ++i) {
+    out[i] = std::clamp(action[i] + rng.normal(0.0, stddev), lo[i], hi[i]);
+  }
+  return out;
+}
+
+}  // namespace hero::rl

@@ -1,0 +1,45 @@
+// Exploration utilities: linear schedules (ε-greedy decay), Gaussian action
+// noise, and Ornstein–Uhlenbeck noise (DDPG-style temporally-correlated
+// exploration).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace hero::rl {
+
+// Linearly interpolates from `start` to `end` over `decay_steps`, then holds.
+class LinearSchedule {
+ public:
+  LinearSchedule(double start, double end, long decay_steps)
+      : start_(start), end_(end), decay_steps_(decay_steps > 0 ? decay_steps : 1) {}
+
+  double value(long t) const;
+
+ private:
+  double start_, end_;
+  long decay_steps_;
+};
+
+// Per-dimension OU process: dx = θ(μ − x)dt + σ dW. reset() between episodes.
+class OrnsteinUhlenbeck {
+ public:
+  OrnsteinUhlenbeck(std::size_t dim, double theta = 0.15, double sigma = 0.2,
+                    double dt = 1.0);
+
+  void reset();
+  const std::vector<double>& sample(Rng& rng);
+
+ private:
+  double theta_, sigma_, dt_;
+  std::vector<double> state_;
+};
+
+// Adds clipped Gaussian noise to an action, respecting [lo, hi] bounds.
+std::vector<double> gaussian_perturb(const std::vector<double>& action,
+                                     const std::vector<double>& lo,
+                                     const std::vector<double>& hi, double stddev,
+                                     Rng& rng);
+
+}  // namespace hero::rl

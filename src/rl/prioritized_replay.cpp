@@ -1,0 +1,44 @@
+#include "rl/prioritized_replay.h"
+
+namespace hero::rl {
+
+SumTree::SumTree(std::size_t capacity) : capacity_(capacity) {
+  HERO_CHECK(capacity > 0);
+  // Round leaves up to a power of two for a clean implicit tree.
+  leaf_base_ = 1;
+  while (leaf_base_ < capacity) leaf_base_ <<= 1;
+  tree_.assign(2 * leaf_base_, 0.0);
+}
+
+double SumTree::priority(std::size_t index) const {
+  HERO_CHECK(index < capacity_);
+  return tree_[leaf_base_ + index];
+}
+
+void SumTree::set(std::size_t index, double priority) {
+  HERO_CHECK(index < capacity_);
+  HERO_CHECK(priority >= 0.0);
+  std::size_t node = leaf_base_ + index;
+  const double delta = priority - tree_[node];
+  while (node >= 1) {
+    tree_[node] += delta;
+    node >>= 1;
+  }
+}
+
+std::size_t SumTree::find(double mass) const {
+  // Descend from the root (node 1).
+  std::size_t node = 1;
+  while (node < leaf_base_) {
+    const std::size_t left = 2 * node;
+    if (mass < tree_[left]) {
+      node = left;
+    } else {
+      mass -= tree_[left];
+      node = left + 1;
+    }
+  }
+  return node - leaf_base_;
+}
+
+}  // namespace hero::rl

@@ -1,0 +1,124 @@
+// Proportional prioritized experience replay (Schaul et al. 2016 — cited by
+// the paper as crucial for stabilizing deep RL). Sum-tree backed: O(log n)
+// insert/update/sample. Optional drop-in alternative to the uniform
+// ReplayBuffer for the value-based learners.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace hero::rl {
+
+// Fixed-capacity sum tree over priorities.
+class SumTree {
+ public:
+  explicit SumTree(std::size_t capacity);
+
+  std::size_t capacity() const { return capacity_; }
+  double total() const { return tree_[1]; }  // node 1 is the root
+  double priority(std::size_t index) const;
+
+  void set(std::size_t index, double priority);
+
+  // Finds the leaf index i such that the prefix sum over leaves [0, i)
+  // ≤ mass < prefix sum over [0, i]. `mass` must be in [0, total()).
+  std::size_t find(double mass) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t leaf_base_;      // index of the first leaf in tree_
+  std::vector<double> tree_;   // implicit binary tree, root at 0
+};
+
+// Result of a prioritized sample: item indices plus importance weights
+// normalized so max weight == 1.
+struct PrioritizedSample {
+  std::vector<std::size_t> indices;
+  std::vector<double> weights;
+};
+
+template <typename Transition>
+class PrioritizedReplayBuffer {
+ public:
+  // α: how strongly priorities bias sampling (0 = uniform). β: importance
+  // correction strength (callers typically anneal it toward 1).
+  PrioritizedReplayBuffer(std::size_t capacity, double alpha = 0.6,
+                          double beta = 0.4)
+      : capacity_(capacity), alpha_(alpha), beta_(beta), tree_(capacity) {
+    HERO_CHECK(capacity > 0);
+    data_.reserve(capacity);
+  }
+
+  // New transitions get max priority so they are replayed at least once.
+  void add(Transition t) {
+    const std::size_t index = write_;
+    if (data_.size() < capacity_) {
+      data_.push_back(std::move(t));
+    } else {
+      data_[index] = std::move(t);
+    }
+    tree_.set(index, std::pow(max_priority_, alpha_));
+    write_ = (write_ + 1) % capacity_;
+  }
+
+  std::size_t size() const { return data_.size(); }
+  bool ready(std::size_t minimum) const { return data_.size() >= minimum; }
+  const Transition& at(std::size_t i) const { return data_[i]; }
+
+  PrioritizedSample sample(std::size_t batch, Rng& rng) const {
+    HERO_CHECK(!data_.empty());
+    PrioritizedSample out;
+    out.indices.reserve(batch);
+    out.weights.reserve(batch);
+    const double total = tree_.total();
+    const double n = static_cast<double>(data_.size());
+    double max_w = 0.0;
+    for (std::size_t k = 0; k < batch; ++k) {
+      // Stratified: one draw per equal-mass segment reduces variance.
+      const double lo = total * static_cast<double>(k) / static_cast<double>(batch);
+      const double hi = total * static_cast<double>(k + 1) / static_cast<double>(batch);
+      std::size_t idx = tree_.find(rng.uniform(lo, hi));
+      if (idx >= data_.size()) idx = data_.size() - 1;  // capacity > size edge
+      out.indices.push_back(idx);
+      const double p = tree_.priority(idx) / total;
+      const double w = std::pow(n * p, -beta_);
+      out.weights.push_back(w);
+      max_w = std::max(max_w, w);
+    }
+    if (max_w > 0.0) {
+      for (double& w : out.weights) w /= max_w;
+    }
+    return out;
+  }
+
+  // Updates priorities from fresh TD errors after a learning step.
+  void update_priorities(const std::vector<std::size_t>& indices,
+                         const std::vector<double>& td_errors) {
+    HERO_CHECK(indices.size() == td_errors.size());
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      const double p = std::abs(td_errors[k]) + kEps;
+      max_priority_ = std::max(max_priority_, p);
+      tree_.set(indices[k], std::pow(p, alpha_));
+    }
+  }
+
+  void set_beta(double beta) { beta_ = beta; }
+  double beta() const { return beta_; }
+
+ private:
+  static constexpr double kEps = 1e-4;  // keeps every priority > 0
+
+  std::size_t capacity_;
+  double alpha_;
+  double beta_;
+  std::size_t write_ = 0;
+  double max_priority_ = 1.0;
+  SumTree tree_;
+  std::vector<Transition> data_;
+};
+
+}  // namespace hero::rl

@@ -1,0 +1,49 @@
+#include "sim/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hero::sim {
+
+LaneCamera::LaneCamera(const LaneCameraConfig& cfg) : cfg_(cfg) {
+  HERO_CHECK(cfg_.lead_range > 0.0);
+}
+
+std::vector<double> LaneCamera::features(const Vehicle& ego,
+                                         const std::vector<Vehicle>& all,
+                                         std::size_t ego_index, const Track& track,
+                                         int reference_lane, Rng* noise_rng) const {
+  const VehicleState& s = ego.state();
+  const double w = track.lane_width();
+  const double ref_c = track.lane_center(reference_lane);
+  const int ego_lane = track.lane_of(s.y);
+
+  // Nearest vehicle ahead in the ego's current lane.
+  double gap = cfg_.lead_range;
+  double lead_rel_speed = 0.0;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (i == ego_index) continue;
+    if (track.lane_of(all[i].state().y) != ego_lane) continue;
+    const double d = track.forward_gap(s.x, all[i].state().x);
+    if (d < gap) {
+      gap = d;
+      lead_rel_speed = all[i].state().speed - s.speed;
+    }
+  }
+
+  std::vector<double> f(kLaneCameraDim);
+  f[0] = (s.y - ref_c) / w;
+  f[1] = std::sin(s.heading);
+  f[2] = std::cos(s.heading);
+  f[3] = gap / cfg_.lead_range;
+  f[4] = lead_rel_speed / ego.params().max_speed;
+  const int other_lane = reference_lane == 0 ? std::min(1, track.num_lanes() - 1) : 0;
+  f[5] = (track.lane_center(other_lane) - ref_c) / w;
+
+  if (noise_rng && cfg_.noise_stddev > 0.0) {
+    for (double& v : f) v += noise_rng->normal(0.0, cfg_.noise_stddev);
+  }
+  return f;
+}
+
+}  // namespace hero::sim

@@ -1,0 +1,48 @@
+// LaneCamera: the low-level perception substitute.
+//
+// The paper feeds the raw on-board camera image through a CNN whose job is
+// to recover lane-relative geometry (where am I in the lane, how tilted,
+// what is ahead). We expose those quantities directly as a compact feature
+// vector — see DESIGN.md §2 for why this preserves the control problem.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/vehicle.h"
+
+namespace hero::sim {
+
+struct LaneCameraConfig {
+  double lead_range = 2.0;    // how far ahead the camera can resolve a leader
+  double noise_stddev = 0.0;  // feature noise (real-world mode)
+};
+
+// Feature layout (all roughly in [-1, 1]):
+//   [0] lateral offset from the *reference lane* centre, / lane width
+//   [1] sin(heading)
+//   [2] cos(heading)
+//   [3] forward gap to the nearest vehicle in the ego's current lane, / range
+//   [4] that leader's speed relative to ego, / max_speed
+//   [5] signed lateral offset to the reference lane centre from the *other*
+//       lane's centre, / lane width (tells a lane-change policy how far the
+//       manoeuvre still has to go)
+// The reference lane is the ego's current lane for in-lane skills and the
+// target lane during a lane change.
+constexpr std::size_t kLaneCameraDim = 6;
+
+class LaneCamera {
+ public:
+  explicit LaneCamera(const LaneCameraConfig& cfg = {});
+
+  std::vector<double> features(const Vehicle& ego, const std::vector<Vehicle>& all,
+                               std::size_t ego_index, const Track& track,
+                               int reference_lane, Rng* noise_rng = nullptr) const;
+
+  const LaneCameraConfig& config() const { return cfg_; }
+
+ private:
+  LaneCameraConfig cfg_;
+};
+
+}  // namespace hero::sim

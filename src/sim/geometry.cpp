@@ -1,0 +1,88 @@
+#include "sim/geometry.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace hero::sim {
+
+double wrap_angle(double a) {
+  while (a > M_PI) a -= 2.0 * M_PI;
+  while (a <= -M_PI) a += 2.0 * M_PI;
+  return a;
+}
+
+std::array<Vec2, 4> Obb::corners() const {
+  const Vec2 ax = Vec2{1.0, 0.0}.rotated(heading) * half_len;
+  const Vec2 ay = Vec2{0.0, 1.0}.rotated(heading) * half_wid;
+  return {center + ax + ay, center + ax - ay, center - ax - ay, center - ax + ay};
+}
+
+namespace {
+// Projects box corners onto `axis` and returns [min, max].
+std::pair<double, double> project(const Obb& box, const Vec2& axis) {
+  auto cs = box.corners();
+  double lo = cs[0].dot(axis), hi = lo;
+  for (int i = 1; i < 4; ++i) {
+    double p = cs[i].dot(axis);
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  return {lo, hi};
+}
+
+bool separated_on(const Obb& a, const Obb& b, const Vec2& axis) {
+  auto [alo, ahi] = project(a, axis);
+  auto [blo, bhi] = project(b, axis);
+  return ahi < blo || bhi < alo;
+}
+}  // namespace
+
+bool obb_overlap(const Obb& a, const Obb& b) {
+  const Vec2 axes[4] = {
+      Vec2{1.0, 0.0}.rotated(a.heading), Vec2{0.0, 1.0}.rotated(a.heading),
+      Vec2{1.0, 0.0}.rotated(b.heading), Vec2{0.0, 1.0}.rotated(b.heading)};
+  for (const Vec2& ax : axes) {
+    if (separated_on(a, b, ax)) return false;
+  }
+  return true;
+}
+
+std::optional<double> ray_obb(const Vec2& origin, const Vec2& dir, const Obb& box) {
+  // Transform the ray into the box frame, then slab test.
+  const Vec2 rel = (origin - box.center).rotated(-box.heading);
+  const Vec2 d = dir.rotated(-box.heading);
+  double tmin = 0.0;
+  double tmax = std::numeric_limits<double>::infinity();
+  const double lo[2] = {-box.half_len, -box.half_wid};
+  const double hi[2] = {box.half_len, box.half_wid};
+  const double o[2] = {rel.x, rel.y};
+  const double dd[2] = {d.x, d.y};
+  for (int i = 0; i < 2; ++i) {
+    if (std::abs(dd[i]) < 1e-12) {
+      if (o[i] < lo[i] || o[i] > hi[i]) return std::nullopt;
+      continue;
+    }
+    double t1 = (lo[i] - o[i]) / dd[i];
+    double t2 = (hi[i] - o[i]) / dd[i];
+    if (t1 > t2) std::swap(t1, t2);
+    tmin = std::max(tmin, t1);
+    tmax = std::min(tmax, t2);
+    if (tmin > tmax) return std::nullopt;
+  }
+  return tmin;
+}
+
+std::optional<double> ray_circle(const Vec2& origin, const Vec2& dir, const Vec2& center,
+                                 double radius) {
+  const Vec2 oc = origin - center;
+  const double b = oc.dot(dir);
+  const double c = oc.dot(oc) - radius * radius;
+  if (c <= 0.0) return 0.0;  // origin inside the circle
+  const double disc = b * b - c;
+  if (disc < 0.0) return std::nullopt;
+  const double t = -b - std::sqrt(disc);
+  if (t < 0.0) return std::nullopt;
+  return t;
+}
+
+}  // namespace hero::sim

@@ -1,0 +1,53 @@
+// 2-D geometry primitives for the lane-world simulator: vectors, oriented
+// bounding boxes with separating-axis overlap tests, and ray casts used by
+// the lidar model.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <optional>
+
+namespace hero::sim {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  Vec2 operator*(double s) const { return {x * s, y * s}; }
+  double dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  double cross(const Vec2& o) const { return x * o.y - y * o.x; }
+  double norm() const { return std::sqrt(x * x + y * y); }
+  Vec2 rotated(double angle) const {
+    const double c = std::cos(angle), s = std::sin(angle);
+    return {c * x - s * y, s * x + c * y};
+  }
+};
+
+// Wraps an angle into (-pi, pi].
+double wrap_angle(double a);
+
+// Oriented bounding box: centre, heading, half-extents along the local axes.
+struct Obb {
+  Vec2 center;
+  double heading = 0.0;  // radians, local +x axis direction
+  double half_len = 0.0; // half extent along heading
+  double half_wid = 0.0; // half extent perpendicular
+
+  std::array<Vec2, 4> corners() const;
+};
+
+// Separating-axis overlap test for two OBBs (touching counts as overlap).
+bool obb_overlap(const Obb& a, const Obb& b);
+
+// Distance from `origin` along unit `dir` to the first intersection with the
+// box, or nullopt if the ray misses. origin outside the box assumed; if the
+// origin is inside, returns 0.
+std::optional<double> ray_obb(const Vec2& origin, const Vec2& dir, const Obb& box);
+
+// Distance along the ray to a circle, or nullopt on miss.
+std::optional<double> ray_circle(const Vec2& origin, const Vec2& dir, const Vec2& center,
+                                 double radius);
+
+}  // namespace hero::sim

@@ -1,0 +1,182 @@
+#include "sim/lane_world.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hero::sim {
+
+LaneWorldConfig with_real_world_shift(LaneWorldConfig cfg) {
+  cfg.lidar.noise_stddev = 0.02;
+  cfg.camera.noise_stddev = 0.02;
+  cfg.actuation_noise = 0.08;
+  cfg.actuation_latency = 1;
+  cfg.param_jitter = 0.08;
+  return cfg;
+}
+
+LaneWorld::LaneWorld(const LaneWorldConfig& cfg)
+    : cfg_(cfg), track_(cfg.track), lidar_(cfg.lidar), camera_(cfg.camera) {
+  HERO_CHECK_MSG(!cfg_.specs.empty(), "LaneWorld needs at least one vehicle spec");
+  HERO_CHECK(cfg_.dt > 0.0 && cfg_.max_steps > 0);
+  vehicles_.resize(cfg_.specs.size());
+  for (std::size_t i = 0; i < cfg_.specs.size(); ++i) {
+    if (!cfg_.specs[i].scripted) learners_.push_back(static_cast<int>(i));
+  }
+  total_travel_.assign(vehicles_.size(), 0.0);
+  Rng dummy(0);
+  reset(dummy);
+}
+
+void LaneWorld::reset(Rng& rng) {
+  steps_ = 0;
+  done_ = false;
+  had_collision_ = false;
+  total_travel_.assign(vehicles_.size(), 0.0);
+  latency_queues_.assign(vehicles_.size(), {});
+  speed_gain_.assign(vehicles_.size(), 1.0);
+  heading_drift_.assign(vehicles_.size(), 0.0);
+
+  for (std::size_t i = 0; i < cfg_.specs.size(); ++i) {
+    const VehicleSpec& sp = cfg_.specs[i];
+    VehicleState st;
+    st.x = track_.wrap_x(sp.start_x +
+                         rng.uniform(-sp.start_x_jitter, sp.start_x_jitter));
+    st.y = track_.lane_center(sp.start_lane);
+    st.heading = 0.0;
+    st.speed = sp.scripted ? sp.scripted_speed : sp.start_speed;
+    vehicles_[i] = Vehicle(cfg_.vehicle, st);
+    if (cfg_.param_jitter > 0.0) {
+      speed_gain_[i] = std::max(0.5, 1.0 + rng.normal(0.0, cfg_.param_jitter));
+      heading_drift_[i] = rng.normal(0.0, cfg_.param_jitter * 0.2);
+    }
+  }
+}
+
+TwistCmd LaneWorld::perturbed(int vehicle, TwistCmd cmd, Rng& rng) const {
+  const std::size_t i = static_cast<std::size_t>(vehicle);
+  cmd.linear *= speed_gain_[i];
+  cmd.angular += heading_drift_[i];
+  if (cfg_.actuation_noise > 0.0) {
+    cmd.linear *= std::max(0.0, 1.0 + rng.normal(0.0, cfg_.actuation_noise));
+    cmd.angular += rng.normal(0.0, cfg_.actuation_noise * 0.25);
+  }
+  return cmd;
+}
+
+StepResult LaneWorld::step(const std::vector<TwistCmd>& cmds, Rng& rng) {
+  HERO_CHECK_MSG(!done_, "step() called on a finished episode; call reset()");
+  HERO_CHECK_MSG(cmds.size() == learners_.size(),
+                 "expected " << learners_.size() << " commands, got " << cmds.size());
+
+  StepResult out;
+  out.travel.assign(vehicles_.size(), 0.0);
+
+  // Resolve the command each vehicle executes this step.
+  std::vector<TwistCmd> exec(vehicles_.size());
+  for (std::size_t k = 0; k < learners_.size(); ++k) {
+    const int vi = learners_[k];
+    TwistCmd cmd = cmds[k];
+    if (cfg_.actuation_latency > 0) {
+      auto& q = latency_queues_[static_cast<std::size_t>(vi)];
+      q.push_back(cmd);
+      if (static_cast<int>(q.size()) > cfg_.actuation_latency) {
+        cmd = q.front();
+        q.erase(q.begin());
+      } else {
+        // Queue still filling: hold the initial speed, no steering.
+        cmd = {vehicles_[static_cast<std::size_t>(vi)].state().speed, 0.0};
+      }
+    }
+    exec[static_cast<std::size_t>(vi)] = perturbed(vi, cmd, rng);
+  }
+  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+    if (cfg_.specs[i].scripted) exec[i] = {cfg_.specs[i].scripted_speed, 0.0};
+  }
+
+  // Integrate.
+  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+    const double x0 = vehicles_[i].state().x;
+    vehicles_[i].step(exec[i], cfg_.dt, track_);
+    const double dx = track_.signed_dx(x0, vehicles_[i].state().x);
+    out.travel[i] = dx;
+    total_travel_[i] += dx;
+  }
+
+  ++steps_;
+  detect_collisions(out);
+  if (out.collision) had_collision_ = true;
+  done_ = out.collision || steps_ >= cfg_.max_steps;
+  out.done = done_;
+
+  // High-level team reward (paper Sec. IV-B):
+  //   r_h^i = α·r_col + (1−α)·r_travel^i
+  // with r_travel normalized by the per-step distance at max RL speed.
+  const double travel_norm = 0.2 * cfg_.dt;  // 0.2 m/s is the top RL speed bound
+  double team_travel = 0.0;
+  for (int vi : learners_) team_travel += out.travel[static_cast<std::size_t>(vi)];
+  team_travel /= std::max<std::size_t>(1, learners_.size());
+
+  out.reward.assign(learners_.size(), 0.0);
+  for (std::size_t k = 0; k < learners_.size(); ++k) {
+    const double travel =
+        cfg_.shared_travel ? team_travel : out.travel[static_cast<std::size_t>(learners_[k])];
+    const double r_col = out.collision ? cfg_.collision_penalty : 0.0;
+    out.reward[k] = cfg_.alpha * r_col + (1.0 - cfg_.alpha) * (travel / travel_norm);
+  }
+  return out;
+}
+
+void LaneWorld::detect_collisions(StepResult& out) const {
+  std::vector<bool> hit(vehicles_.size(), false);
+  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+    for (std::size_t j = i + 1; j < vehicles_.size(); ++j) {
+      Obb a = vehicles_[i].footprint();
+      Obb b = vehicles_[j].footprint();
+      // Respect the ring topology: place j relative to i.
+      b.center.x = a.center.x + track_.signed_dx(a.center.x, b.center.x);
+      if (obb_overlap(a, b)) {
+        hit[i] = hit[j] = true;
+      }
+    }
+    if (cfg_.offroad_is_collision && !track_.on_road(vehicles_[i].state().y)) {
+      hit[i] = true;
+    }
+  }
+  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+    if (hit[i]) out.collided.push_back(static_cast<int>(i));
+  }
+  out.collision = !out.collided.empty();
+}
+
+std::vector<double> LaneWorld::high_level_obs(int vehicle, Rng* noise_rng) const {
+  const std::size_t i = static_cast<std::size_t>(vehicle);
+  std::vector<double> obs =
+      lidar_.scan(vehicles_[i], vehicles_, i, track_, noise_rng);
+  obs.push_back(vehicles_[i].state().speed / cfg_.vehicle.max_speed);
+  obs.push_back(static_cast<double>(lane(vehicle)));
+  return obs;
+}
+
+std::size_t LaneWorld::high_level_obs_dim() const {
+  return static_cast<std::size_t>(cfg_.lidar.num_beams) + 2;
+}
+
+std::vector<double> LaneWorld::low_level_obs(int vehicle, int reference_lane,
+                                             Rng* noise_rng) const {
+  const std::size_t i = static_cast<std::size_t>(vehicle);
+  std::vector<double> obs = camera_.features(vehicles_[i], vehicles_, i, track_,
+                                             reference_lane, noise_rng);
+  obs.push_back(vehicles_[i].state().speed / cfg_.vehicle.max_speed);
+  obs.push_back(static_cast<double>(lane(vehicle)));
+  return obs;
+}
+
+std::size_t LaneWorld::low_level_obs_dim() const { return kLaneCameraDim + 2; }
+
+double LaneWorld::mean_speed(int i) const {
+  if (steps_ == 0) return vehicles_[static_cast<std::size_t>(i)].state().speed;
+  return total_travel_[static_cast<std::size_t>(i)] /
+         (static_cast<double>(steps_) * cfg_.dt);
+}
+
+}  // namespace hero::sim

@@ -1,0 +1,132 @@
+// LaneWorld: the multi-vehicle cooperative lane-change environment.
+//
+// Substitutes the paper's Gazebo world and physical testbed (DESIGN.md §2).
+// The world integrates unicycle vehicles on a two-lane ring track, renders
+// lidar scans and lane-camera features, detects collisions, and computes the
+// paper's high-level team reward  r_h = α·r_col + (1−α)·r_travel.
+//
+// "Real-world" evaluation (Table II) uses the same class with the domain-
+// shift knobs enabled: sensor noise, actuation noise, command latency and
+// per-episode dynamics perturbation.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/features.h"
+#include "sim/lidar.h"
+#include "sim/vehicle.h"
+
+namespace hero::sim {
+
+// Per-vehicle scenario placement and role.
+struct VehicleSpec {
+  int start_lane = 0;
+  double start_x = 0.0;        // nominal arc-length position
+  double start_x_jitter = 0.0; // uniform ±jitter applied at reset
+  double start_speed = 0.1;
+  bool scripted = false;       // plodding vehicle: constant speed, keeps lane
+  double scripted_speed = 0.04;
+};
+
+struct LaneWorldConfig {
+  TrackConfig track;
+  VehicleParams vehicle;
+  LidarConfig lidar;
+  LaneCameraConfig camera;
+  std::vector<VehicleSpec> specs;
+
+  double dt = 0.5;              // control period (seconds)
+  int max_steps = 30;           // paper Table I episode length
+  double collision_penalty = -20.0;
+  double alpha = 0.7;           // weight of r_col vs r_travel
+  // Paper Sec. IV-B:  r_h^i = α·r_col + (1−α)·r_travel^i — the collision
+  // penalty is shared (team safety) but the travel term is per-vehicle.
+  // true switches to team-mean travel (fully shared reward) for ablation.
+  bool shared_travel = false;
+  bool offroad_is_collision = true;
+
+  // --- domain shift (Table II real-world mode) ---
+  double actuation_noise = 0.0;  // multiplicative linear / additive angular
+  int actuation_latency = 0;     // command delay in control steps
+  double param_jitter = 0.0;     // per-episode speed-gain / heading-drift σ
+};
+
+// Returns `cfg` with the real-world shift knobs of the paper's testbed
+// enabled (sensor + actuation noise, 1-step latency, dynamics mismatch).
+LaneWorldConfig with_real_world_shift(LaneWorldConfig cfg);
+
+struct StepResult {
+  std::vector<double> reward;   // high-level team reward per learning agent
+  std::vector<double> travel;   // forward progress per vehicle this step (m)
+  bool collision = false;       // any collision / off-road this step
+  std::vector<int> collided;    // indices of vehicles involved
+  bool done = false;            // collision or step limit
+};
+
+class LaneWorld {
+ public:
+  explicit LaneWorld(const LaneWorldConfig& cfg);
+
+  int num_vehicles() const { return static_cast<int>(vehicles_.size()); }
+  // Indices of non-scripted vehicles, in order; rewards/commands use this order.
+  const std::vector<int>& learners() const { return learners_; }
+  int num_learners() const { return static_cast<int>(learners_.size()); }
+
+  // Re-places all vehicles per the specs (with jitter) and samples the
+  // episode's domain-shift perturbations.
+  void reset(Rng& rng);
+
+  // Advances one control period. `cmds[k]` drives learner k
+  // (= vehicle learners()[k]); scripted vehicles drive themselves.
+  StepResult step(const std::vector<TwistCmd>& cmds, Rng& rng);
+
+  // --- observations ---
+  // High-level state s_h = [lidar..., speed/vmax, laneID] (paper Sec. IV-B).
+  std::vector<double> high_level_obs(int vehicle, Rng* noise_rng = nullptr) const;
+  std::size_t high_level_obs_dim() const;
+
+  // Low-level state s_l = [camera features..., speed/vmax, laneID]
+  // relative to `reference_lane` (paper Sec. IV-C).
+  std::vector<double> low_level_obs(int vehicle, int reference_lane,
+                                    Rng* noise_rng = nullptr) const;
+  std::size_t low_level_obs_dim() const;
+
+  // --- inspection ---
+  const Vehicle& vehicle(int i) const { return vehicles_[static_cast<std::size_t>(i)]; }
+  // Skill-training wrappers perturb start states (lateral offset / heading
+  // jitter) through this accessor right after reset().
+  Vehicle& mutable_vehicle(int i) { return vehicles_[static_cast<std::size_t>(i)]; }
+  const Track& track() const { return track_; }
+  const LaneWorldConfig& config() const { return cfg_; }
+  int lane(int i) const { return vehicles_[static_cast<std::size_t>(i)].lane(track_); }
+  int steps() const { return steps_; }
+  bool done() const { return done_; }
+  bool had_collision() const { return had_collision_; }
+  double total_travel(int i) const { return total_travel_[static_cast<std::size_t>(i)]; }
+  // Mean speed of vehicle i over the episode so far (metres / second).
+  double mean_speed(int i) const;
+
+ private:
+  TwistCmd perturbed(int vehicle, TwistCmd cmd, Rng& rng) const;
+  void detect_collisions(StepResult& out) const;
+
+  LaneWorldConfig cfg_;
+  Track track_;
+  LidarSensor lidar_;
+  LaneCamera camera_;
+  std::vector<Vehicle> vehicles_;
+  std::vector<int> learners_;
+
+  // episode state
+  int steps_ = 0;
+  bool done_ = false;
+  bool had_collision_ = false;
+  std::vector<double> total_travel_;
+  std::vector<std::vector<TwistCmd>> latency_queues_;
+  std::vector<double> speed_gain_;     // per-episode actuator miscalibration
+  std::vector<double> heading_drift_;  // per-episode steering bias (rad/s)
+};
+
+}  // namespace hero::sim

@@ -1,0 +1,49 @@
+#include "sim/lidar.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hero::sim {
+
+LidarSensor::LidarSensor(const LidarConfig& cfg) : cfg_(cfg) {
+  HERO_CHECK(cfg_.num_beams > 0);
+  HERO_CHECK(cfg_.max_range > 0.0);
+}
+
+std::vector<double> LidarSensor::scan(const Vehicle& ego,
+                                      const std::vector<Vehicle>& all,
+                                      std::size_t ego_index, const Track& track,
+                                      Rng* noise_rng) const {
+  const VehicleState& s = ego.state();
+  const Vec2 origin{s.x, s.y};
+  std::vector<double> out(static_cast<std::size_t>(cfg_.num_beams), 1.0);
+
+  // Pre-compute the other footprints placed relative to the ego via the
+  // wrapped arc-length metric.
+  std::vector<Obb> boxes;
+  boxes.reserve(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (i == ego_index) continue;
+    Obb box = all[i].footprint();
+    box.center.x = s.x + track.signed_dx(s.x, all[i].state().x);
+    boxes.push_back(box);
+  }
+
+  for (int b = 0; b < cfg_.num_beams; ++b) {
+    const double angle =
+        s.heading + 2.0 * M_PI * static_cast<double>(b) / cfg_.num_beams;
+    const Vec2 dir{std::cos(angle), std::sin(angle)};
+    double best = cfg_.max_range;
+    for (const Obb& box : boxes) {
+      if (auto t = ray_obb(origin, dir, box); t && *t < best) best = *t;
+    }
+    if (noise_rng && cfg_.noise_stddev > 0.0) {
+      best = std::clamp(best + noise_rng->normal(0.0, cfg_.noise_stddev), 0.0,
+                        cfg_.max_range);
+    }
+    out[static_cast<std::size_t>(b)] = best / cfg_.max_range;
+  }
+  return out;
+}
+
+}  // namespace hero::sim

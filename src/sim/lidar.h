@@ -1,0 +1,37 @@
+// 360° lidar model: N evenly-spaced beams raycast from the ego vehicle
+// against the other vehicles' footprints, range-clipped and normalized.
+// This is the paper's `s_lidar` component of the high-level state.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/vehicle.h"
+
+namespace hero::sim {
+
+struct LidarConfig {
+  int num_beams = 24;  // 15° spacing keeps a car-sized target ≥1 beam wide at 1 m
+  double max_range = 2.0;     // metres
+  double noise_stddev = 0.0;  // additive Gaussian range noise (real-world mode)
+};
+
+class LidarSensor {
+ public:
+  explicit LidarSensor(const LidarConfig& cfg = {});
+
+  // Returns num_beams ranges normalized to [0, 1] (1 = nothing within
+  // max_range). Beam 0 points along the ego heading; beams sweep CCW.
+  // Other vehicles are re-positioned relative to the ego through the track's
+  // wrap-around metric so the ring topology is respected.
+  std::vector<double> scan(const Vehicle& ego, const std::vector<Vehicle>& all,
+                           std::size_t ego_index, const Track& track,
+                           Rng* noise_rng = nullptr) const;
+
+  const LidarConfig& config() const { return cfg_; }
+
+ private:
+  LidarConfig cfg_;
+};
+
+}  // namespace hero::sim

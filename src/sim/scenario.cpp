@@ -1,0 +1,142 @@
+#include "sim/scenario.h"
+
+namespace hero::sim {
+
+Scenario cooperative_lane_change(int num_learners) {
+  HERO_CHECK_MSG(num_learners >= 1, "need at least one learner");
+  Scenario sc;
+  LaneWorldConfig& cfg = sc.config;
+  cfg.track.circumference = 8.0;
+  cfg.track.lane_width = 0.35;
+  cfg.track.num_lanes = 2;
+  cfg.dt = 0.5;
+  cfg.max_steps = 30;
+  // Team-mean travel: at the episode budgets of the single-core benches the
+  // fully-shared reward learns collision avoidance far more reliably than
+  // the per-vehicle form (see EXPERIMENTS.md, calibration note 2).
+  cfg.shared_travel = true;
+
+  // Geometry calibrated to the paper's Fig. 9 testbed, where vehicles keep
+  // one-to-several car lengths of headway: the merge is comfortably feasible
+  // when the lane-1 vehicles cooperate (yield), marginal when they keep
+  // accelerating, and impossible to avoid a rear-end (within the episode)
+  // for a merger that simply drives on.
+
+  // Learner "vehicle 2": blocked behind the plodder in lane 0, must merge.
+  VehicleSpec merger;
+  merger.start_lane = 0;
+  merger.start_x = 1.2;
+  merger.start_x_jitter = 0.15;
+  merger.start_speed = 0.10;
+
+  // Learner "vehicle 1": lane 1, behind the merge point — the one that has
+  // to yield while the merger crosses.
+  VehicleSpec yielder;
+  yielder.start_lane = 1;
+  yielder.start_x = 0.9;
+  yielder.start_x_jitter = 0.15;
+  yielder.start_speed = 0.10;
+
+  // Learner "vehicle 3": lane 1, further upstream.
+  VehicleSpec follower;
+  follower.start_lane = 1;
+  follower.start_x = -0.5;
+  follower.start_x_jitter = 0.15;
+  follower.start_speed = 0.10;
+
+  // Scripted "vehicle 4": plodding congestion in lane 0.
+  VehicleSpec plodder;
+  plodder.start_lane = 0;
+  plodder.start_x = 2.5;
+  plodder.start_x_jitter = 0.05;
+  plodder.scripted = true;
+  plodder.scripted_speed = 0.04;
+
+  // Order: [yielder, merger, follower, extra..., plodder]; merger_index = 1
+  // mirrors the paper's "vehicle 2". A single-learner scenario keeps only
+  // the merger (it becomes index 0).
+  if (num_learners >= 2) cfg.specs.push_back(yielder);
+  cfg.specs.push_back(merger);
+  if (num_learners >= 3) cfg.specs.push_back(follower);
+  // Additional learners (scalability studies) spread upstream in lane 1.
+  for (int extra = 3; extra < num_learners; ++extra) {
+    VehicleSpec v = follower;
+    v.start_x = follower.start_x - 0.9 * static_cast<double>(extra - 2);
+    cfg.specs.push_back(v);
+  }
+  cfg.specs.push_back(plodder);
+
+  sc.merger_index = num_learners >= 2 ? 1 : 0;
+  sc.merger_target_lane = 1;
+  return sc;
+}
+
+Scenario overtaking_gauntlet(int num_learners) {
+  HERO_CHECK_MSG(num_learners >= 1, "need at least one learner");
+  Scenario sc;
+  LaneWorldConfig& cfg = sc.config;
+  cfg.track.circumference = 10.0;
+  cfg.track.lane_width = 0.35;
+  cfg.track.num_lanes = 2;
+  cfg.dt = 0.5;
+  cfg.max_steps = 40;  // weaving needs more room than the single merge
+  cfg.shared_travel = true;
+
+  // Learners start bunched in lane 0.
+  for (int i = 0; i < num_learners; ++i) {
+    VehicleSpec v;
+    v.start_lane = 0;
+    v.start_x = 0.0 - 0.8 * static_cast<double>(i);
+    v.start_x_jitter = 0.2;
+    v.start_speed = 0.10;
+    cfg.specs.push_back(v);
+  }
+
+  // Staggered blockers: lane 0 ahead, lane 1 further ahead — passing one
+  // blocker puts the learner behind the next in the other lane.
+  VehicleSpec blocker0;
+  blocker0.start_lane = 0;
+  blocker0.start_x = 1.6;
+  blocker0.start_x_jitter = 0.1;
+  blocker0.scripted = true;
+  blocker0.scripted_speed = 0.04;
+  cfg.specs.push_back(blocker0);
+
+  VehicleSpec blocker1 = blocker0;
+  blocker1.start_lane = 1;
+  blocker1.start_x = 3.4;
+  cfg.specs.push_back(blocker1);
+
+  sc.merger_index = 0;        // the lead learner must clear lane 0's blocker
+  sc.merger_target_lane = 1;  // first manoeuvre: move to lane 1
+  return sc;
+}
+
+LaneWorldConfig skill_training_world(bool with_leader) {
+  LaneWorldConfig cfg;
+  cfg.track.circumference = 8.0;
+  cfg.track.lane_width = 0.35;
+  cfg.track.num_lanes = 2;
+  cfg.dt = 0.5;
+  cfg.max_steps = 30;
+
+  VehicleSpec learner;
+  learner.start_lane = 0;
+  learner.start_x = 0.0;
+  learner.start_x_jitter = 0.5;
+  learner.start_speed = 0.10;
+  cfg.specs.push_back(learner);
+
+  if (with_leader) {
+    VehicleSpec leader;
+    leader.start_lane = 0;
+    leader.start_x = 1.5;
+    leader.start_x_jitter = 0.3;
+    leader.scripted = true;
+    leader.scripted_speed = 0.05;
+    cfg.specs.push_back(leader);
+  }
+  return cfg;
+}
+
+}  // namespace hero::sim

@@ -1,0 +1,35 @@
+// Scenario builders reproducing the paper's evaluation setups.
+//
+//  * cooperative_lane_change — Fig. 6 / Fig. 9: a two-lane ring where the
+//    lead vehicle in lane 0 plods (simulated congestion), the vehicle behind
+//    it must merge into lane 1, and the lane-1 vehicles must cooperate to
+//    open a gap.
+//  * skill_training_world — single-vehicle worlds used for stage-1 low-level
+//    skill learning (Sec. V-C), optionally with a slow leader.
+#pragma once
+
+#include "sim/lane_world.h"
+
+namespace hero::sim {
+
+struct Scenario {
+  LaneWorldConfig config;
+  int merger_index = 1;        // the vehicle that must change lane ("vehicle 2")
+  int merger_target_lane = 1;  // where a successful merge ends up
+};
+
+// `num_learners` controls scalability experiments; the paper uses 3 learners
+// plus one scripted plodding vehicle.
+Scenario cooperative_lane_change(int num_learners = 3);
+
+// Single learner on an otherwise empty (or one-leader) ring, for low-level
+// skill training with intrinsic rewards.
+LaneWorldConfig skill_training_world(bool with_leader = false);
+
+// A harder cooperative workload on the same substrate: slow scripted
+// vehicles block BOTH lanes at staggered positions, so the learners must
+// repeatedly weave between lanes and negotiate passing order. Success is
+// judged on the first learner clearing the leading blocker.
+Scenario overtaking_gauntlet(int num_learners = 2);
+
+}  // namespace hero::sim

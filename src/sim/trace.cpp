@@ -1,0 +1,123 @@
+#include "sim/trace.h"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace hero::sim {
+
+void EpisodeTrace::begin(unsigned seed, int num_learners) {
+  HERO_CHECK(num_learners > 0);
+  seed_ = seed;
+  num_learners_ = num_learners;
+  steps_.clear();
+}
+
+void EpisodeTrace::record(const std::vector<TwistCmd>& cmds,
+                          const StepResult& result) {
+  HERO_CHECK_MSG(static_cast<int>(cmds.size()) == num_learners_,
+                 "trace expects " << num_learners_ << " commands");
+  steps_.push_back({cmds, result.collision, result.travel});
+}
+
+void EpisodeTrace::save(std::ostream& os) const {
+  os << "herotrace 1 " << num_learners_ << ' ' << seed_ << '\n';
+  os << std::setprecision(17);
+  for (const auto& s : steps_) {
+    os << "step";
+    for (const auto& c : s.cmds) os << ' ' << c.linear << ' ' << c.angular;
+    os << ' ' << (s.collision ? 1 : 0);
+    for (double t : s.travel) os << ' ' << t;
+    os << '\n';
+  }
+  os << "end\n";
+}
+
+void EpisodeTrace::save_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("EpisodeTrace::save_file: cannot open " + path);
+  save(f);
+}
+
+EpisodeTrace EpisodeTrace::load(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  EpisodeTrace trace;
+  is >> magic >> version >> trace.num_learners_ >> trace.seed_;
+  if (magic != "herotrace" || version != 1) {
+    throw std::runtime_error("EpisodeTrace::load: not a herotrace v1 stream");
+  }
+  std::string tok;
+  std::string line;
+  std::getline(is, line);  // finish the header line
+  while (std::getline(is, line)) {
+    if (line == "end") return trace;
+    std::istringstream ls(line);
+    ls >> tok;
+    if (tok != "step") throw std::runtime_error("EpisodeTrace::load: bad line");
+    TraceStep s;
+    for (int k = 0; k < trace.num_learners_; ++k) {
+      TwistCmd c;
+      ls >> c.linear >> c.angular;
+      s.cmds.push_back(c);
+    }
+    int coll = 0;
+    ls >> coll;
+    s.collision = coll != 0;
+    double t;
+    while (ls >> t) s.travel.push_back(t);
+    if (!ls.eof() && ls.fail()) {
+      throw std::runtime_error("EpisodeTrace::load: truncated step");
+    }
+    trace.steps_.push_back(std::move(s));
+  }
+  throw std::runtime_error("EpisodeTrace::load: missing 'end'");
+}
+
+EpisodeTrace EpisodeTrace::load_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("EpisodeTrace::load_file: cannot open " + path);
+  return load(f);
+}
+
+ReplayReport replay(const EpisodeTrace& trace, const LaneWorldConfig& config,
+                    double travel_tolerance) {
+  ReplayReport report;
+  LaneWorld world(config);
+  Rng rng(trace.seed());
+  world.reset(rng);
+  HERO_CHECK_MSG(world.num_learners() == trace.num_learners(),
+                 "config has " << world.num_learners() << " learners, trace has "
+                               << trace.num_learners());
+
+  for (const auto& step : trace.steps()) {
+    if (world.done()) {
+      report.ok = false;
+      if (report.first_divergence < 0) report.first_divergence = report.steps_replayed;
+      break;
+    }
+    auto result = world.step(step.cmds, rng);
+    ++report.steps_replayed;
+
+    bool mismatch = result.collision != step.collision ||
+                    result.travel.size() != step.travel.size();
+    if (!mismatch) {
+      for (std::size_t i = 0; i < result.travel.size(); ++i) {
+        const double err = std::abs(result.travel[i] - step.travel[i]);
+        report.max_travel_error = std::max(report.max_travel_error, err);
+        if (err > travel_tolerance) mismatch = true;
+      }
+    }
+    if (mismatch && report.first_divergence < 0) {
+      report.ok = false;
+      report.first_divergence = report.steps_replayed - 1;
+    }
+  }
+  return report;
+}
+
+}  // namespace hero::sim

@@ -1,0 +1,83 @@
+// Deterministic episode traces: record every command sent to a LaneWorld
+// (plus the observed outcomes) and replay the file later to reproduce the
+// episode bit-for-bit. Replay verifies recorded travel/collision against the
+// re-simulated run, so a trace doubles as a regression fixture for the
+// simulator and a debugging artifact for training anomalies.
+//
+// Format (text, line-oriented):
+//   herotrace 1 <num_learners> <seed>
+//   step <linear> <angular> ... (num_learners pairs)  <collision> <travel...>
+//   end
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/lane_world.h"
+
+namespace hero::sim {
+
+struct TraceStep {
+  std::vector<TwistCmd> cmds;          // one per learner
+  bool collision = false;
+  std::vector<double> travel;          // per vehicle, as observed at record time
+};
+
+class EpisodeTrace {
+ public:
+  // Begins a new trace: the world must be reset with an Rng seeded `seed`
+  // *immediately before* recording starts, and stepped with a *fresh* Rng
+  // seeded `seed` as well (the trace stores the seed so replay can rebuild
+  // the exact noise sequence).
+  void begin(unsigned seed, int num_learners);
+
+  void record(const std::vector<TwistCmd>& cmds, const StepResult& result);
+
+  unsigned seed() const { return seed_; }
+  int num_learners() const { return num_learners_; }
+  const std::vector<TraceStep>& steps() const { return steps_; }
+  bool empty() const { return steps_.empty(); }
+
+  void save(std::ostream& os) const;
+  void save_file(const std::string& path) const;
+  static EpisodeTrace load(std::istream& is);
+  static EpisodeTrace load_file(const std::string& path);
+
+ private:
+  unsigned seed_ = 0;
+  int num_learners_ = 0;
+  std::vector<TraceStep> steps_;
+};
+
+struct ReplayReport {
+  bool ok = true;              // everything matched
+  int steps_replayed = 0;
+  int first_divergence = -1;   // step index of the first mismatch, or -1
+  double max_travel_error = 0.0;
+};
+
+// Re-simulates the trace on a world built from `config` (reset with the
+// trace's seed) and compares outcomes step by step.
+ReplayReport replay(const EpisodeTrace& trace, const LaneWorldConfig& config,
+                    double travel_tolerance = 1e-9);
+
+// Convenience: runs one episode of `world` under per-step commands from
+// `policy(world)`, recording a trace.
+template <typename Policy>
+EpisodeTrace record_episode(const LaneWorldConfig& config, unsigned seed,
+                            Policy&& policy) {
+  LaneWorld world(config);
+  Rng rng(seed);
+  world.reset(rng);
+  EpisodeTrace trace;
+  trace.begin(seed, world.num_learners());
+  while (!world.done()) {
+    auto cmds = policy(world);
+    auto result = world.step(cmds, rng);
+    trace.record(cmds, result);
+  }
+  return trace;
+}
+
+}  // namespace hero::sim

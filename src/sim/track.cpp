@@ -1,0 +1,52 @@
+#include "sim/track.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hero::sim {
+
+Track::Track(const TrackConfig& cfg) : cfg_(cfg) {
+  HERO_CHECK(cfg_.circumference > 0.0);
+  HERO_CHECK(cfg_.lane_width > 0.0);
+  HERO_CHECK(cfg_.num_lanes >= 1);
+}
+
+double Track::lane_center(int id) const {
+  HERO_CHECK_MSG(id >= 0 && id < cfg_.num_lanes, "lane id " << id << " out of range");
+  return static_cast<double>(id) * cfg_.lane_width;
+}
+
+int Track::lane_of(double y) const {
+  int id = static_cast<int>(std::lround(y / cfg_.lane_width));
+  return std::clamp(id, 0, cfg_.num_lanes - 1);
+}
+
+bool Track::on_road(double y) const {
+  const double lo = -0.5 * cfg_.lane_width;
+  const double hi = lane_center(cfg_.num_lanes - 1) + 0.5 * cfg_.lane_width;
+  return y >= lo && y <= hi;
+}
+
+double Track::wrap_x(double x) const {
+  const double c = cfg_.circumference;
+  x = std::fmod(x, c);
+  if (x < 0.0) x += c;
+  return x;
+}
+
+double Track::signed_dx(double from, double to) const {
+  const double c = cfg_.circumference;
+  double d = wrap_x(to) - wrap_x(from);
+  if (d > 0.5 * c) d -= c;
+  if (d <= -0.5 * c) d += c;
+  return d;
+}
+
+double Track::forward_gap(double from, double to) const {
+  const double c = cfg_.circumference;
+  double d = wrap_x(to) - wrap_x(from);
+  if (d < 0.0) d += c;
+  return d;
+}
+
+}  // namespace hero::sim

@@ -1,0 +1,54 @@
+// Two-lane ring track.
+//
+// The paper's Gazebo world and physical testbed are closed two-lane tracks;
+// we model the road in curvilinear coordinates: `x` is arc length along the
+// ring (wraps at the circumference) and `y` is the signed lateral offset.
+// For the straight-segment kinematics used here the mapping is exact.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace hero::sim {
+
+struct TrackConfig {
+  double circumference = 8.0;  // metres of arc length; x wraps at this value
+  double lane_width = 0.35;    // metres
+  int num_lanes = 2;
+};
+
+class Track {
+ public:
+  explicit Track(const TrackConfig& cfg = {});
+
+  double circumference() const { return cfg_.circumference; }
+  double lane_width() const { return cfg_.lane_width; }
+  int num_lanes() const { return cfg_.num_lanes; }
+
+  // Lateral centre of lane `id` (lane 0 centred at y = 0).
+  double lane_center(int id) const;
+
+  // Lane containing lateral offset y (clamped to valid lanes).
+  int lane_of(double y) const;
+
+  // True if y is within the drivable road (half a lane width beyond the
+  // outermost lane centres).
+  bool on_road(double y) const;
+
+  // Wraps arc-length coordinate into [0, circumference).
+  double wrap_x(double x) const;
+
+  // Signed shortest arc-length from `from` to `to` (positive = ahead),
+  // in (-C/2, C/2].
+  double signed_dx(double from, double to) const;
+
+  // Forward gap from `from` to `to` in [0, C): arc length driving forward.
+  double forward_gap(double from, double to) const;
+
+ private:
+  TrackConfig cfg_;
+};
+
+}  // namespace hero::sim

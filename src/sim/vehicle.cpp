@@ -1,0 +1,31 @@
+#include "sim/vehicle.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hero::sim {
+
+void Vehicle::step(const TwistCmd& cmd, double dt, const Track& track) {
+  const double v = std::clamp(cmd.linear, params_.min_speed, params_.max_speed);
+  const double w = std::clamp(cmd.angular, -params_.max_yaw_rate, params_.max_yaw_rate);
+
+  // Mid-point heading integration keeps trajectories rotation-consistent at
+  // the coarse control rate used here.
+  const double h0 = state_.heading;
+  double h1 = std::clamp(wrap_angle(h0 + w * dt), -params_.max_heading,
+                         params_.max_heading);
+  const double hm = 0.5 * (h0 + h1);
+
+  state_.x = track.wrap_x(state_.x + v * std::cos(hm) * dt);
+  state_.y += v * std::sin(hm) * dt;
+  state_.heading = h1;
+  state_.speed = v;
+  state_.yaw_rate = w;
+}
+
+Obb Vehicle::footprint() const {
+  return Obb{{state_.x, state_.y}, state_.heading, 0.5 * params_.length,
+             0.5 * params_.width};
+}
+
+}  // namespace hero::sim

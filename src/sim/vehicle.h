@@ -1,0 +1,60 @@
+// Kinematic vehicle model.
+//
+// The testbed robots are differential-drive platforms commanded with a
+// (linear speed, angular speed) twist — exactly the paper's low-level action
+// space — so a unicycle integrator is the faithful dynamics model.
+#pragma once
+
+#include "sim/geometry.h"
+#include "sim/track.h"
+
+namespace hero::sim {
+
+struct VehicleParams {
+  double length = 0.30;        // metres
+  double width = 0.18;
+  double max_speed = 0.25;     // hard actuator limits (beyond the RL bounds)
+  double min_speed = 0.0;
+  double max_yaw_rate = 0.6;
+  double max_heading = 1.0;    // |heading| clamp vs the road axis (radians)
+};
+
+struct VehicleState {
+  double x = 0.0;        // arc length along the track (wraps)
+  double y = 0.0;        // lateral offset
+  double heading = 0.0;  // relative to the road axis
+  double speed = 0.0;    // last commanded linear speed
+  double yaw_rate = 0.0; // last commanded angular speed
+};
+
+struct TwistCmd {
+  double linear = 0.0;
+  double angular = 0.0;
+};
+
+class Vehicle {
+ public:
+  Vehicle() = default;
+  Vehicle(const VehicleParams& params, const VehicleState& initial)
+      : params_(params), state_(initial) {}
+
+  // Integrates one control period. Commands are clamped to actuator limits;
+  // heading is clamped so a vehicle can never drive perpendicular to the
+  // road (matching the bounded-steering testbed).
+  void step(const TwistCmd& cmd, double dt, const Track& track);
+
+  const VehicleState& state() const { return state_; }
+  VehicleState& mutable_state() { return state_; }
+  const VehicleParams& params() const { return params_; }
+
+  // Footprint for collision / lidar in (x, y) road coordinates.
+  Obb footprint() const;
+
+  int lane(const Track& track) const { return track.lane_of(state_.y); }
+
+ private:
+  VehicleParams params_;
+  VehicleState state_;
+};
+
+}  // namespace hero::sim

@@ -1,0 +1,93 @@
+#include "viz/plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace hero::viz {
+
+namespace {
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  if (std::abs(v) >= 100 || v == std::floor(v)) {
+    os << std::fixed << std::setprecision(0) << v;
+  } else {
+    os << std::fixed << std::setprecision(2) << v;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+void plot_series(const std::vector<Series>& series, const PlotOptions& options,
+                 const std::string& path) {
+  HERO_CHECK_MSG(!series.empty(), "plot_series needs at least one series");
+  std::size_t n = 0;
+  double ymin = 1e300, ymax = -1e300;
+  for (const auto& s : series) {
+    n = std::max(n, s.values.size());
+    for (double v : s.values) {
+      ymin = std::min(ymin, v);
+      ymax = std::max(ymax, v);
+    }
+  }
+  HERO_CHECK_MSG(n >= 2, "plot_series needs at least two points");
+  if (ymax - ymin < 1e-12) {
+    ymax += 1.0;
+    ymin -= 1.0;
+  }
+  const double pad = 0.05 * (ymax - ymin);
+  ymin -= pad;
+  ymax += pad;
+
+  const double ml = 60, mr = 20, mt = 36, mb = 46;  // margins
+  SvgDocument svg(options.width, options.height);
+  const double pw = options.width - ml - mr;
+  const double ph = options.height - mt - mb;
+
+  auto xpos = [&](double i) { return ml + pw * i / static_cast<double>(n - 1); };
+  auto ypos = [&](double v) { return mt + ph * (1.0 - (v - ymin) / (ymax - ymin)); };
+
+  // Frame + grid + ticks.
+  svg.rect({ml, mt}, pw, ph, "none", "#999");
+  for (int t = 0; t <= options.y_ticks; ++t) {
+    const double v = ymin + (ymax - ymin) * t / options.y_ticks;
+    const double y = ypos(v);
+    svg.line({ml, y}, {ml + pw, y}, "#eee", 1.0);
+    svg.text({ml - 6, y + 4}, fmt(v), 11, "#555", "end");
+  }
+  for (int t = 0; t <= options.x_ticks; ++t) {
+    const double i = static_cast<double>(n - 1) * t / options.x_ticks;
+    const double x = xpos(i);
+    svg.line({x, mt + ph}, {x, mt + ph + 4}, "#999", 1.0);
+    svg.text({x, mt + ph + 18}, fmt(i + 1), 11, "#555", "middle");
+  }
+  svg.text({ml + pw / 2, options.height - 8}, options.x_label, 12, "#333", "middle");
+  svg.text({ml + pw / 2, 20}, options.title, 14, "#111", "middle");
+  svg.text({14, mt + ph / 2}, options.y_label, 12, "#333", "middle");
+
+  // Series + legend.
+  const auto& palette = series_palette();
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const auto& s = series[si];
+    const std::string& color = palette[si % palette.size()];
+    std::vector<Point> pts;
+    pts.reserve(s.values.size());
+    for (std::size_t i = 0; i < s.values.size(); ++i) {
+      pts.push_back({xpos(static_cast<double>(i)), ypos(s.values[i])});
+    }
+    svg.polyline(pts, color);
+    const double lx = ml + 10;
+    const double ly = mt + 14 + 16 * static_cast<double>(si);
+    svg.line({lx, ly - 4}, {lx + 18, ly - 4}, color, 2.5);
+    svg.text({lx + 24, ly}, s.label, 11, "#333");
+  }
+
+  svg.save(path);
+}
+
+}  // namespace hero::viz

@@ -1,0 +1,33 @@
+// Learning-curve plotting: multi-series line charts with axes, ticks and a
+// legend, written as standalone SVG files. The bench harnesses use this to
+// render Fig. 7/8/10-style charts next to their CSV output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "viz/svg.h"
+
+namespace hero::viz {
+
+struct Series {
+  std::string label;
+  std::vector<double> values;  // y per x-index (x = 1..n)
+};
+
+struct PlotOptions {
+  std::string title;
+  std::string x_label = "episode";
+  std::string y_label;
+  double width = 640;
+  double height = 400;
+  int x_ticks = 5;
+  int y_ticks = 5;
+};
+
+// Renders all series on shared axes (x = sample index, auto-scaled y) and
+// writes the SVG to `path`.
+void plot_series(const std::vector<Series>& series, const PlotOptions& options,
+                 const std::string& path);
+
+}  // namespace hero::viz

@@ -1,0 +1,79 @@
+#include "viz/svg.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace hero::viz {
+
+SvgDocument::SvgDocument(double width, double height) : width_(width), height_(height) {
+  HERO_CHECK(width > 0 && height > 0);
+}
+
+void SvgDocument::line(Point a, Point b, const std::string& stroke, double width,
+                       const std::string& dash) {
+  body_ << "<line x1='" << a.x << "' y1='" << a.y << "' x2='" << b.x << "' y2='"
+        << b.y << "' stroke='" << stroke << "' stroke-width='" << width << "'";
+  if (!dash.empty()) body_ << " stroke-dasharray='" << dash << "'";
+  body_ << "/>\n";
+}
+
+void SvgDocument::polyline(const std::vector<Point>& pts, const std::string& stroke,
+                           double width) {
+  if (pts.size() < 2) return;
+  body_ << "<polyline fill='none' stroke='" << stroke << "' stroke-width='" << width
+        << "' points='";
+  for (const auto& p : pts) body_ << p.x << ',' << p.y << ' ';
+  body_ << "'/>\n";
+}
+
+void SvgDocument::rect(Point top_left, double w, double h, const std::string& fill,
+                       const std::string& stroke, double opacity) {
+  body_ << "<rect x='" << top_left.x << "' y='" << top_left.y << "' width='" << w
+        << "' height='" << h << "' fill='" << fill << "' stroke='" << stroke
+        << "' opacity='" << opacity << "'/>\n";
+}
+
+void SvgDocument::rotated_rect(Point center, double w, double h, double angle_deg,
+                               const std::string& fill, double opacity) {
+  body_ << "<rect x='" << center.x - w / 2 << "' y='" << center.y - h / 2
+        << "' width='" << w << "' height='" << h << "' fill='" << fill
+        << "' opacity='" << opacity << "' transform='rotate(" << angle_deg << ' '
+        << center.x << ' ' << center.y << ")'/>\n";
+}
+
+void SvgDocument::circle(Point center, double r, const std::string& fill) {
+  body_ << "<circle cx='" << center.x << "' cy='" << center.y << "' r='" << r
+        << "' fill='" << fill << "'/>\n";
+}
+
+void SvgDocument::text(Point at, const std::string& content, int font_size,
+                       const std::string& fill, const std::string& anchor) {
+  body_ << "<text x='" << at.x << "' y='" << at.y << "' font-size='" << font_size
+        << "' fill='" << fill << "' text-anchor='" << anchor
+        << "' font-family='sans-serif'>" << content << "</text>\n";
+}
+
+std::string SvgDocument::str() const {
+  std::ostringstream os;
+  os << "<svg xmlns='http://www.w3.org/2000/svg' width='" << width_ << "' height='"
+     << height_ << "' viewBox='0 0 " << width_ << ' ' << height_ << "'>\n"
+     << "<rect width='100%' height='100%' fill='white'/>\n"
+     << body_.str() << "</svg>\n";
+  return os.str();
+}
+
+void SvgDocument::save(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("SvgDocument::save: cannot open " + path);
+  f << str();
+}
+
+const std::vector<std::string>& series_palette() {
+  static const std::vector<std::string> kPalette = {
+      "#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377", "#bbbbbb"};
+  return kPalette;
+}
+
+}  // namespace hero::viz

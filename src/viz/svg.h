@@ -1,0 +1,47 @@
+// Minimal SVG document builder — enough for learning-curve plots and
+// track/trajectory renderings without any external dependency.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace hero::viz {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+class SvgDocument {
+ public:
+  SvgDocument(double width, double height);
+
+  void line(Point a, Point b, const std::string& stroke, double width = 1.0,
+            const std::string& dash = "");
+  void polyline(const std::vector<Point>& pts, const std::string& stroke,
+                double width = 1.5);
+  void rect(Point top_left, double w, double h, const std::string& fill,
+            const std::string& stroke = "none", double opacity = 1.0);
+  // Rectangle rotated by `angle_deg` around its centre.
+  void rotated_rect(Point center, double w, double h, double angle_deg,
+                    const std::string& fill, double opacity = 1.0);
+  void circle(Point center, double r, const std::string& fill);
+  void text(Point at, const std::string& content, int font_size = 12,
+            const std::string& fill = "#333", const std::string& anchor = "start");
+
+  double width() const { return width_; }
+  double height() const { return height_; }
+
+  std::string str() const;
+  void save(const std::string& path) const;
+
+ private:
+  double width_, height_;
+  std::ostringstream body_;
+};
+
+// The categorical palette used by every plot (one color per method/series).
+const std::vector<std::string>& series_palette();
+
+}  // namespace hero::viz

@@ -1,0 +1,45 @@
+// Episode trajectory recording and rendering.
+//
+// TrajectoryRecorder snapshots every vehicle pose each step; the renderer
+// unrolls the ring track into a straight band and draws fading footprints,
+// giving a quick visual check of cooperative behaviour (who yielded, when
+// the merge happened, where a collision occurred).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/lane_world.h"
+
+namespace hero::viz {
+
+struct PoseSnapshot {
+  double x, y, heading, speed;
+  int lane;
+};
+
+class TrajectoryRecorder {
+ public:
+  // Call after world.reset(); snapshots the initial poses.
+  void start(const sim::LaneWorld& world);
+  // Call after each world.step().
+  void record(const sim::LaneWorld& world, bool collision);
+
+  int steps() const { return static_cast<int>(frames_.size()) - 1; }
+  int num_vehicles() const {
+    return frames_.empty() ? 0 : static_cast<int>(frames_.front().size());
+  }
+  const std::vector<std::vector<PoseSnapshot>>& frames() const { return frames_; }
+  bool had_collision() const { return collision_step_ >= 0; }
+  int collision_step() const { return collision_step_; }
+
+  // Renders the episode into an SVG file: one horizontal band per lane,
+  // vehicle footprints fading from light (start) to saturated (end).
+  void render_svg(const std::string& path, const sim::Track& track) const;
+
+ private:
+  std::vector<std::vector<PoseSnapshot>> frames_;  // frames_[t][vehicle]
+  int collision_step_ = -1;
+};
+
+}  // namespace hero::viz

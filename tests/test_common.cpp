@@ -1,0 +1,248 @@
+// Unit tests for src/common: RNG, statistics, CSV/table output, CLI flags.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace hero {
+namespace {
+
+// ---------------------------------------------------------------- Rng -----
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(7);
+  RunningStat st;
+  for (int i = 0; i < 20000; ++i) st.add(rng.normal(1.0, 2.0));
+  EXPECT_NEAR(st.mean(), 1.0, 0.1);
+  EXPECT_NEAR(st.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, RandintInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int v = rng.randint(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 2;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(11);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.categorical(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+TEST(Rng, CategoricalDegenerateFallsBackToUniform) {
+  Rng rng(5);
+  std::vector<double> w = {0.0, 0.0};
+  int counts[2] = {0, 0};
+  for (int i = 0; i < 1000; ++i) ++counts[rng.categorical(w)];
+  EXPECT_GT(counts[0], 300);
+  EXPECT_GT(counts[1], 300);
+}
+
+TEST(Rng, CategoricalRejectsNegativeWeights) {
+  Rng rng(5);
+  std::vector<double> w = {0.5, -0.1};
+  EXPECT_THROW(rng.categorical(w), std::logic_error);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(9);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  auto resorted = v;
+  std::sort(resorted.begin(), resorted.end());
+  EXPECT_EQ(resorted, sorted);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.split();
+  // The child must not replay the parent's stream.
+  Rng b(42);
+  (void)b.split();
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+// ---------------------------------------------------------- RunningStat ---
+
+TEST(RunningStat, MatchesDirectComputation) {
+  RunningStat st;
+  std::vector<double> xs = {1.0, 4.0, -2.0, 8.0, 3.0};
+  for (double x : xs) st.add(x);
+  EXPECT_EQ(st.count(), 5u);
+  EXPECT_DOUBLE_EQ(st.mean(), mean_of(xs));
+  EXPECT_NEAR(st.stddev(), stddev_of(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(st.min(), -2.0);
+  EXPECT_DOUBLE_EQ(st.max(), 8.0);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat st;
+  EXPECT_EQ(st.count(), 0u);
+  EXPECT_DOUBLE_EQ(st.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(st.variance(), 0.0);
+}
+
+TEST(RunningStat, ResetClears) {
+  RunningStat st;
+  st.add(5.0);
+  st.reset();
+  EXPECT_EQ(st.count(), 0u);
+}
+
+// -------------------------------------------------------- MovingAverage ---
+
+TEST(MovingAverage, WindowedMean) {
+  MovingAverage ma(3);
+  EXPECT_DOUBLE_EQ(ma.add(3.0), 3.0);
+  EXPECT_DOUBLE_EQ(ma.add(6.0), 4.5);
+  EXPECT_DOUBLE_EQ(ma.add(9.0), 6.0);
+  EXPECT_TRUE(ma.full());
+  EXPECT_DOUBLE_EQ(ma.add(12.0), 9.0);  // 3.0 dropped
+}
+
+TEST(MovingAverage, ZeroWindowClampedToOne) {
+  MovingAverage ma(0);
+  EXPECT_DOUBLE_EQ(ma.add(5.0), 5.0);
+  EXPECT_DOUBLE_EQ(ma.add(7.0), 7.0);
+}
+
+TEST(Downsample, BlockAverages) {
+  std::vector<double> s = {1, 2, 3, 4, 5, 6};
+  auto d = downsample(s, 3);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0].second, 1.5);
+  EXPECT_DOUBLE_EQ(d[1].second, 3.5);
+  EXPECT_DOUBLE_EQ(d[2].second, 5.5);
+  EXPECT_EQ(d[2].first, 5u);
+}
+
+TEST(Downsample, FewerPointsThanRequested) {
+  std::vector<double> s = {1, 2};
+  auto d = downsample(s, 10);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+// ----------------------------------------------------------------- Csv ----
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = std::filesystem::temp_directory_path() / "hero_csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.row(std::vector<double>{1.5, 2.0});
+    csv.row(std::vector<std::string>{"x", "y"});
+  }
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(f, line);
+  EXPECT_EQ(line, "1.5,2");
+  std::getline(f, line);
+  EXPECT_EQ(line, "x,y");
+  std::filesystem::remove(path);
+}
+
+TEST(CsvWriter, RejectsWrongWidth) {
+  const std::string path = std::filesystem::temp_directory_path() / "hero_csv_test2.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.row(std::vector<double>{1.0}), std::logic_error);
+  std::filesystem::remove(path);
+}
+
+// --------------------------------------------------------------- Table ----
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "v"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Header row and separator present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TablePrinter, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::num(0.123456, 3), "0.123");
+  EXPECT_EQ(TablePrinter::num(2.0, 1), "2.0");
+}
+
+// --------------------------------------------------------------- Flags ----
+
+TEST(Flags, ParsesAllForms) {
+  const char* argv[] = {"prog", "--a", "3",  "--b=4.5", "--flag",
+                        "--no-quiet", "pos1"};
+  Flags f(7, const_cast<char**>(argv));
+  EXPECT_EQ(f.get_int("a", 0), 3);
+  EXPECT_DOUBLE_EQ(f.get_double("b", 0.0), 4.5);
+  EXPECT_TRUE(f.get_bool("flag", false));
+  EXPECT_FALSE(f.get_bool("quiet", true));
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "pos1");
+  EXPECT_NO_THROW(f.check_unknown());
+}
+
+TEST(Flags, DefaultsWhenMissing) {
+  const char* argv[] = {"prog"};
+  Flags f(1, const_cast<char**>(argv));
+  EXPECT_EQ(f.get_int("missing", 7), 7);
+  EXPECT_EQ(f.get_string("s", "d"), "d");
+}
+
+TEST(Flags, UnknownFlagDetected) {
+  const char* argv[] = {"prog", "--oops", "1"};
+  Flags f(3, const_cast<char**>(argv));
+  EXPECT_THROW(f.check_unknown(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hero

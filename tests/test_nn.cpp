@@ -1,0 +1,359 @@
+// Unit tests for the NN library: matrix kernels, layer gradients (finite
+// differences), losses, optimizers, serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <sstream>
+
+#include "nn/grad_check.h"
+#include "nn/losses.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+
+namespace hero::nn {
+namespace {
+
+// -------------------------------------------------------------- Matrix ----
+
+TEST(Matrix, MatmulKnownValues) {
+  Matrix a(2, 3);
+  // [1 2 3; 4 5 6]
+  double av[] = {1, 2, 3, 4, 5, 6};
+  std::copy(av, av + 6, a.data());
+  Matrix b(3, 2);
+  double bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(bv, bv + 6, b.data());
+  Matrix c = a.matmul(b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154);
+}
+
+TEST(Matrix, MatmulShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 2);
+  EXPECT_THROW(a.matmul(b), std::logic_error);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Rng rng(1);
+  Matrix a = Matrix::xavier(3, 5, rng);
+  Matrix t = a.transpose().transpose();
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 5; ++j) EXPECT_DOUBLE_EQ(a(i, j), t(i, j));
+}
+
+TEST(Matrix, HcatAndColSlice) {
+  Matrix a = Matrix::row({1, 2});
+  Matrix b = Matrix::row({3, 4, 5});
+  Matrix c = a.hcat(b);
+  ASSERT_EQ(c.cols(), 5u);
+  EXPECT_DOUBLE_EQ(c(0, 2), 3);
+  Matrix s = c.col_slice(2, 5);
+  EXPECT_EQ(s.cols(), 3u);
+  EXPECT_DOUBLE_EQ(s(0, 0), 3);
+  EXPECT_DOUBLE_EQ(s(0, 2), 5);
+}
+
+TEST(Matrix, StackRowsRejectsRagged) {
+  EXPECT_THROW(Matrix::stack_rows({{1.0, 2.0}, {3.0}}), std::logic_error);
+}
+
+TEST(Matrix, ArithmeticOps) {
+  Matrix a = Matrix::row({1, 2});
+  Matrix b = Matrix::row({3, 5});
+  EXPECT_DOUBLE_EQ((a + b)(0, 1), 7);
+  EXPECT_DOUBLE_EQ((b - a)(0, 0), 2);
+  EXPECT_DOUBLE_EQ((a * 2.0)(0, 1), 4);
+  EXPECT_DOUBLE_EQ(a.hadamard(b)(0, 1), 10);
+  EXPECT_DOUBLE_EQ(b.sum(), 8);
+  EXPECT_DOUBLE_EQ(b.abs_max(), 5);
+}
+
+TEST(Matrix, XavierWithinBound) {
+  Rng rng(2);
+  Matrix w = Matrix::xavier(10, 20, rng);
+  const double bound = std::sqrt(6.0 / 30.0);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_LE(std::abs(w.data()[i]), bound);
+  }
+}
+
+// ------------------------------------------------------- gradient checks --
+
+TEST(MlpGradients, MseLossFiniteDifference) {
+  Rng rng(3);
+  Mlp net(4, {8, 8}, 3, rng);
+  Matrix x = Matrix::xavier(5, 4, rng);
+  Matrix target = Matrix::xavier(5, 3, rng);
+
+  auto loss_fn = [&]() { return mse_loss(net.forward(x), target).loss; };
+  net.zero_grad();
+  auto loss = mse_loss(net.forward(x), target);
+  net.backward(loss.grad);
+  EXPECT_LT(max_param_grad_error(net, loss_fn), 1e-5);
+}
+
+TEST(MlpGradients, TanhActivationFiniteDifference) {
+  Rng rng(4);
+  Mlp net(3, {6}, 2, rng, Activation::kTanh, Activation::kTanh);
+  Matrix x = Matrix::xavier(4, 3, rng);
+  Matrix target(4, 2, 0.3);
+
+  auto loss_fn = [&]() { return mse_loss(net.forward(x), target).loss; };
+  net.zero_grad();
+  auto loss = mse_loss(net.forward(x), target);
+  net.backward(loss.grad);
+  EXPECT_LT(max_param_grad_error(net, loss_fn), 1e-5);
+}
+
+TEST(MlpGradients, SoftmaxCrossEntropyFiniteDifference) {
+  Rng rng(5);
+  Mlp net(4, {8}, 5, rng);
+  Matrix x = Matrix::xavier(6, 4, rng);
+  std::vector<std::size_t> targets = {0, 1, 2, 3, 4, 2};
+
+  auto loss_fn = [&]() {
+    return softmax_cross_entropy(net.forward(x), targets).loss;
+  };
+  net.zero_grad();
+  auto loss = softmax_cross_entropy(net.forward(x), targets);
+  net.backward(loss.grad);
+  EXPECT_LT(max_param_grad_error(net, loss_fn), 1e-5);
+}
+
+TEST(MlpGradients, SelectedMseFiniteDifference) {
+  Rng rng(6);
+  Mlp net(3, {8}, 4, rng);
+  Matrix x = Matrix::xavier(5, 3, rng);
+  std::vector<std::size_t> cols = {0, 3, 1, 2, 0};
+  std::vector<double> targets = {0.1, -0.5, 2.0, 0.0, 1.0};
+
+  auto loss_fn = [&]() {
+    return mse_loss_selected(net.forward(x), cols, targets).loss;
+  };
+  net.zero_grad();
+  auto loss = mse_loss_selected(net.forward(x), cols, targets);
+  net.backward(loss.grad);
+  EXPECT_LT(max_param_grad_error(net, loss_fn), 1e-5);
+}
+
+TEST(MlpGradients, InputGradientFiniteDifference) {
+  // dL/d(input) must also be exact — the deterministic policy gradient and
+  // SAC actor updates rely on it.
+  Rng rng(7);
+  Mlp net(4, {8}, 1, rng);
+  Matrix x = Matrix::xavier(1, 4, rng);
+
+  net.zero_grad();
+  Matrix out = net.forward(x);
+  Matrix dout(1, 1, 1.0);
+  Matrix din = net.backward(dout);
+
+  const double h = 1e-6;
+  for (std::size_t j = 0; j < 4; ++j) {
+    Matrix xp = x, xm = x;
+    xp(0, j) += h;
+    xm(0, j) -= h;
+    const double numeric =
+        (net.forward(xp)(0, 0) - net.forward(xm)(0, 0)) / (2 * h);
+    EXPECT_NEAR(din(0, j), numeric, 1e-5);
+  }
+}
+
+// -------------------------------------------------------------- losses ----
+
+TEST(Losses, SoftmaxRowsSumToOne) {
+  Rng rng(8);
+  Matrix logits = Matrix::xavier(4, 6, rng) * 10.0;
+  Matrix p = softmax(logits);
+  for (std::size_t i = 0; i < 4; ++i) {
+    double s = 0;
+    for (std::size_t j = 0; j < 6; ++j) s += p(i, j);
+    EXPECT_NEAR(s, 1.0, 1e-12);
+  }
+}
+
+TEST(Losses, SoftmaxStableForHugeLogits) {
+  Matrix logits = Matrix::row({1000.0, 999.0, 0.0});
+  Matrix p = softmax(logits);
+  EXPECT_FALSE(std::isnan(p(0, 0)));
+  EXPECT_GT(p(0, 0), p(0, 1));
+  EXPECT_NEAR(p(0, 2), 0.0, 1e-12);
+  Matrix lp = log_softmax(logits);
+  EXPECT_FALSE(std::isnan(lp(0, 2)));
+}
+
+TEST(Losses, EntropyUniformIsLogN) {
+  Matrix logits(1, 4, 0.0);
+  auto ent = softmax_entropy(logits);
+  EXPECT_NEAR(ent[0], std::log(4.0), 1e-12);
+}
+
+TEST(Losses, HuberMatchesMseInQuadraticRegion) {
+  Matrix pred = Matrix::row({0.3});
+  std::vector<std::size_t> cols = {0};
+  std::vector<double> targets = {0.1};
+  auto h = huber_loss_selected(pred, cols, targets, 1.0);
+  // 0.5·d² with d = 0.2
+  EXPECT_NEAR(h.loss, 0.5 * 0.04, 1e-12);
+  EXPECT_NEAR(h.grad(0, 0), 0.2, 1e-12);
+}
+
+TEST(Losses, HuberLinearTail) {
+  Matrix pred = Matrix::row({5.0});
+  auto h = huber_loss_selected(pred, {0}, {0.0}, 1.0);
+  EXPECT_NEAR(h.loss, 1.0 * (5.0 - 0.5), 1e-12);
+  EXPECT_NEAR(h.grad(0, 0), 1.0, 1e-12);
+}
+
+TEST(Losses, WeightedCrossEntropyScales) {
+  Matrix logits = Matrix::row({0.2, -0.1, 0.5});
+  std::vector<std::size_t> t = {1};
+  std::vector<double> w = {2.0};
+  auto plain = softmax_cross_entropy(logits, t);
+  auto weighted = softmax_cross_entropy(logits, t, &w);
+  EXPECT_NEAR(weighted.loss, 2.0 * plain.loss, 1e-12);
+}
+
+// ----------------------------------------------------------- optimizers ---
+
+TEST(Adam, MinimizesQuadratic) {
+  // One 1×1 parameter, loss (w−3)².
+  Matrix w(1, 1, 0.0), g(1, 1, 0.0);
+  Adam opt({{&w, &g}}, 0.1);
+  for (int i = 0; i < 500; ++i) {
+    g(0, 0) = 2.0 * (w(0, 0) - 3.0);
+    opt.step();
+  }
+  EXPECT_NEAR(w(0, 0), 3.0, 1e-2);
+}
+
+TEST(Adam, ZeroesGradAfterStep) {
+  Matrix w(1, 1, 0.0), g(1, 1, 5.0);
+  Adam opt({{&w, &g}}, 0.1);
+  opt.step();
+  EXPECT_DOUBLE_EQ(g(0, 0), 0.0);
+}
+
+TEST(Sgd, MomentumAccelerates) {
+  Matrix w1(1, 1, 10.0), g1(1, 1, 0.0);
+  Matrix w2(1, 1, 10.0), g2(1, 1, 0.0);
+  Sgd plain({{&w1, &g1}}, 0.01, 0.0);
+  Sgd mom({{&w2, &g2}}, 0.01, 0.9);
+  for (int i = 0; i < 50; ++i) {
+    g1(0, 0) = 2.0 * w1(0, 0);
+    g2(0, 0) = 2.0 * w2(0, 0);
+    plain.step();
+    mom.step();
+  }
+  EXPECT_LT(std::abs(w2(0, 0)), std::abs(w1(0, 0)));
+}
+
+// ------------------------------------------------------------ Mlp utils ---
+
+TEST(Mlp, SoftUpdateInterpolates) {
+  Rng rng(9);
+  Mlp a(2, {4}, 1, rng), b(2, {4}, 1, rng);
+  Mlp b0 = b;
+  b.soft_update_from(a, 0.25);
+  auto pa = a.params();
+  auto pb = b.params();
+  auto pb0 = b0.params();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    for (std::size_t k = 0; k < pa[i].value->size(); ++k) {
+      const double expected = 0.25 * pa[i].value->data()[k] +
+                              0.75 * pb0[i].value->data()[k];
+      EXPECT_NEAR(pb[i].value->data()[k], expected, 1e-12);
+    }
+  }
+}
+
+TEST(Mlp, CopyIsDeep) {
+  Rng rng(10);
+  Mlp a(2, {4}, 1, rng);
+  Mlp b = a;
+  const std::vector<double> x = {0.5, -0.5};
+  const double before = b.forward1(x)[0];
+  // Perturb a; b's output must not move.
+  a.params()[0].value->data()[0] += 1.0;
+  EXPECT_DOUBLE_EQ(b.forward1(x)[0], before);
+  EXPECT_NE(a.forward1(x)[0], before);
+}
+
+TEST(Mlp, ClipGradNorm) {
+  Rng rng(11);
+  Mlp net(2, {}, 1, rng);
+  for (auto p : net.params()) p.grad->fill(10.0);
+  const double norm = net.clip_grad_norm(1.0);
+  EXPECT_GT(norm, 1.0);
+  double sq = 0;
+  for (auto p : net.params())
+    for (std::size_t k = 0; k < p.grad->size(); ++k)
+      sq += p.grad->data()[k] * p.grad->data()[k];
+  EXPECT_NEAR(std::sqrt(sq), 1.0, 1e-9);
+}
+
+TEST(Mlp, NumParamsCountsEverything) {
+  Rng rng(12);
+  Mlp net(3, {5}, 2, rng);
+  // (3·5 + 5) + (5·2 + 2) = 32
+  EXPECT_EQ(net.num_params(), 32u);
+}
+
+TEST(Mlp, DimsReported) {
+  Rng rng(13);
+  Mlp net(7, {5}, 2, rng);
+  EXPECT_EQ(net.in_dim(), 7u);
+  EXPECT_EQ(net.out_dim(), 2u);
+}
+
+// -------------------------------------------------------- serialization ---
+
+TEST(Serialize, RoundTripPreservesOutputs) {
+  Rng rng(14);
+  Mlp a(4, {8}, 3, rng);
+  Mlp b(4, {8}, 3, rng);
+  std::stringstream ss;
+  save_params(a, ss);
+  load_params(b, ss);
+  const std::vector<double> x = {0.1, -0.2, 0.3, 0.9};
+  auto ya = a.forward1(x);
+  auto yb = b.forward1(x);
+  for (std::size_t i = 0; i < ya.size(); ++i) EXPECT_NEAR(ya[i], yb[i], 1e-12);
+}
+
+TEST(Serialize, RejectsArchitectureMismatch) {
+  Rng rng(15);
+  Mlp a(4, {8}, 3, rng);
+  Mlp b(4, {6}, 3, rng);
+  std::stringstream ss;
+  save_params(a, ss);
+  EXPECT_THROW(load_params(b, ss), std::runtime_error);
+}
+
+TEST(Serialize, RejectsGarbage) {
+  Rng rng(16);
+  Mlp a(2, {}, 1, rng);
+  std::stringstream ss("not a checkpoint");
+  EXPECT_THROW(load_params(a, ss), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  Rng rng(17);
+  Mlp a(3, {4}, 2, rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "hero_ckpt_test.ckpt").string();
+  save_params_file(a, path);
+  Mlp b(3, {4}, 2, rng);
+  load_params_file(b, path);
+  EXPECT_NEAR(a.forward1({1, 2, 3})[0], b.forward1({1, 2, 3})[0], 1e-12);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace hero::nn

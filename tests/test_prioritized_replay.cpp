@@ -1,0 +1,153 @@
+// Tests for prioritized experience replay: sum-tree arithmetic, sampling
+// proportionality, importance weights, and the PER-enabled DQN path.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "algos/dqn.h"
+#include "rl/prioritized_replay.h"
+
+namespace hero::rl {
+namespace {
+
+// ------------------------------------------------------------- SumTree ----
+
+TEST(SumTree, TotalTracksUpdates) {
+  SumTree tree(5);
+  EXPECT_DOUBLE_EQ(tree.total(), 0.0);
+  tree.set(0, 1.0);
+  tree.set(3, 2.5);
+  EXPECT_DOUBLE_EQ(tree.total(), 3.5);
+  tree.set(0, 0.5);  // overwrite, not add
+  EXPECT_DOUBLE_EQ(tree.total(), 3.0);
+  EXPECT_DOUBLE_EQ(tree.priority(0), 0.5);
+  EXPECT_DOUBLE_EQ(tree.priority(3), 2.5);
+  EXPECT_DOUBLE_EQ(tree.priority(1), 0.0);
+}
+
+TEST(SumTree, FindLandsInCorrectLeaf) {
+  SumTree tree(4);
+  tree.set(0, 1.0);
+  tree.set(1, 2.0);
+  tree.set(2, 3.0);
+  tree.set(3, 4.0);
+  // Prefix sums: [0,1), [1,3), [3,6), [6,10).
+  EXPECT_EQ(tree.find(0.5), 0u);
+  EXPECT_EQ(tree.find(1.0), 1u);
+  EXPECT_EQ(tree.find(2.99), 1u);
+  EXPECT_EQ(tree.find(3.0), 2u);
+  EXPECT_EQ(tree.find(9.99), 3u);
+}
+
+TEST(SumTree, NonPowerOfTwoCapacity) {
+  SumTree tree(3);
+  tree.set(0, 1.0);
+  tree.set(2, 1.0);
+  EXPECT_DOUBLE_EQ(tree.total(), 2.0);
+  EXPECT_EQ(tree.find(1.5), 2u);
+}
+
+TEST(SumTree, RejectsOutOfRange) {
+  SumTree tree(3);
+  EXPECT_THROW(tree.set(3, 1.0), std::logic_error);
+  EXPECT_THROW(tree.priority(3), std::logic_error);
+  EXPECT_THROW(tree.set(0, -1.0), std::logic_error);
+}
+
+// ------------------------------------------------- PrioritizedReplay ------
+
+TEST(PrioritizedReplay, NewItemsGetSampled) {
+  PrioritizedReplayBuffer<int> buf(8, 0.6, 0.4);
+  Rng rng(1);
+  for (int i = 0; i < 8; ++i) buf.add(i);
+  auto s = buf.sample(64, rng);
+  std::map<int, int> seen;
+  for (std::size_t idx : s.indices) ++seen[buf.at(idx)];
+  EXPECT_GE(seen.size(), 6u);  // near-uniform before any priority updates
+}
+
+TEST(PrioritizedReplay, HighTdErrorSampledMoreOften) {
+  PrioritizedReplayBuffer<int> buf(4, 1.0, 0.4);  // α=1: fully proportional
+  Rng rng(2);
+  for (int i = 0; i < 4; ++i) buf.add(i);
+  // Item 2 gets a much larger TD error.
+  buf.update_priorities({0, 1, 2, 3}, {0.1, 0.1, 10.0, 0.1});
+  std::map<std::size_t, int> counts;
+  for (int trial = 0; trial < 200; ++trial) {
+    auto s = buf.sample(8, rng);
+    for (std::size_t idx : s.indices) ++counts[idx];
+  }
+  EXPECT_GT(counts[2], 5 * counts[0]);
+  EXPECT_GT(counts[2], 5 * counts[3]);
+}
+
+TEST(PrioritizedReplay, WeightsNormalizedToMaxOne) {
+  PrioritizedReplayBuffer<int> buf(8, 0.6, 0.7);
+  Rng rng(3);
+  for (int i = 0; i < 8; ++i) buf.add(i);
+  buf.update_priorities({0, 1, 2, 3, 4, 5, 6, 7},
+                        {0.1, 0.5, 3.0, 0.2, 0.9, 0.05, 1.5, 0.3});
+  auto s = buf.sample(32, rng);
+  double max_w = 0;
+  for (double w : s.weights) {
+    EXPECT_GT(w, 0.0);
+    EXPECT_LE(w, 1.0 + 1e-12);
+    max_w = std::max(max_w, w);
+  }
+  EXPECT_NEAR(max_w, 1.0, 1e-9);
+}
+
+TEST(PrioritizedReplay, RareItemsGetLargerWeights) {
+  PrioritizedReplayBuffer<int> buf(4, 1.0, 1.0);  // full correction
+  Rng rng(4);
+  for (int i = 0; i < 4; ++i) buf.add(i);
+  buf.update_priorities({0, 1, 2, 3}, {0.1, 0.1, 5.0, 0.1});
+  // Sample until we see both a high- and a low-priority item.
+  double w_high = -1, w_low = -1;
+  for (int trial = 0; trial < 50 && (w_high < 0 || w_low < 0); ++trial) {
+    auto s = buf.sample(16, rng);
+    for (std::size_t k = 0; k < s.indices.size(); ++k) {
+      if (s.indices[k] == 2) w_high = s.weights[k];
+      if (s.indices[k] == 0) w_low = s.weights[k];
+    }
+  }
+  ASSERT_GE(w_high, 0.0);
+  ASSERT_GE(w_low, 0.0);
+  EXPECT_GT(w_low, w_high);  // rarely-sampled items correct upward
+}
+
+TEST(PrioritizedReplay, OverwriteKeepsSizeBounded) {
+  PrioritizedReplayBuffer<int> buf(4, 0.6, 0.4);
+  for (int i = 0; i < 20; ++i) buf.add(i);
+  EXPECT_EQ(buf.size(), 4u);
+  Rng rng(5);
+  auto s = buf.sample(16, rng);
+  for (std::size_t idx : s.indices) EXPECT_GE(buf.at(idx), 16);
+}
+
+TEST(PrioritizedReplay, BetaAnneal) {
+  PrioritizedReplayBuffer<int> buf(4, 0.6, 0.4);
+  EXPECT_DOUBLE_EQ(buf.beta(), 0.4);
+  buf.set_beta(1.0);
+  EXPECT_DOUBLE_EQ(buf.beta(), 1.0);
+}
+
+// --------------------------------------------------- PER-enabled DQN ------
+
+TEST(PrioritizedDqn, TrainsWithoutCrashing) {
+  Rng rng(6);
+  auto sc = sim::cooperative_lane_change();
+  algos::DqnConfig cfg;
+  cfg.prioritized = true;
+  cfg.batch = 32;
+  cfg.warmup_steps = 64;
+  algos::IndependentDqnTrainer trainer(sc, cfg, rng);
+  int eps = 0;
+  trainer.train(5, rng, [&](int, const rl::EpisodeStats&) { ++eps; });
+  EXPECT_EQ(eps, 5);
+  auto cmds = trainer.act(trainer.world(), rng, false);
+  EXPECT_EQ(cmds.size(), 3u);
+}
+
+}  // namespace
+}  // namespace hero::rl

@@ -1,0 +1,217 @@
+// Tests for the RL infrastructure: replay buffer, exploration schedules and
+// noise, the discrete action grid, and the shared evaluation harness.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rl/discretizer.h"
+#include "rl/evaluation.h"
+#include "rl/exploration.h"
+#include "rl/replay_buffer.h"
+#include "sim/scenario.h"
+
+namespace hero::rl {
+namespace {
+
+// -------------------------------------------------------- ReplayBuffer ----
+
+TEST(ReplayBuffer, FillsThenOverwritesOldest) {
+  ReplayBuffer<int> buf(3);
+  buf.add(1);
+  buf.add(2);
+  buf.add(3);
+  EXPECT_EQ(buf.size(), 3u);
+  buf.add(4);  // overwrites slot 0
+  EXPECT_EQ(buf.size(), 3u);
+  std::multiset<int> contents;
+  for (std::size_t i = 0; i < buf.size(); ++i) contents.insert(buf.at(i));
+  EXPECT_TRUE(contents.count(4));
+  EXPECT_FALSE(contents.count(1));
+}
+
+TEST(ReplayBuffer, SampleReturnsStoredItems) {
+  ReplayBuffer<int> buf(10);
+  for (int i = 0; i < 5; ++i) buf.add(i * 10);
+  Rng rng(1);
+  auto s = buf.sample(100, rng);
+  EXPECT_EQ(s.size(), 100u);
+  for (const int* p : s) {
+    EXPECT_EQ(*p % 10, 0);
+    EXPECT_LE(*p, 40);
+  }
+}
+
+TEST(ReplayBuffer, SampleCoversAllItems) {
+  ReplayBuffer<int> buf(10);
+  for (int i = 0; i < 10; ++i) buf.add(i);
+  Rng rng(2);
+  std::set<int> seen;
+  for (const int* p : buf.sample(500, rng)) seen.insert(*p);
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(ReplayBuffer, ReadyThreshold) {
+  ReplayBuffer<int> buf(10);
+  EXPECT_FALSE(buf.ready(1));
+  buf.add(1);
+  EXPECT_TRUE(buf.ready(1));
+  EXPECT_FALSE(buf.ready(2));
+}
+
+TEST(ReplayBuffer, ClearResets) {
+  ReplayBuffer<int> buf(4);
+  buf.add(1);
+  buf.clear();
+  EXPECT_EQ(buf.size(), 0u);
+  buf.add(7);
+  EXPECT_EQ(buf.at(0), 7);
+}
+
+TEST(ReplayBuffer, SampleEmptyThrows) {
+  ReplayBuffer<int> buf(4);
+  Rng rng(3);
+  EXPECT_THROW(buf.sample(1, rng), std::logic_error);
+}
+
+// ------------------------------------------------------------ schedules ---
+
+TEST(LinearSchedule, Interpolates) {
+  LinearSchedule s(1.0, 0.1, 100);
+  EXPECT_DOUBLE_EQ(s.value(0), 1.0);
+  EXPECT_NEAR(s.value(50), 0.55, 1e-12);
+  EXPECT_DOUBLE_EQ(s.value(100), 0.1);
+  EXPECT_DOUBLE_EQ(s.value(1000), 0.1);
+  EXPECT_DOUBLE_EQ(s.value(-5), 1.0);
+}
+
+TEST(OrnsteinUhlenbeck, MeanRevertsAndResets) {
+  OrnsteinUhlenbeck ou(1, 0.5, 0.0, 1.0);  // no diffusion: pure decay
+  Rng rng(4);
+  // Manually push the state by sampling with sigma 0 — state stays 0; use a
+  // sigma > 0 process to verify boundedness instead.
+  OrnsteinUhlenbeck noisy(2, 0.15, 0.2, 1.0);
+  double last = 0.0;
+  for (int i = 0; i < 1000; ++i) last = noisy.sample(rng)[0];
+  (void)last;
+  noisy.reset();
+  // After reset the very first sample is a single small step from zero.
+  auto v = noisy.sample(rng);
+  EXPECT_LT(std::abs(v[0]), 1.5);
+}
+
+TEST(OrnsteinUhlenbeck, TemporallyCorrelated) {
+  OrnsteinUhlenbeck ou(1, 0.05, 0.1, 1.0);
+  Rng rng(5);
+  // Consecutive samples should be closer than independent draws: measure the
+  // lag-1 autocorrelation over a long run.
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(ou.sample(rng)[0]);
+  double mean = 0;
+  for (double x : xs) mean += x;
+  mean /= xs.size();
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+    num += (xs[i] - mean) * (xs[i + 1] - mean);
+    den += (xs[i] - mean) * (xs[i] - mean);
+  }
+  EXPECT_GT(num / den, 0.7);
+}
+
+TEST(GaussianPerturb, RespectsBounds) {
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    auto a = gaussian_perturb({0.19, 0.24}, {0.04, -0.25}, {0.2, 0.25}, 0.5, rng);
+    EXPECT_GE(a[0], 0.04);
+    EXPECT_LE(a[0], 0.2);
+    EXPECT_GE(a[1], -0.25);
+    EXPECT_LE(a[1], 0.25);
+  }
+}
+
+// ------------------------------------------------------------ ActionGrid --
+
+TEST(ActionGrid, SizeAndDecode) {
+  ActionGrid g = ActionGrid::standard();
+  EXPECT_EQ(g.size(), 25u);
+  auto c0 = g.decode(0);
+  EXPECT_DOUBLE_EQ(c0.linear, 0.04);
+  EXPECT_DOUBLE_EQ(c0.angular, -0.25);
+  auto clast = g.decode(24);
+  EXPECT_DOUBLE_EQ(clast.linear, 0.20);
+  EXPECT_DOUBLE_EQ(clast.angular, 0.25);
+}
+
+TEST(ActionGrid, EncodeDecodeRoundTrip) {
+  ActionGrid g = ActionGrid::standard();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_EQ(g.encode(g.decode(i)), i);
+  }
+}
+
+TEST(ActionGrid, EncodeSnapsToNearest) {
+  ActionGrid g = ActionGrid::standard();
+  auto c = g.decode(g.encode({0.05, 0.01}));
+  EXPECT_DOUBLE_EQ(c.linear, 0.04);
+  EXPECT_DOUBLE_EQ(c.angular, 0.0);
+}
+
+TEST(ActionGrid, DecodeOutOfRangeThrows) {
+  ActionGrid g = ActionGrid::standard();
+  EXPECT_THROW(g.decode(25), std::logic_error);
+}
+
+// ------------------------------------------------------------ evaluation --
+
+// A scripted controller used to exercise the harness deterministically.
+class ConstantController : public Controller {
+ public:
+  explicit ConstantController(sim::TwistCmd cmd) : cmd_(cmd) {}
+  std::vector<sim::TwistCmd> act(const sim::LaneWorld& world, Rng&, bool) override {
+    return std::vector<sim::TwistCmd>(
+        static_cast<std::size_t>(world.num_learners()), cmd_);
+  }
+
+ private:
+  sim::TwistCmd cmd_;
+};
+
+TEST(Evaluation, CrawlingAvoidsCollisionButNeverMerges) {
+  auto sc = sim::cooperative_lane_change();
+  sim::LaneWorld world(sc.config);
+  ConstantController crawl({0.04, 0.0});  // match the plodder's speed
+  Rng rng(7);
+  auto summary = evaluate(world, crawl, rng, 10, sc.merger_index,
+                          sc.merger_target_lane);
+  EXPECT_EQ(summary.episodes, 10);
+  EXPECT_DOUBLE_EQ(summary.collision_rate, 0.0);
+  EXPECT_DOUBLE_EQ(summary.success_rate, 0.0);
+  EXPECT_NEAR(summary.mean_speed, 0.04, 1e-9);
+}
+
+TEST(Evaluation, FullSpeedCollides) {
+  auto sc = sim::cooperative_lane_change();
+  sim::LaneWorld world(sc.config);
+  ConstantController ram({0.20, 0.0});
+  Rng rng(8);
+  auto summary = evaluate(world, ram, rng, 10, sc.merger_index,
+                          sc.merger_target_lane);
+  EXPECT_GT(summary.collision_rate, 0.8);
+  EXPECT_LT(summary.mean_reward, 0.0);
+}
+
+TEST(Evaluation, EpisodeStatsStepsAndReward) {
+  auto sc = sim::cooperative_lane_change();
+  sim::LaneWorld world(sc.config);
+  ConstantController crawl({0.04, 0.0});
+  Rng rng(9);
+  auto ep = run_episode(world, crawl, rng, /*explore=*/false, sc.merger_index,
+                        sc.merger_target_lane);
+  EXPECT_EQ(ep.steps, sc.config.max_steps);
+  EXPECT_FALSE(ep.collision);
+  // Crawling earns small positive travel reward every step.
+  EXPECT_GT(ep.team_reward, 0.0);
+  EXPECT_LT(ep.team_reward, 5.0);
+}
+
+}  // namespace
+}  // namespace hero::rl

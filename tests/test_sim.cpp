@@ -1,0 +1,349 @@
+// Unit tests for the simulator substrate: geometry primitives, track
+// arithmetic, vehicle kinematics, lidar and camera models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/features.h"
+#include "sim/lidar.h"
+#include "sim/track.h"
+#include "sim/vehicle.h"
+
+namespace hero::sim {
+namespace {
+
+// ------------------------------------------------------------ geometry ----
+
+TEST(Geometry, WrapAngle) {
+  EXPECT_NEAR(wrap_angle(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(wrap_angle(3 * M_PI), M_PI, 1e-12);
+  EXPECT_NEAR(wrap_angle(-3 * M_PI), M_PI, 1e-12);  // (-pi, pi] convention
+  EXPECT_NEAR(wrap_angle(M_PI + 0.1), -M_PI + 0.1, 1e-12);
+}
+
+TEST(Geometry, Vec2Ops) {
+  Vec2 a{1, 2}, b{3, -1};
+  EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), -7.0);
+  EXPECT_DOUBLE_EQ((a + b).x, 4.0);
+  EXPECT_DOUBLE_EQ((a - b).y, 3.0);
+  EXPECT_NEAR((Vec2{3, 4}).norm(), 5.0, 1e-12);
+  Vec2 r = Vec2{1, 0}.rotated(M_PI / 2);
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+}
+
+TEST(Geometry, ObbCorners) {
+  Obb box{{0, 0}, 0.0, 2.0, 1.0};
+  auto cs = box.corners();
+  double max_x = -1e9, max_y = -1e9;
+  for (auto& c : cs) {
+    max_x = std::max(max_x, c.x);
+    max_y = std::max(max_y, c.y);
+  }
+  EXPECT_NEAR(max_x, 2.0, 1e-12);
+  EXPECT_NEAR(max_y, 1.0, 1e-12);
+}
+
+TEST(Geometry, ObbOverlapAxisAligned) {
+  Obb a{{0, 0}, 0.0, 1.0, 0.5};
+  Obb b{{1.5, 0}, 0.0, 1.0, 0.5};
+  EXPECT_TRUE(obb_overlap(a, b));  // gap 1.5 < 1+1
+  Obb c{{2.5, 0}, 0.0, 1.0, 0.5};
+  EXPECT_FALSE(obb_overlap(a, c));
+}
+
+TEST(Geometry, ObbOverlapRotated) {
+  // Half-0.5 squares: an axis-aligned one at the origin and a 45°-rotated
+  // one on the diagonal. Along the diagonal the supports are 0.707 and 0.5,
+  // so contact happens at centre distance 1.207 ⇔ offset 0.853 per axis.
+  Obb a{{0, 0}, 0.0, 0.5, 0.5};
+  Obb b{{0.9, 0.9}, M_PI / 4, 0.5, 0.5};
+  EXPECT_FALSE(obb_overlap(a, b));  // 0.9·√2 ≈ 1.273 > 1.207
+  Obb c{{0.8, 0.8}, M_PI / 4, 0.5, 0.5};
+  EXPECT_TRUE(obb_overlap(a, c));   // 0.8·√2 ≈ 1.131 < 1.207
+}
+
+TEST(Geometry, ObbOverlapNeedsAllFourAxes) {
+  // Classic SAT case: the x/y projections overlap; only the rotated box's
+  // own diagonal axis separates them.
+  Obb a{{0, 0}, 0.0, 1.0, 1.0};
+  Obb b{{1.6, 1.6}, M_PI / 4, 0.5, 0.5};
+  EXPECT_FALSE(obb_overlap(a, b));
+  // Slide it in along the diagonal: genuine overlap.
+  Obb c{{1.3, 1.3}, M_PI / 4, 0.5, 0.5};
+  EXPECT_TRUE(obb_overlap(a, c));
+}
+
+TEST(Geometry, RayObbHitsFront) {
+  Obb box{{5, 0}, 0.0, 1.0, 1.0};
+  auto t = ray_obb({0, 0}, {1, 0}, box);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 4.0, 1e-12);
+}
+
+TEST(Geometry, RayObbMisses) {
+  Obb box{{5, 3}, 0.0, 1.0, 1.0};
+  EXPECT_FALSE(ray_obb({0, 0}, {1, 0}, box).has_value());
+}
+
+TEST(Geometry, RayObbFromInsideIsZero) {
+  Obb box{{0, 0}, 0.0, 1.0, 1.0};
+  auto t = ray_obb({0.2, 0.1}, {1, 0}, box);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 0.0, 1e-12);
+}
+
+TEST(Geometry, RayObbRotatedBox) {
+  // 45°-rotated square centred at (3, 0): the ray along +x hits the near
+  // corner at 3 − √2·half.
+  Obb box{{3, 0}, M_PI / 4, 0.5, 0.5};
+  auto t = ray_obb({0, 0}, {1, 0}, box);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 3.0 - std::sqrt(2.0) * 0.5, 1e-9);
+}
+
+TEST(Geometry, RayObbBehindMisses) {
+  Obb box{{-5, 0}, 0.0, 1.0, 1.0};
+  EXPECT_FALSE(ray_obb({0, 0}, {1, 0}, box).has_value());
+}
+
+TEST(Geometry, RayCircle) {
+  auto t = ray_circle({0, 0}, {1, 0}, {5, 0}, 1.0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 4.0, 1e-12);
+  EXPECT_FALSE(ray_circle({0, 0}, {1, 0}, {5, 2}, 1.0).has_value());
+  EXPECT_FALSE(ray_circle({0, 0}, {-1, 0}, {5, 0}, 1.0).has_value());
+  EXPECT_NEAR(*ray_circle({5, 0.5}, {1, 0}, {5, 0}, 1.0), 0.0, 1e-12);
+}
+
+// --------------------------------------------------------------- track ----
+
+TEST(Track, LaneCenters) {
+  Track t({8.0, 0.35, 2});
+  EXPECT_DOUBLE_EQ(t.lane_center(0), 0.0);
+  EXPECT_DOUBLE_EQ(t.lane_center(1), 0.35);
+  EXPECT_THROW(t.lane_center(2), std::logic_error);
+}
+
+TEST(Track, LaneOfBoundaries) {
+  Track t({8.0, 0.35, 2});
+  EXPECT_EQ(t.lane_of(0.0), 0);
+  EXPECT_EQ(t.lane_of(0.17), 0);
+  EXPECT_EQ(t.lane_of(0.18), 1);
+  EXPECT_EQ(t.lane_of(0.35), 1);
+  EXPECT_EQ(t.lane_of(-0.5), 0);   // clamped
+  EXPECT_EQ(t.lane_of(5.0), 1);    // clamped
+}
+
+TEST(Track, OnRoad) {
+  Track t({8.0, 0.35, 2});
+  EXPECT_TRUE(t.on_road(0.0));
+  EXPECT_TRUE(t.on_road(0.52));
+  EXPECT_FALSE(t.on_road(0.53));
+  EXPECT_TRUE(t.on_road(-0.17));
+  EXPECT_FALSE(t.on_road(-0.18));
+}
+
+TEST(Track, WrapX) {
+  Track t({8.0, 0.35, 2});
+  EXPECT_DOUBLE_EQ(t.wrap_x(8.5), 0.5);
+  EXPECT_DOUBLE_EQ(t.wrap_x(-0.5), 7.5);
+  EXPECT_DOUBLE_EQ(t.wrap_x(16.0), 0.0);
+}
+
+TEST(Track, SignedDxShortestPath) {
+  Track t({8.0, 0.35, 2});
+  EXPECT_DOUBLE_EQ(t.signed_dx(1.0, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.signed_dx(7.5, 0.5), 1.0);    // across the wrap
+  EXPECT_DOUBLE_EQ(t.signed_dx(0.5, 7.5), -1.0);
+  EXPECT_DOUBLE_EQ(t.signed_dx(0.0, 4.0), 4.0);    // exactly halfway → +C/2
+}
+
+TEST(Track, ForwardGap) {
+  Track t({8.0, 0.35, 2});
+  EXPECT_DOUBLE_EQ(t.forward_gap(1.0, 3.0), 2.0);
+  EXPECT_DOUBLE_EQ(t.forward_gap(7.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(t.forward_gap(3.0, 1.0), 6.0);  // all the way round
+}
+
+// -------------------------------------------------------------- vehicle ---
+
+TEST(Vehicle, StraightLineIntegration) {
+  Track track({8.0, 0.35, 2});
+  Vehicle v(VehicleParams{}, VehicleState{0.0, 0.0, 0.0, 0.0, 0.0});
+  v.step({0.1, 0.0}, 0.5, track);
+  EXPECT_NEAR(v.state().x, 0.05, 1e-12);
+  EXPECT_NEAR(v.state().y, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(v.state().speed, 0.1);
+}
+
+TEST(Vehicle, TurningChangesHeadingAndY) {
+  Track track({8.0, 0.35, 2});
+  Vehicle v(VehicleParams{}, VehicleState{});
+  v.step({0.1, 0.2}, 0.5, track);
+  EXPECT_NEAR(v.state().heading, 0.1, 1e-12);
+  EXPECT_GT(v.state().y, 0.0);  // mid-point integration moves y immediately
+}
+
+TEST(Vehicle, ActuatorClamps) {
+  Track track({8.0, 0.35, 2});
+  VehicleParams p;
+  Vehicle v(p, VehicleState{});
+  v.step({99.0, 99.0}, 0.5, track);
+  EXPECT_DOUBLE_EQ(v.state().speed, p.max_speed);
+  EXPECT_DOUBLE_EQ(v.state().yaw_rate, p.max_yaw_rate);
+}
+
+TEST(Vehicle, HeadingClamp) {
+  Track track({8.0, 0.35, 2});
+  VehicleParams p;
+  Vehicle v(p, VehicleState{});
+  for (int i = 0; i < 100; ++i) v.step({0.1, p.max_yaw_rate}, 0.5, track);
+  EXPECT_LE(v.state().heading, p.max_heading + 1e-12);
+}
+
+TEST(Vehicle, WrapsAroundTrack) {
+  Track track({8.0, 0.35, 2});
+  Vehicle v(VehicleParams{}, VehicleState{7.95, 0.0, 0.0, 0.0, 0.0});
+  v.step({0.2, 0.0}, 0.5, track);
+  EXPECT_LT(v.state().x, 0.1);
+}
+
+TEST(Vehicle, FootprintMatchesPose) {
+  Vehicle v(VehicleParams{}, VehicleState{1.0, 0.2, 0.3, 0.0, 0.0});
+  Obb f = v.footprint();
+  EXPECT_DOUBLE_EQ(f.center.x, 1.0);
+  EXPECT_DOUBLE_EQ(f.center.y, 0.2);
+  EXPECT_DOUBLE_EQ(f.heading, 0.3);
+  EXPECT_DOUBLE_EQ(f.half_len, 0.15);
+  EXPECT_DOUBLE_EQ(f.half_wid, 0.09);
+}
+
+// ---------------------------------------------------------------- lidar ---
+
+std::vector<Vehicle> two_vehicles(double gap, int lane2, const Track& track) {
+  VehicleParams p;
+  std::vector<Vehicle> vs;
+  vs.emplace_back(p, VehicleState{1.0, 0.0, 0.0, 0.1, 0.0});
+  vs.emplace_back(p, VehicleState{track.wrap_x(1.0 + gap),
+                                  lane2 * track.lane_width(), 0.0, 0.1, 0.0});
+  return vs;
+}
+
+TEST(Lidar, FrontBeamSeesLeader) {
+  Track track({8.0, 0.35, 2});
+  auto vs = two_vehicles(1.0, 0, track);
+  LidarSensor lidar({16, 2.0, 0.0});
+  auto scan = lidar.scan(vs[0], vs, 0, track);
+  ASSERT_EQ(scan.size(), 16u);
+  // Beam 0 hits the leader's rear face: 1.0 − half_len = 0.85, /2.0 = 0.425.
+  EXPECT_NEAR(scan[0], 0.425, 1e-9);
+}
+
+TEST(Lidar, RearBeamSeesFollowerAcrossWrap) {
+  Track track({8.0, 0.35, 2});
+  // Ego at x = 0.2; other at x = 7.6 — behind, across the wrap.
+  VehicleParams p;
+  std::vector<Vehicle> vs;
+  vs.emplace_back(p, VehicleState{0.2, 0.0, 0.0, 0.1, 0.0});
+  vs.emplace_back(p, VehicleState{7.6, 0.0, 0.0, 0.1, 0.0});
+  LidarSensor lidar({16, 2.0, 0.0});
+  auto scan = lidar.scan(vs[0], vs, 0, track);
+  // Beam 8 points backwards; raw gap 0.6 − 0.15 = 0.45, /2.0 = 0.225.
+  EXPECT_NEAR(scan[8], 0.225, 1e-9);
+  EXPECT_NEAR(scan[0], 1.0, 1e-9);  // nothing ahead within range
+}
+
+TEST(Lidar, OutOfRangeIsOne) {
+  Track track({8.0, 0.35, 2});
+  auto vs = two_vehicles(3.5, 0, track);
+  LidarSensor lidar({16, 2.0, 0.0});
+  auto scan = lidar.scan(vs[0], vs, 0, track);
+  for (double r : scan) EXPECT_DOUBLE_EQ(r, 1.0);
+}
+
+TEST(Lidar, SideBeamSeesAdjacentLane) {
+  Track track({8.0, 0.35, 2});
+  VehicleParams p;
+  std::vector<Vehicle> vs;
+  vs.emplace_back(p, VehicleState{1.0, 0.0, 0.0, 0.1, 0.0});
+  vs.emplace_back(p, VehicleState{1.0, 0.35, 0.0, 0.1, 0.0});  // directly left
+  LidarSensor lidar({16, 2.0, 0.0});
+  auto scan = lidar.scan(vs[0], vs, 0, track);
+  // Beam 4 (90°) hits the neighbour's near side: 0.35 − 0.09 = 0.26, /2 = 0.13.
+  EXPECT_NEAR(scan[4], 0.13, 1e-9);
+}
+
+TEST(Lidar, NoiseIsBoundedAndSeeded) {
+  Track track({8.0, 0.35, 2});
+  auto vs = two_vehicles(1.0, 0, track);
+  LidarSensor lidar({16, 2.0, 0.05});
+  Rng r1(5), r2(5);
+  auto s1 = lidar.scan(vs[0], vs, 0, track, &r1);
+  auto s2 = lidar.scan(vs[0], vs, 0, track, &r2);
+  EXPECT_EQ(s1, s2);  // same seed, same noise
+  for (double v : s1) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  EXPECT_NE(s1[0], 0.425);  // noise actually applied
+}
+
+// --------------------------------------------------------------- camera ---
+
+TEST(LaneCamera, CenteredVehicleHasZeroOffset) {
+  Track track({8.0, 0.35, 2});
+  VehicleParams p;
+  std::vector<Vehicle> vs;
+  vs.emplace_back(p, VehicleState{1.0, 0.0, 0.0, 0.1, 0.0});
+  LaneCamera cam;
+  auto f = cam.features(vs[0], vs, 0, track, /*reference_lane=*/0);
+  ASSERT_EQ(f.size(), kLaneCameraDim);
+  EXPECT_NEAR(f[0], 0.0, 1e-12);   // lateral offset
+  EXPECT_NEAR(f[1], 0.0, 1e-12);   // sin(heading)
+  EXPECT_NEAR(f[2], 1.0, 1e-12);   // cos(heading)
+  EXPECT_NEAR(f[3], 1.0, 1e-12);   // no leader
+  EXPECT_NEAR(f[5], 1.0, 1e-12);   // other lane is one width away
+}
+
+TEST(LaneCamera, OffsetRelativeToReferenceLane) {
+  Track track({8.0, 0.35, 2});
+  VehicleParams p;
+  std::vector<Vehicle> vs;
+  vs.emplace_back(p, VehicleState{1.0, 0.1, 0.0, 0.1, 0.0});
+  LaneCamera cam;
+  auto f0 = cam.features(vs[0], vs, 0, track, 0);
+  auto f1 = cam.features(vs[0], vs, 0, track, 1);
+  EXPECT_NEAR(f0[0], 0.1 / 0.35, 1e-12);
+  EXPECT_NEAR(f1[0], (0.1 - 0.35) / 0.35, 1e-12);
+  // The "remaining manoeuvre" feature flips sign with the reference lane.
+  EXPECT_NEAR(f0[5], 1.0, 1e-12);
+  EXPECT_NEAR(f1[5], -1.0, 1e-12);
+}
+
+TEST(LaneCamera, DetectsLeaderGapAndRelativeSpeed) {
+  Track track({8.0, 0.35, 2});
+  VehicleParams p;
+  std::vector<Vehicle> vs;
+  vs.emplace_back(p, VehicleState{1.0, 0.0, 0.0, 0.10, 0.0});
+  vs.emplace_back(p, VehicleState{1.8, 0.0, 0.0, 0.04, 0.0});
+  LaneCamera cam({2.0, 0.0});
+  auto f = cam.features(vs[0], vs, 0, track, 0);
+  EXPECT_NEAR(f[3], 0.8 / 2.0, 1e-12);
+  EXPECT_NEAR(f[4], (0.04 - 0.10) / p.max_speed, 1e-12);
+}
+
+TEST(LaneCamera, IgnoresOtherLaneVehicles) {
+  Track track({8.0, 0.35, 2});
+  VehicleParams p;
+  std::vector<Vehicle> vs;
+  vs.emplace_back(p, VehicleState{1.0, 0.0, 0.0, 0.10, 0.0});
+  vs.emplace_back(p, VehicleState{1.5, 0.35, 0.0, 0.04, 0.0});  // other lane
+  LaneCamera cam;
+  auto f = cam.features(vs[0], vs, 0, track, 0);
+  EXPECT_NEAR(f[3], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hero::sim

@@ -1,0 +1,148 @@
+// Tests for the visualization module: SVG generation, curve plotting,
+// trajectory recording/rendering.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "sim/scenario.h"
+#include "viz/plot.h"
+#include "viz/trajectory.h"
+
+namespace hero::viz {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path);
+  return std::string(std::istreambuf_iterator<char>(f),
+                     std::istreambuf_iterator<char>());
+}
+
+std::size_t count_occurrences(const std::string& text, const std::string& needle) {
+  std::size_t n = 0, pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    ++n;
+    pos += needle.size();
+  }
+  return n;
+}
+
+TEST(Svg, DocumentStructure) {
+  SvgDocument svg(100, 50);
+  svg.line({0, 0}, {10, 10}, "#000");
+  svg.circle({5, 5}, 2, "red");
+  svg.text({1, 1}, "hi");
+  const std::string s = svg.str();
+  EXPECT_NE(s.find("<svg"), std::string::npos);
+  EXPECT_NE(s.find("</svg>"), std::string::npos);
+  EXPECT_NE(s.find("<line"), std::string::npos);
+  EXPECT_NE(s.find("<circle"), std::string::npos);
+  EXPECT_NE(s.find(">hi</text>"), std::string::npos);
+  EXPECT_NE(s.find("width='100'"), std::string::npos);
+}
+
+TEST(Svg, PolylineSkipsDegenerate) {
+  SvgDocument svg(10, 10);
+  svg.polyline({{1, 1}}, "#000");  // single point: nothing emitted
+  EXPECT_EQ(svg.str().find("<polyline"), std::string::npos);
+  svg.polyline({{1, 1}, {2, 2}}, "#000");
+  EXPECT_NE(svg.str().find("<polyline"), std::string::npos);
+}
+
+TEST(Svg, RotatedRectEncodesTransform) {
+  SvgDocument svg(10, 10);
+  svg.rotated_rect({5, 5}, 2, 1, 30, "#123456");
+  EXPECT_NE(svg.str().find("rotate(30 5 5)"), std::string::npos);
+}
+
+TEST(Svg, PaletteNonEmptyAndDistinct) {
+  const auto& p = series_palette();
+  ASSERT_GE(p.size(), 5u);
+  for (std::size_t i = 0; i < p.size(); ++i)
+    for (std::size_t j = i + 1; j < p.size(); ++j) EXPECT_NE(p[i], p[j]);
+}
+
+TEST(Plot, WritesOneSeriesPerInput) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "hero_plot_test.svg").string();
+  std::vector<Series> series = {{"a", {1, 2, 3, 4}}, {"b", {4, 3, 2, 1}}};
+  PlotOptions opts;
+  opts.title = "test";
+  plot_series(series, opts, path);
+  const std::string s = read_file(path);
+  EXPECT_EQ(count_occurrences(s, "<polyline"), 2u);
+  EXPECT_NE(s.find(">a</text>"), std::string::npos);
+  EXPECT_NE(s.find(">b</text>"), std::string::npos);
+  EXPECT_NE(s.find(">test</text>"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Plot, HandlesConstantSeries) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "hero_plot_const.svg").string();
+  plot_series({{"flat", {2, 2, 2}}}, {}, path);
+  EXPECT_FALSE(read_file(path).empty());
+  std::filesystem::remove(path);
+}
+
+TEST(Plot, RejectsEmptyAndTooShort) {
+  EXPECT_THROW(plot_series({}, {}, "/tmp/x.svg"), std::logic_error);
+  EXPECT_THROW(plot_series({{"one", {1.0}}}, {}, "/tmp/x.svg"), std::logic_error);
+}
+
+TEST(Trajectory, RecordsFramesAndCollision) {
+  auto sc = sim::cooperative_lane_change();
+  sim::LaneWorld world(sc.config);
+  Rng rng(1);
+  world.reset(rng);
+
+  TrajectoryRecorder rec;
+  rec.start(world);
+  EXPECT_EQ(rec.steps(), 0);
+  EXPECT_EQ(rec.num_vehicles(), 4);
+
+  int steps = 0;
+  while (!world.done()) {
+    auto r = world.step(std::vector<sim::TwistCmd>(3, {0.2, 0.0}), rng);
+    rec.record(world, r.collision);
+    ++steps;
+  }
+  EXPECT_EQ(rec.steps(), steps);
+  // Full speed into the plodder ⇒ a collision must have been recorded.
+  EXPECT_TRUE(rec.had_collision());
+  EXPECT_GT(rec.collision_step(), 0);
+  EXPECT_LE(rec.collision_step(), steps);
+}
+
+TEST(Trajectory, RenderProducesFootprintsPerVehiclePerFrame) {
+  auto sc = sim::cooperative_lane_change();
+  sim::LaneWorld world(sc.config);
+  Rng rng(2);
+  world.reset(rng);
+  TrajectoryRecorder rec;
+  rec.start(world);
+  for (int t = 0; t < 5; ++t) {
+    auto r = world.step(std::vector<sim::TwistCmd>(3, {0.05, 0.0}), rng);
+    rec.record(world, r.collision);
+    if (world.done()) break;
+  }
+  const auto path =
+      (std::filesystem::temp_directory_path() / "hero_traj_test.svg").string();
+  rec.render_svg(path, world.track());
+  const std::string s = read_file(path);
+  // 4 vehicles × 6 frames of rotated rect footprints + the road rectangle.
+  EXPECT_GE(count_occurrences(s, "rotate("),
+            static_cast<std::size_t>(4 * (rec.steps() + 1)));
+  EXPECT_NE(s.find("stroke-dasharray"), std::string::npos);  // lane marking
+  std::filesystem::remove(path);
+}
+
+TEST(Trajectory, RecordBeforeStartThrows) {
+  auto sc = sim::cooperative_lane_change();
+  sim::LaneWorld world(sc.config);
+  TrajectoryRecorder rec;
+  EXPECT_THROW(rec.record(world, false), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hero::viz
