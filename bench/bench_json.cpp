@@ -1,0 +1,284 @@
+// JSON perf-trajectory reporter.
+//
+// Times the NN hot-path operations (op level) and short training slices of
+// HERO plus every baseline (steps/sec), then writes two machine-readable
+// snapshots:
+//
+//   BENCH_nn.json    — op-level numbers (ns/iter), google-benchmark-style
+//   BENCH_train.json — environment-steps-per-second per training method
+//
+// Every perf PR re-runs `tools/run_benchmarks.sh` and commits the refreshed
+// snapshots, so the repo carries its own performance trajectory.
+//
+// Run:  ./bench_json [--nn-out F] [--train-out F] [--min-time SECONDS]
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algos/attention_critic.h"
+#include "algos/coma.h"
+#include "algos/dqn.h"
+#include "algos/maac.h"
+#include "algos/maddpg.h"
+#include "algos/sac.h"
+#include "common/flags.h"
+#include "hero/hero_trainer.h"
+#include "nn/losses.h"
+#include "nn/mlp.h"
+#include "sim/scenario.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct BenchResult {
+  std::string name;
+  double ns_per_iter = 0.0;
+  long iterations = 0;
+};
+
+// Adaptive timing loop: grows the iteration count until the measured wall
+// time exceeds `min_seconds`, then reports ns per iteration.
+template <class F>
+BenchResult time_case(const std::string& name, double min_seconds, F&& fn) {
+  fn();  // warm caches, settle lazily-sized workspaces
+  long iters = 1;
+  for (;;) {
+    const auto t0 = Clock::now();
+    for (long i = 0; i < iters; ++i) fn();
+    const double secs = seconds_since(t0);
+    if (secs >= min_seconds || iters >= (1L << 30)) {
+      BenchResult r;
+      r.name = name;
+      r.ns_per_iter = secs * 1e9 / static_cast<double>(iters);
+      r.iterations = iters;
+      std::fprintf(stderr, "  %-34s %12.1f ns/iter  (%ld iters)\n", name.c_str(),
+                   r.ns_per_iter, iters);
+      return r;
+    }
+    const double grow = secs > 0.0 ? std::min(10.0, 1.3 * min_seconds / secs) : 10.0;
+    iters = static_cast<long>(static_cast<double>(iters) * std::max(2.0, grow));
+  }
+}
+
+void write_json(const std::string& path, const std::string& kind,
+                const std::vector<std::pair<std::string, double>>& entries,
+                const std::string& unit, const std::vector<long>& iters) {
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "bench_json: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  f << "{\n  \"kind\": \"" << kind << "\",\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    f << "    {\"name\": \"" << entries[i].first << "\", \"" << unit
+      << "\": " << entries[i].second;
+    if (i < iters.size()) f << ", \"iterations\": " << iters[i];
+    f << "}" << (i + 1 == entries.size() ? "" : ",") << "\n";
+  }
+  f << "  ]\n}\n";
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+}
+
+// ------------------------------ op-level cases ------------------------------
+
+std::vector<BenchResult> run_nn_cases(double min_time) {
+  using namespace hero;
+  std::vector<BenchResult> out;
+
+  // The paper's workhorse shape: obs 26 → 32 → 32 → 25 actions.
+  for (std::size_t batch : {std::size_t{1}, std::size_t{128}, std::size_t{1024}}) {
+    Rng rng(1);
+    nn::Mlp net(26, {32, 32}, 25, rng);
+    nn::Matrix x = nn::Matrix::xavier(batch, 26, rng);
+    out.push_back(time_case("BM_MlpForward/" + std::to_string(batch), min_time,
+                            [&] { net.forward(x); }));
+  }
+
+  for (std::size_t batch : {std::size_t{128}, std::size_t{1024}}) {
+    Rng rng(1);
+    nn::Mlp net(26, {32, 32}, 25, rng);
+    nn::Matrix x = nn::Matrix::xavier(batch, 26, rng);
+    nn::Matrix target(batch, 25, 0.1);
+    out.push_back(
+        time_case("BM_MlpForwardBackward/" + std::to_string(batch), min_time, [&] {
+          auto loss = nn::mse_loss(net.forward(x), target);
+          net.zero_grad();
+          net.backward(loss.grad);
+        }));
+  }
+
+  {
+    // A single Linear layer (hidden-free Mlp) at batch 1024: isolates the
+    // transpose-free backward kernels from activation costs.
+    Rng rng(1);
+    nn::Mlp lin(26, {}, 32, rng);
+    nn::Matrix x = nn::Matrix::xavier(1024, 26, rng);
+    nn::Matrix target(1024, 32, 0.1);
+    out.push_back(time_case("BM_LinearBackward/1024", min_time, [&] {
+      auto loss = nn::mse_loss(lin.forward(x), target);
+      lin.zero_grad();
+      lin.backward(loss.grad);
+    }));
+  }
+
+  {
+    Rng rng(1);
+    algos::AttentionCritic critic(26, 25, 32, {32, 32}, rng);
+    const std::size_t B = 128, m = 2;
+    nn::Matrix own = nn::Matrix::xavier(B, 26, rng);
+    nn::Matrix others(m * B, 26 + 25);
+    for (std::size_t r = 0; r < m * B; ++r) {
+      for (std::size_t c = 0; c < 26; ++c) others(r, c) = rng.normal(0, 0.5);
+      others(r, 26 + rng.index(25)) = 1.0;
+    }
+    nn::Matrix dq(B, 25, 0.01);
+    out.push_back(time_case("BM_AttentionCriticForwardBackward", min_time, [&] {
+      auto pass = critic.forward(own, others);
+      critic.zero_grad();
+      critic.backward(pass, dq);
+    }));
+  }
+
+  for (std::size_t batch : {std::size_t{128}, std::size_t{1024}}) {
+    Rng rng(1);
+    algos::SacConfig cfg;
+    cfg.batch = batch;
+    cfg.warmup_steps = 1;
+    algos::SacAgent agent(8, {0.04, -0.1}, {0.2, 0.1}, cfg, rng);
+    for (int i = 0; i < 2000; ++i) {
+      agent.observe(std::vector<double>(8, 0.1), {0.1, 0.0}, 0.5,
+                    std::vector<double>(8, 0.2), false, rng);
+    }
+    const std::string name =
+        batch == 128 ? "BM_SacUpdate" : "BM_SacUpdate/" + std::to_string(batch);
+    out.push_back(time_case(name, min_time, [&] { agent.update(rng); }));
+  }
+
+  return out;
+}
+
+// ------------------------- training-slice cases -----------------------------
+
+struct TrainSlice {
+  std::string name;
+  double steps_per_sec = 0.0;
+  long steps = 0;
+};
+
+template <class TrainFn>
+TrainSlice time_train(const std::string& name, TrainFn&& fn) {
+  TrainSlice s;
+  s.name = name;
+  const auto t0 = Clock::now();
+  s.steps = fn();
+  const double secs = seconds_since(t0);
+  s.steps_per_sec = secs > 0.0 ? static_cast<double>(s.steps) / secs : 0.0;
+  std::fprintf(stderr, "  %-10s %10.1f env steps/sec  (%ld steps)\n", name.c_str(),
+               s.steps_per_sec, s.steps);
+  return s;
+}
+
+std::vector<TrainSlice> run_train_cases(int episodes) {
+  using namespace hero;
+  std::vector<TrainSlice> out;
+  const sim::Scenario scenario = sim::cooperative_lane_change();
+
+  auto step_counter = [](long& steps) {
+    return [&steps](int, const rl::EpisodeStats& s) { steps += s.steps; };
+  };
+
+  out.push_back(time_train("dqn", [&] {
+    Rng rng(1);
+    algos::DqnConfig cfg;
+    cfg.warmup_steps = 64;
+    algos::IndependentDqnTrainer t(scenario, cfg, rng);
+    long steps = 0;
+    t.train(episodes, rng, step_counter(steps));
+    return steps;
+  }));
+
+  out.push_back(time_train("coma", [&] {
+    Rng rng(1);
+    algos::ComaTrainer t(scenario, algos::ComaConfig{}, rng);
+    long steps = 0;
+    t.train(episodes, rng, step_counter(steps));
+    return steps;
+  }));
+
+  out.push_back(time_train("maddpg", [&] {
+    Rng rng(1);
+    algos::MaddpgConfig cfg;
+    cfg.warmup_steps = 64;
+    algos::MaddpgTrainer t(scenario, cfg, rng);
+    long steps = 0;
+    t.train(episodes, rng, step_counter(steps));
+    return steps;
+  }));
+
+  out.push_back(time_train("maac", [&] {
+    Rng rng(1);
+    algos::MaacConfig cfg;
+    cfg.warmup_steps = 64;
+    algos::MaacTrainer t(scenario, cfg, rng);
+    long steps = 0;
+    t.train(episodes, rng, step_counter(steps));
+    return steps;
+  }));
+
+  out.push_back(time_train("hero", [&] {
+    Rng rng(1);
+    core::HeroConfig cfg;
+    cfg.high.warmup_transitions = 16;
+    core::HeroTrainer t(scenario, cfg, rng);
+    t.train_skills(/*episodes_per_skill=*/2, rng);
+    long steps = 0;
+    t.train(episodes, rng, step_counter(steps));
+    return steps;
+  }));
+
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hero::Flags flags(argc, argv);
+  const std::string nn_out = flags.get_string("nn-out", "BENCH_nn.json");
+  const std::string train_out = flags.get_string("train-out", "BENCH_train.json");
+  const double min_time = flags.get_double("min-time", 0.25);
+  const int train_episodes = flags.get_int("train-episodes", 8);
+  flags.check_unknown();
+
+  std::fprintf(stderr, "== op-level benchmarks ==\n");
+  auto nn = run_nn_cases(min_time);
+  std::vector<std::pair<std::string, double>> nn_entries;
+  std::vector<long> nn_iters;
+  for (const auto& r : nn) {
+    nn_entries.emplace_back(r.name, r.ns_per_iter);
+    nn_iters.push_back(r.iterations);
+  }
+  write_json(nn_out, "nn_ops_ns_per_iter", nn_entries, "real_time_ns", nn_iters);
+
+  if (train_episodes <= 0) {
+    // Don't write an all-zeros snapshot — that would read as a catastrophic
+    // regression if it ever got committed.
+    std::fprintf(stderr, "== training-slice benchmarks skipped (--train-episodes %d) ==\n",
+                 train_episodes);
+    return 0;
+  }
+  std::fprintf(stderr, "== training-slice benchmarks (%d episodes each) ==\n",
+               train_episodes);
+  auto train = run_train_cases(train_episodes);
+  std::vector<std::pair<std::string, double>> train_entries;
+  for (const auto& s : train) train_entries.emplace_back(s.name, s.steps_per_sec);
+  write_json(train_out, "train_steps_per_sec", train_entries, "steps_per_sec", {});
+  return 0;
+}

@@ -6,6 +6,7 @@
 
 #include "algos/attention_critic.h"
 #include "algos/sac.h"
+#include "nn/linear.h"
 #include "nn/losses.h"
 #include "nn/mlp.h"
 #include "rl/replay_buffer.h"
@@ -60,6 +61,22 @@ static void BM_MlpForwardBackward(benchmark::State& state) {
 }
 BENCHMARK(BM_MlpForwardBackward)->Arg(128)->Arg(1024);
 
+static void BM_LinearBackward(benchmark::State& state) {
+  Rng rng(1);
+  const std::size_t B = static_cast<std::size_t>(state.range(0));
+  nn::Linear layer(64, 32, rng);
+  nn::Matrix x = nn::Matrix::xavier(B, 64, rng);
+  nn::Matrix y, grad_out(B, 32, 0.01), grad_in;
+  layer.forward_into(x, y);
+  auto params = layer.params();
+  for (auto _ : state) {
+    for (auto& p : params) p.grad->fill(0.0);
+    layer.backward_into(x, y, grad_out, grad_in);
+    benchmark::DoNotOptimize(grad_in.data());
+  }
+}
+BENCHMARK(BM_LinearBackward)->Arg(128)->Arg(1024);
+
 static void BM_ReplaySample(benchmark::State& state) {
   rl::ReplayBuffer<std::vector<double>> buf(100000);
   Rng rng(1);
@@ -92,10 +109,11 @@ BENCHMARK(BM_AttentionCriticForwardBackward);
 static void BM_SacUpdate(benchmark::State& state) {
   Rng rng(1);
   algos::SacConfig cfg;
-  cfg.batch = 128;
+  cfg.batch = static_cast<std::size_t>(state.range(0));
   cfg.warmup_steps = 1;
   algos::SacAgent agent(8, {0.04, -0.1}, {0.2, 0.1}, cfg, rng);
-  for (int i = 0; i < 1000; ++i) {
+  const int fill = static_cast<int>(cfg.batch) * 4;
+  for (int i = 0; i < fill; ++i) {
     agent.observe(std::vector<double>(8, 0.1), {0.1, 0.0}, 0.5,
                   std::vector<double>(8, 0.2), false, rng);
   }
@@ -103,6 +121,6 @@ static void BM_SacUpdate(benchmark::State& state) {
     benchmark::DoNotOptimize(agent.update(rng));
   }
 }
-BENCHMARK(BM_SacUpdate);
+BENCHMARK(BM_SacUpdate)->Arg(128)->Arg(1024);
 
 BENCHMARK_MAIN();

@@ -12,7 +12,9 @@
 //   Q_i(·) = f_head([e_i ; x_i])
 //
 // Forward/backward are explicit (no autograd); tests finite-difference-check
-// the full attention backward pass.
+// the full attention backward pass. Layers are stateless, so Pass carries
+// every intermediate backward() needs; reusing one Pass across update steps
+// keeps the hot path allocation-free.
 #pragma once
 
 #include <vector>
@@ -29,28 +31,43 @@ class AttentionCritic {
                   std::size_t embed_dim, const std::vector<std::size_t>& hidden,
                   Rng& rng);
 
+  // Deep copy of the networks; caches and scratch stay with the source
+  // (params() holds pointers into by-value members, so they must never be
+  // copied). Declaring these also suppresses implicit moves — a move would
+  // dangle a previously built param_cache_.
+  AttentionCritic(const AttentionCritic& other);
+  AttentionCritic& operator=(const AttentionCritic& other);
+
   // All state forward() needs to hand to backward().
   struct Pass {
     nn::Matrix q;        // (B, |A|) — Q-values for the focal agent's actions
     nn::Matrix attn;     // (B, m)   — attention weights over the others
-    // caches
+    // caches (inputs/outputs of the stateless projection layers)
+    nn::Matrix e;        // (B, d)   — state embedding
+    nn::Matrix u;        // (m·B, d) — other-agent (s,a) embeddings, j-major
     nn::Matrix qvec;     // (B, d)
     nn::Matrix kvec;     // (m·B, d), j-major
+    nn::Matrix vpre;     // (m·B, d), pre-ReLU values
     nn::Matrix vvec;     // (m·B, d), post-ReLU
-    nn::Matrix dx_cache; // scratch shape holder
+    nn::Matrix head_in;  // (B, 2d)  — [e ; attended context]
     std::size_t batch = 0;
     std::size_t others = 0;
   };
 
   // `own_obs` is (B, obs_dim); `others_sa` is (m·B, obs_dim + |A|) rows
   // ordered j-major (all rows of other-agent 0 first, then other-agent 1, …)
-  // with the action one-hot appended to each observation.
+  // with the action one-hot appended to each observation. The out-parameter
+  // overload resizes `p` in place so a reused Pass allocates nothing at
+  // steady state.
+  void forward(const nn::Matrix& own_obs, const nn::Matrix& others_sa, Pass& p);
   Pass forward(const nn::Matrix& own_obs, const nn::Matrix& others_sa);
 
   // Backward for dL/dQ; accumulates every internal parameter gradient.
+  // Must follow the forward() that produced `pass` (the encoder/head Mlp
+  // workspaces still hold that pass's activations).
   void backward(const Pass& pass, const nn::Matrix& dq);
 
-  std::vector<nn::ParamRef> params();
+  const std::vector<nn::ParamRef>& params();
   void zero_grad();
   void soft_update_from(AttentionCritic& src, double tau);
   double clip_grad_norm(double max_norm);
@@ -69,6 +86,12 @@ class AttentionCritic {
   nn::Linear wq_, wk_, wv_;
   nn::ReLU relu_v_;
   nn::Mlp head_;       // 2d → |A|
+
+  // Backward scratch (resized in place each call).
+  nn::Matrix de_, dx_, dv_, dk_, dqvec_, du_, dtmp_, dvpre_;
+  std::vector<double> scores_, dalpha_, dscore_;
+
+  std::vector<nn::ParamRef> param_cache_;
 };
 
 }  // namespace hero::algos

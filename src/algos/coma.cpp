@@ -28,18 +28,19 @@ ComaTrainer::ComaTrainer(const sim::Scenario& scenario, const ComaConfig& cfg, R
       std::make_unique<nn::Adam>(critic_.params(), cfg_.lr * cfg_.critic_lr_scale);
 }
 
-std::vector<double> ComaTrainer::critic_input(const StepRecord& rec, int agent) const {
-  std::vector<double> in = rec.joint_obs;
+void ComaTrainer::critic_input_into(const StepRecord& rec, int agent,
+                                    double* row) const {
+  std::size_t c = 0;
+  for (double v : rec.joint_obs) row[c++] = v;
   // Agent id one-hot.
-  for (int j = 0; j < n_; ++j) in.push_back(j == agent ? 1.0 : 0.0);
+  for (int j = 0; j < n_; ++j) row[c++] = (j == agent) ? 1.0 : 0.0;
   // Other agents' actions, one-hot, in agent order skipping `agent`.
   for (int j = 0; j < n_; ++j) {
     if (j == agent) continue;
     for (std::size_t a = 0; a < grid_.size(); ++a) {
-      in.push_back(rec.actions[static_cast<std::size_t>(j)] == a ? 1.0 : 0.0);
+      row[c++] = (rec.actions[static_cast<std::size_t>(j)] == a) ? 1.0 : 0.0;
     }
   }
-  return in;
 }
 
 std::vector<sim::TwistCmd> ComaTrainer::act(const sim::LaneWorld& world, Rng& rng,
@@ -61,66 +62,66 @@ void ComaTrainer::update_from_episode(const std::vector<StepRecord>& episode,
   const std::size_t T = episode.size();
 
   // Monte-Carlo returns (COMA's TD(λ) with λ = 1): G_t = r_t + γ G_{t+1}.
-  std::vector<double> returns(T);
+  returns_.resize(T);
   double g = 0.0;
   for (std::size_t t = T; t-- > 0;) {
     g = episode[t].reward + cfg_.gamma * g;
-    returns[t] = g;
+    returns_[t] = g;
   }
 
+  const std::size_t A = grid_.size();
   for (int i = 0; i < n_; ++i) {
     // ----- critic regression: Q(s_t, a^i_t) → G_t -----
-    std::vector<std::vector<double>> critic_rows;
-    std::vector<std::size_t> taken;
-    critic_rows.reserve(T);
+    critic_in_m_.resize(T, critic_.in_dim());
+    taken_.resize(T);
     for (std::size_t t = 0; t < T; ++t) {
-      critic_rows.push_back(critic_input(episode[t], i));
-      taken.push_back(episode[t].actions[static_cast<std::size_t>(i)]);
+      critic_input_into(episode[t], i, critic_in_m_.row_ptr(t));
+      taken_[t] = episode[t].actions[static_cast<std::size_t>(i)];
     }
-    nn::Matrix critic_in_m = nn::Matrix::stack_rows(critic_rows);
-    nn::Matrix qs = critic_.forward(critic_in_m);
-    auto closs = nn::mse_loss_selected(qs, taken, returns);
+    const nn::Matrix& qs = critic_.forward(critic_in_m_);
+    nn::mse_loss_selected_into(qs, taken_, returns_, closs_grad_);
     critic_.zero_grad();
-    critic_.backward(closs.grad);
+    critic_.backward(closs_grad_);
     critic_.clip_grad_norm(cfg_.grad_clip);
     critic_opt_->step();
 
     // ----- actor update with the counterfactual advantage -----
     // Recompute Q after the critic step for a slightly fresher estimate.
-    nn::Matrix q_now = critic_.forward(critic_in_m);
-    std::vector<std::vector<double>> obs_rows;
-    obs_rows.reserve(T);
-    for (std::size_t t = 0; t < T; ++t)
-      obs_rows.push_back(episode[t].obs[static_cast<std::size_t>(i)]);
-    nn::Matrix obs_m = nn::Matrix::stack_rows(obs_rows);
+    const nn::Matrix& q_now = critic_.forward(critic_in_m_);
+    obs_m_.resize(T, obs_dim_);
+    for (std::size_t t = 0; t < T; ++t) {
+      const auto& o = episode[t].obs[static_cast<std::size_t>(i)];
+      std::copy(o.begin(), o.end(), obs_m_.row_ptr(t));
+    }
 
     auto& actor = actors_[static_cast<std::size_t>(i)];
-    nn::Matrix logits = actor.net().forward(obs_m);
-    nn::Matrix probs = nn::softmax(logits);
+    const nn::Matrix& logits = actor.net().forward(obs_m_);
+    nn::softmax_into(logits, probs_);
+    nn::log_softmax_into(logits, logp_);
 
     // Advantage A_t = Q(a_taken) − Σ_a π(a) Q(a); loss = −A·log π(a_taken)
     // − β·H(π). Gradient w.r.t. logits assembled directly.
     const double inv_t = 1.0 / static_cast<double>(T);
-    nn::Matrix dlogits(T, grid_.size());
-    nn::Matrix logp = nn::log_softmax(logits);
+    dlogits_.resize(T, A);
+    dlogits_.fill(0.0);
     for (std::size_t t = 0; t < T; ++t) {
       double baseline = 0.0;
-      for (std::size_t a = 0; a < grid_.size(); ++a) baseline += probs(t, a) * q_now(t, a);
-      const double adv = q_now(t, taken[t]) - baseline;
+      for (std::size_t a = 0; a < A; ++a) baseline += probs_(t, a) * q_now(t, a);
+      const double adv = q_now(t, taken_[t]) - baseline;
       // policy-gradient part: d(−adv·logπ(a_t))/dlogits = adv·(π − onehot)
-      for (std::size_t a = 0; a < grid_.size(); ++a) {
-        dlogits(t, a) += adv * probs(t, a) * inv_t;
+      for (std::size_t a = 0; a < A; ++a) {
+        dlogits_(t, a) += adv * probs_(t, a) * inv_t;
       }
-      dlogits(t, taken[t]) -= adv * inv_t;
+      dlogits_(t, taken_[t]) -= adv * inv_t;
       // entropy bonus: d(−β·H)/dlogits = β·π·(logπ + H)
       double ent = 0.0;
-      for (std::size_t a = 0; a < grid_.size(); ++a) ent -= probs(t, a) * logp(t, a);
-      for (std::size_t a = 0; a < grid_.size(); ++a) {
-        dlogits(t, a) += cfg_.entropy_coef * probs(t, a) * (logp(t, a) + ent) * inv_t;
+      for (std::size_t a = 0; a < A; ++a) ent -= probs_(t, a) * logp_(t, a);
+      for (std::size_t a = 0; a < A; ++a) {
+        dlogits_(t, a) += cfg_.entropy_coef * probs_(t, a) * (logp_(t, a) + ent) * inv_t;
       }
     }
     actor.net().zero_grad();
-    actor.net().backward(dlogits);
+    actor.net().backward(dlogits_);
     actor.net().clip_grad_norm(cfg_.grad_clip);
     actor_opt_[static_cast<std::size_t>(i)]->step();
   }

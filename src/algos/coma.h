@@ -42,8 +42,8 @@ class ComaTrainer : public rl::Controller {
   };
 
   // Critic input for agent i at one step: [joint_obs | onehot(i) | onehot
-  // actions of the other agents].
-  std::vector<double> critic_input(const StepRecord& rec, int agent) const;
+  // actions of the other agents], written into a preallocated matrix row.
+  void critic_input_into(const StepRecord& rec, int agent, double* row) const;
   void update_from_episode(const std::vector<StepRecord>& episode, Rng& rng);
 
   sim::Scenario scenario_;
@@ -57,6 +57,11 @@ class ComaTrainer : public rl::Controller {
   std::vector<std::unique_ptr<nn::Adam>> actor_opt_;
   nn::Mlp critic_, critic_target_;
   std::unique_ptr<nn::Adam> critic_opt_;
+
+  // Update scratch, reused across episodes (resized in place).
+  nn::Matrix critic_in_m_, obs_m_, dlogits_, probs_, logp_, closs_grad_;
+  std::vector<double> returns_;
+  std::vector<std::size_t> taken_;
 };
 
 }  // namespace hero::algos

@@ -77,9 +77,9 @@ DdpgUpdateStats DdpgAgent::update(Rng& rng) {
   nn::Matrix qa = q_.forward(obs_m.hcat(cur_a));
   stats.actor_objective = qa.sum() / static_cast<double>(B);
   nn::Matrix dq(B, 1, -1.0 / static_cast<double>(B));  // minimize −Q
-  q_.zero_grad();
-  nn::Matrix din = q_.backward(dq);
-  q_.zero_grad();  // discard critic grads from the actor pass
+  // Input-gradient-only: the critic is frozen in the actor step, so skip its
+  // parameter-gradient accumulation (nothing to discard afterwards).
+  nn::Matrix din = q_.backward_input(dq);
   actor_.net().zero_grad();
   actor_.backward(din.col_slice(obs_dim_, obs_dim_ + k));
   actor_.net().clip_grad_norm(cfg_.grad_clip);

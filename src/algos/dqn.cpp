@@ -73,42 +73,46 @@ double IndependentDqnTrainer::update_agent(int agent, Rng& rng) {
     batch = buffers_[ai].sample(cfg_.batch, rng);
   }
 
-  std::vector<std::vector<double>> obs, next_obs;
-  std::vector<std::size_t> actions;
-  obs.reserve(batch.size());
-  for (const auto* t : batch) {
-    obs.push_back(t->obs);
-    next_obs.push_back(t->next_obs);
-    actions.push_back(t->action);
+  const std::size_t B = batch.size();
+  const std::size_t obs_dim = q_[ai].in_dim();
+  obs_m_.resize(B, obs_dim);
+  next_m_.resize(B, obs_dim);
+  actions_.resize(B);
+  for (std::size_t i = 0; i < B; ++i) {
+    const Transition& t = *batch[i];
+    std::copy(t.obs.begin(), t.obs.end(), obs_m_.row_ptr(i));
+    std::copy(t.next_obs.begin(), t.next_obs.end(), next_m_.row_ptr(i));
+    actions_[i] = t.action;
   }
 
   // TD target: r + γ·max_a' Q_target(s', a') for non-terminal transitions.
-  nn::Matrix next_q =
-      q_target_[ai].forward(nn::Matrix::stack_rows(next_obs));
-  std::vector<double> targets(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
+  const nn::Matrix& next_q = q_target_[ai].forward(next_m_);
+  targets_.resize(B);
+  for (std::size_t i = 0; i < B; ++i) {
     double mx = next_q(i, 0);
     for (std::size_t a = 1; a < grid_.size(); ++a) mx = std::max(mx, next_q(i, a));
-    targets[i] = batch[i]->reward + (batch[i]->done ? 0.0 : cfg_.gamma * mx);
+    targets_[i] = batch[i]->reward + (batch[i]->done ? 0.0 : cfg_.gamma * mx);
   }
 
   auto& net = q_[ai];
-  nn::Matrix pred = net.forward(nn::Matrix::stack_rows(obs));
-  auto loss = nn::huber_loss_selected(pred, actions, targets, 1.0, weights);
+  const nn::Matrix& pred = net.forward(obs_m_);
+  const double loss =
+      nn::huber_loss_selected_into(pred, actions_, targets_, 1.0, weights, loss_grad_);
+  if (cfg_.prioritized) {
+    // Capture TD errors before backward/step invalidates `pred`.
+    td_.resize(B);
+    for (std::size_t i = 0; i < B; ++i) td_[i] = pred(i, actions_[i]) - targets_[i];
+  }
   net.zero_grad();
-  net.backward(loss.grad);
+  net.backward(loss_grad_);
   net.clip_grad_norm(cfg_.grad_clip);
   opt_[ai]->step();
   q_target_[ai].soft_update_from(net, cfg_.tau);
 
   if (cfg_.prioritized) {
-    std::vector<double> td(batch.size());
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      td[i] = pred(i, actions[i]) - targets[i];
-    }
-    per_buffers_[ai].update_priorities(psample.indices, td);
+    per_buffers_[ai].update_priorities(psample.indices, td_);
   }
-  return loss.loss;
+  return loss;
 }
 
 void IndependentDqnTrainer::train(int episodes, Rng& rng, const EpisodeHook& hook) {

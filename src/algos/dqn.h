@@ -68,6 +68,11 @@ class IndependentDqnTrainer : public rl::Controller {
   std::vector<rl::PrioritizedReplayBuffer<Transition>> per_buffers_;
   long total_steps_ = 0;
   long updates_ = 0;
+
+  // Update scratch, reused across update_agent() calls (resized in place).
+  nn::Matrix obs_m_, next_m_, loss_grad_;
+  std::vector<double> targets_, td_;
+  std::vector<std::size_t> actions_;
 };
 
 }  // namespace hero::algos

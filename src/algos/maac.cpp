@@ -51,82 +51,107 @@ void MaacTrainer::update(Rng& rng) {
   auto batch = buffer_.sample(cfg_.batch, rng);
   const std::size_t B = batch.size();
   const std::size_t A = grid_.size();
-  const std::size_t m = static_cast<std::size_t>(n_ - 1);
+  const std::size_t N = static_cast<std::size_t>(n_);
+  const std::size_t m = N - 1;
+
+  // Fills actor_in_ with [obs ; onehot(agent)] rows for agent j's (next_)obs.
+  auto fill_actor_in = [&](int j, bool next) {
+    actor_in_.resize(B, obs_dim_ + N);
+    for (std::size_t b = 0; b < B; ++b) {
+      const auto& o = next ? batch[b]->next_obs[static_cast<std::size_t>(j)]
+                           : batch[b]->obs[static_cast<std::size_t>(j)];
+      double* row = actor_in_.row_ptr(b);
+      std::copy(o.begin(), o.end(), row);
+      for (std::size_t k = 0; k < N; ++k)
+        row[obs_dim_ + k] = (static_cast<int>(k) == j) ? 1.0 : 0.0;
+    }
+  };
 
   // Sample next actions for every agent from the current (shared) actor, and
   // keep their log-probs for the soft target.
-  std::vector<std::vector<std::size_t>> next_actions(
-      static_cast<std::size_t>(n_), std::vector<std::size_t>(B));
-  std::vector<std::vector<double>> next_logp(static_cast<std::size_t>(n_),
-                                             std::vector<double>(B));
+  next_actions_.resize(N);
+  next_logp_.resize(N);
   for (int j = 0; j < n_; ++j) {
-    std::vector<std::vector<double>> rows;
-    rows.reserve(B);
-    for (const auto* t : batch)
-      rows.push_back(actor_obs(t->next_obs[static_cast<std::size_t>(j)], j));
-    nn::Matrix logits = actor_.net().forward(nn::Matrix::stack_rows(rows));
-    nn::Matrix logp = nn::log_softmax(logits);
-    nn::Matrix probs = nn::softmax(logits);
+    auto& na = next_actions_[static_cast<std::size_t>(j)];
+    auto& nl = next_logp_[static_cast<std::size_t>(j)];
+    na.resize(B);
+    nl.resize(B);
+    fill_actor_in(j, /*next=*/true);
+    const nn::Matrix& logits = actor_.net().forward(actor_in_);
+    nn::log_softmax_into(logits, logp_);
+    nn::softmax_into(logits, probs_);
     for (std::size_t b = 0; b < B; ++b) {
-      const std::size_t a = rng.categorical(probs.row_vec(b));
-      next_actions[static_cast<std::size_t>(j)][b] = a;
-      next_logp[static_cast<std::size_t>(j)][b] = logp(b, a);
+      // Inverse-CDF draw straight off the probability row (no row copy).
+      const double* p = probs_.row_ptr(b);
+      const double u = rng.uniform(0.0, 1.0);
+      std::size_t a = A - 1;
+      double acc = 0.0;
+      for (std::size_t c = 0; c < A; ++c) {
+        acc += p[c];
+        if (u < acc) { a = c; break; }
+      }
+      na[b] = a;
+      nl[b] = logp_(b, a);
     }
   }
 
-  auto build_others_sa = [&](int focal, auto obs_of, auto action_of) {
-    nn::Matrix rows(m * B, obs_dim_ + A);
+  // Fills own_m_ / others_m_ for a focal agent from (next_)obs and actions.
+  auto fill_own = [&](int i, bool next) {
+    own_m_.resize(B, obs_dim_);
+    for (std::size_t b = 0; b < B; ++b) {
+      const auto& o = next ? batch[b]->next_obs[static_cast<std::size_t>(i)]
+                           : batch[b]->obs[static_cast<std::size_t>(i)];
+      std::copy(o.begin(), o.end(), own_m_.row_ptr(b));
+    }
+  };
+  auto fill_others = [&](int focal, auto obs_of, auto action_of) {
+    others_m_.resize(m * B, obs_dim_ + A);
+    others_m_.fill(0.0);
     std::size_t jj = 0;
     for (int j = 0; j < n_; ++j) {
       if (j == focal) continue;
       for (std::size_t b = 0; b < B; ++b) {
         const std::vector<double>& o = obs_of(j, b);
-        for (std::size_t c = 0; c < obs_dim_; ++c) rows(jj * B + b, c) = o[c];
-        rows(jj * B + b, obs_dim_ + action_of(j, b)) = 1.0;
+        double* row = others_m_.row_ptr(jj * B + b);
+        std::copy(o.begin(), o.end(), row);
+        row[obs_dim_ + action_of(j, b)] = 1.0;
       }
       ++jj;
     }
-    return rows;
   };
 
   // ----- critic update (all agents share one critic; grads accumulate) -----
   critic_->zero_grad();
+  y_.resize(B);
+  taken_.resize(B);
   for (int i = 0; i < n_; ++i) {
-    std::vector<std::vector<double>> own_next;
-    own_next.reserve(B);
-    for (const auto* t : batch) own_next.push_back(t->next_obs[static_cast<std::size_t>(i)]);
-    nn::Matrix others_next = build_others_sa(
+    fill_own(i, /*next=*/true);
+    fill_others(
         i, [&](int j, std::size_t b) -> const std::vector<double>& {
           return batch[b]->next_obs[static_cast<std::size_t>(j)];
         },
-        [&](int j, std::size_t b) { return next_actions[static_cast<std::size_t>(j)][b]; });
-    auto tgt_pass =
-        critic_target_->forward(nn::Matrix::stack_rows(own_next), others_next);
+        [&](int j, std::size_t b) { return next_actions_[static_cast<std::size_t>(j)][b]; });
+    critic_target_->forward(own_m_, others_m_, tgt_pass_);
 
-    std::vector<double> y(B);
     for (std::size_t b = 0; b < B; ++b) {
-      const std::size_t a_next = next_actions[static_cast<std::size_t>(i)][b];
-      const double soft_q = tgt_pass.q(b, a_next) -
-                            cfg_.alpha * next_logp[static_cast<std::size_t>(i)][b];
-      y[b] = batch[b]->rewards[static_cast<std::size_t>(i)] +
-             (batch[b]->done ? 0.0 : cfg_.gamma * soft_q);
+      const std::size_t a_next = next_actions_[static_cast<std::size_t>(i)][b];
+      const double soft_q = tgt_pass_.q(b, a_next) -
+                            cfg_.alpha * next_logp_[static_cast<std::size_t>(i)][b];
+      y_[b] = batch[b]->rewards[static_cast<std::size_t>(i)] +
+              (batch[b]->done ? 0.0 : cfg_.gamma * soft_q);
     }
 
-    std::vector<std::vector<double>> own;
-    std::vector<std::size_t> taken;
-    own.reserve(B);
-    for (const auto* t : batch) {
-      own.push_back(t->obs[static_cast<std::size_t>(i)]);
-      taken.push_back(t->actions[static_cast<std::size_t>(i)]);
-    }
-    nn::Matrix others_cur = build_others_sa(
+    fill_own(i, /*next=*/false);
+    for (std::size_t b = 0; b < B; ++b)
+      taken_[b] = batch[b]->actions[static_cast<std::size_t>(i)];
+    fill_others(
         i, [&](int j, std::size_t b) -> const std::vector<double>& {
           return batch[b]->obs[static_cast<std::size_t>(j)];
         },
         [&](int j, std::size_t b) { return batch[b]->actions[static_cast<std::size_t>(j)]; });
-    auto pass = critic_->forward(nn::Matrix::stack_rows(own), others_cur);
-    auto loss = nn::mse_loss_selected(pass.q, taken, y);
-    critic_->backward(pass, loss.grad);
+    critic_->forward(own_m_, others_m_, pass_);
+    nn::mse_loss_selected_into(pass_.q, taken_, y_, crit_grad_);
+    critic_->backward(pass_, crit_grad_);
   }
   critic_->clip_grad_norm(cfg_.grad_clip);
   critic_opt_->step();
@@ -136,35 +161,31 @@ void MaacTrainer::update(Rng& rng) {
   // f_a = Q_a − α log π_a. Critic treated as a constant.
   actor_.net().zero_grad();
   for (int i = 0; i < n_; ++i) {
-    std::vector<std::vector<double>> own, actor_rows;
-    own.reserve(B);
-    for (const auto* t : batch) {
-      own.push_back(t->obs[static_cast<std::size_t>(i)]);
-      actor_rows.push_back(actor_obs(t->obs[static_cast<std::size_t>(i)], i));
-    }
-    nn::Matrix others_cur = build_others_sa(
+    fill_own(i, /*next=*/false);
+    fill_others(
         i, [&](int j, std::size_t b) -> const std::vector<double>& {
           return batch[b]->obs[static_cast<std::size_t>(j)];
         },
         [&](int j, std::size_t b) { return batch[b]->actions[static_cast<std::size_t>(j)]; });
-    auto pass = critic_->forward(nn::Matrix::stack_rows(own), others_cur);
+    critic_->forward(own_m_, others_m_, pass_);
 
-    nn::Matrix logits = actor_.net().forward(nn::Matrix::stack_rows(actor_rows));
-    nn::Matrix probs = nn::softmax(logits);
-    nn::Matrix logp = nn::log_softmax(logits);
-    nn::Matrix dlogits(B, A);
-    const double inv = 1.0 / static_cast<double>(B * static_cast<std::size_t>(n_));
+    fill_actor_in(i, /*next=*/false);
+    const nn::Matrix& logits = actor_.net().forward(actor_in_);
+    nn::softmax_into(logits, probs_);
+    nn::log_softmax_into(logits, logp_);
+    dlogits_.resize(B, A);
+    const double inv = 1.0 / static_cast<double>(B * N);
     for (std::size_t b = 0; b < B; ++b) {
       double mean_f = 0.0;
       for (std::size_t a = 0; a < A; ++a) {
-        mean_f += probs(b, a) * (pass.q(b, a) - cfg_.alpha * logp(b, a));
+        mean_f += probs_(b, a) * (pass_.q(b, a) - cfg_.alpha * logp_(b, a));
       }
       for (std::size_t a = 0; a < A; ++a) {
-        const double f = pass.q(b, a) - cfg_.alpha * logp(b, a);
-        dlogits(b, a) = -probs(b, a) * (f - mean_f) * inv;  // minimize −J
+        const double f = pass_.q(b, a) - cfg_.alpha * logp_(b, a);
+        dlogits_(b, a) = -probs_(b, a) * (f - mean_f) * inv;  // minimize −J
       }
     }
-    actor_.net().backward(dlogits);
+    actor_.net().backward(dlogits_);
   }
   actor_.net().clip_grad_norm(cfg_.grad_clip);
   actor_opt_->step();

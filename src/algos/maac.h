@@ -64,6 +64,18 @@ class MaacTrainer : public rl::Controller {
   std::unique_ptr<nn::Adam> critic_opt_;
   rl::ReplayBuffer<Transition> buffer_;
   long total_steps_ = 0;
+
+  // Update scratch, reused across update() calls (resized in place).
+  std::vector<std::vector<std::size_t>> next_actions_;
+  std::vector<std::vector<double>> next_logp_;
+  nn::Matrix actor_in_;            // (B, obs + n) shared-actor input
+  nn::Matrix own_m_;               // (B, obs) focal-agent observations
+  nn::Matrix others_m_;            // (m·B, obs + |A|) other-agent (s,a) rows
+  nn::Matrix probs_, logp_, dlogits_;
+  nn::Matrix crit_grad_;           // dL/dQ for the critic update
+  AttentionCritic::Pass pass_, tgt_pass_;
+  std::vector<double> y_;
+  std::vector<std::size_t> taken_;
 };
 
 }  // namespace hero::algos

@@ -8,15 +8,6 @@
 
 namespace hero::algos {
 
-namespace {
-// Flattens per-agent rows into one joint row: [o_1 .. o_N] or [a_1 .. a_N].
-std::vector<double> flatten(const std::vector<std::vector<double>>& parts) {
-  std::vector<double> out;
-  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
-  return out;
-}
-}  // namespace
-
 MaddpgTrainer::MaddpgTrainer(const sim::Scenario& scenario, const MaddpgConfig& cfg,
                              Rng& rng)
     : scenario_(scenario),
@@ -63,71 +54,84 @@ void MaddpgTrainer::update(Rng& rng) {
   if (!buffer_.ready(std::max(cfg_.batch, cfg_.warmup_steps))) return;
   auto batch = buffer_.sample(cfg_.batch, rng);
   const std::size_t B = batch.size();
+  const std::size_t N = static_cast<std::size_t>(n_);
 
-  // Joint matrices reused by every agent's update.
-  std::vector<std::vector<double>> joint_obs_rows, joint_next_obs_rows, joint_act_rows;
-  joint_obs_rows.reserve(B);
-  for (const auto* t : batch) {
-    joint_obs_rows.push_back(flatten(t->obs));
-    joint_next_obs_rows.push_back(flatten(t->next_obs));
-    joint_act_rows.push_back(flatten(t->actions));
+  // Joint matrices reused by every agent's update, assembled directly into
+  // persistent scratch (no per-row flatten vectors).
+  joint_obs_.resize(B, N * obs_dim_);
+  joint_next_obs_.resize(B, N * obs_dim_);
+  joint_act_.resize(B, N * act_dim_);
+  for (std::size_t b = 0; b < B; ++b) {
+    const Transition& t = *batch[b];
+    double* orow = joint_obs_.row_ptr(b);
+    double* nrow = joint_next_obs_.row_ptr(b);
+    double* arow = joint_act_.row_ptr(b);
+    for (std::size_t j = 0; j < N; ++j) {
+      std::copy(t.obs[j].begin(), t.obs[j].end(), orow + j * obs_dim_);
+      std::copy(t.next_obs[j].begin(), t.next_obs[j].end(), nrow + j * obs_dim_);
+      std::copy(t.actions[j].begin(), t.actions[j].end(), arow + j * act_dim_);
+    }
   }
-  nn::Matrix joint_obs = nn::Matrix::stack_rows(joint_obs_rows);
-  nn::Matrix joint_act = nn::Matrix::stack_rows(joint_act_rows);
 
   // Target joint action a' = (μ'_1(o'_1), ..., μ'_N(o'_N)).
-  nn::Matrix joint_next_act(B, static_cast<std::size_t>(n_) * act_dim_);
-  for (int j = 0; j < n_; ++j) {
-    std::vector<std::vector<double>> next_obs_j;
-    next_obs_j.reserve(B);
-    for (const auto* t : batch) next_obs_j.push_back(t->next_obs[static_cast<std::size_t>(j)]);
-    nn::Matrix aj =
-        actor_targets_[static_cast<std::size_t>(j)].forward(nn::Matrix::stack_rows(next_obs_j));
-    for (std::size_t i = 0; i < B; ++i)
-      for (std::size_t c = 0; c < act_dim_; ++c)
-        joint_next_act(i, static_cast<std::size_t>(j) * act_dim_ + c) = aj(i, c);
+  joint_next_act_.resize(B, N * act_dim_);
+  obs_j_.resize(B, obs_dim_);
+  for (std::size_t j = 0; j < N; ++j) {
+    for (std::size_t b = 0; b < B; ++b) {
+      const auto& o = batch[b]->next_obs[j];
+      std::copy(o.begin(), o.end(), obs_j_.row_ptr(b));
+    }
+    const nn::Matrix& aj = actor_targets_[j].forward(obs_j_);
+    for (std::size_t b = 0; b < B; ++b) {
+      double* row = joint_next_act_.row_ptr(b) + j * act_dim_;
+      const double* arow = aj.row_ptr(b);
+      for (std::size_t c = 0; c < act_dim_; ++c) row[c] = arow[c];
+    }
   }
-  nn::Matrix next_in =
-      nn::Matrix::stack_rows(joint_next_obs_rows).hcat(joint_next_act);
-  nn::Matrix cur_in = joint_obs.hcat(joint_act);
+  joint_next_obs_.hcat_into(joint_next_act_, next_in_);
+  joint_obs_.hcat_into(joint_act_, cur_in_);
 
   for (int i = 0; i < n_; ++i) {
     auto& critic = critics_[static_cast<std::size_t>(i)];
     // Critic i: y = r_i + γ(1−d) Q'_i(o', a').
-    nn::Matrix tq = critic_targets_[static_cast<std::size_t>(i)].forward(next_in);
-    nn::Matrix target(B, 1);
+    const nn::Matrix& tq = critic_targets_[static_cast<std::size_t>(i)].forward(next_in_);
+    target_.resize(B, 1);
     for (std::size_t b = 0; b < B; ++b) {
-      target(b, 0) = batch[b]->rewards[static_cast<std::size_t>(i)] +
-                     (batch[b]->done ? 0.0 : cfg_.gamma * tq(b, 0));
+      target_(b, 0) = batch[b]->rewards[static_cast<std::size_t>(i)] +
+                      (batch[b]->done ? 0.0 : cfg_.gamma * tq(b, 0));
     }
-    nn::Matrix pred = critic.forward(cur_in);
-    auto loss = nn::mse_loss(pred, target);
+    const nn::Matrix& pred = critic.forward(cur_in_);
+    nn::mse_loss_into(pred, target_, q_grad_);
     critic.zero_grad();
-    critic.backward(loss.grad);
+    critic.backward(q_grad_);
     critic.clip_grad_norm(cfg_.grad_clip);
     critic_opt_[static_cast<std::size_t>(i)]->step();
 
     // Actor i: ascend Q_i(o, [a_{-i} from buffer, a_i = μ_i(o_i)]).
-    std::vector<std::vector<double>> obs_i;
-    obs_i.reserve(B);
-    for (const auto* t : batch) obs_i.push_back(t->obs[static_cast<std::size_t>(i)]);
-    nn::Matrix obs_i_m = nn::Matrix::stack_rows(obs_i);
-    nn::Matrix a_i = actors_[static_cast<std::size_t>(i)].forward(obs_i_m);
-    nn::Matrix mixed_act = joint_act;
-    for (std::size_t b = 0; b < B; ++b)
-      for (std::size_t c = 0; c < act_dim_; ++c)
-        mixed_act(b, static_cast<std::size_t>(i) * act_dim_ + c) = a_i(b, c);
-    nn::Matrix q = critic.forward(joint_obs.hcat(mixed_act));
-    (void)q;
-    nn::Matrix dq(B, 1, -1.0 / static_cast<double>(B));
-    critic.zero_grad();
-    nn::Matrix din = critic.backward(dq);
-    critic.zero_grad();
-    const std::size_t a_off = static_cast<std::size_t>(n_) * obs_dim_ +
-                              static_cast<std::size_t>(i) * act_dim_;
+    for (std::size_t b = 0; b < B; ++b) {
+      const auto& o = batch[b]->obs[static_cast<std::size_t>(i)];
+      std::copy(o.begin(), o.end(), obs_j_.row_ptr(b));
+    }
+    const nn::Matrix& a_i = actors_[static_cast<std::size_t>(i)].forward(obs_j_);
+    // [joint_obs | joint_act] with agent i's action block replaced by μ_i.
+    mixed_in_.copy_from(cur_in_);
+    const std::size_t a_off =
+        N * obs_dim_ + static_cast<std::size_t>(i) * act_dim_;
+    for (std::size_t b = 0; b < B; ++b) {
+      double* row = mixed_in_.row_ptr(b) + a_off;
+      const double* arow = a_i.row_ptr(b);
+      for (std::size_t c = 0; c < act_dim_; ++c) row[c] = arow[c];
+    }
+    critic.forward(mixed_in_);
+    dq_.resize(B, 1);
+    dq_.fill(-1.0 / static_cast<double>(B));
+    // The critic is frozen here — only dQ/da is needed, so skip its
+    // parameter-gradient accumulation.
+    const nn::Matrix& din = critic.backward_input(dq_);
+    din.col_slice_into(a_off, a_off + act_dim_, da_);
     auto& actor = actors_[static_cast<std::size_t>(i)];
     actor.net().zero_grad();
-    actor.backward(din.col_slice(a_off, a_off + act_dim_));
+    actor.backward(da_);
     actor.net().clip_grad_norm(cfg_.grad_clip);
     actor_opt_[static_cast<std::size_t>(i)]->step();
   }

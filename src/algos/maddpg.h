@@ -53,6 +53,12 @@ class MaddpgTrainer : public rl::Controller {
   std::vector<std::unique_ptr<nn::Adam>> actor_opt_, critic_opt_;
   rl::ReplayBuffer<Transition> buffer_;
   long total_steps_ = 0;
+
+  // Update scratch, reused across update() calls (resized in place).
+  nn::Matrix joint_obs_, joint_next_obs_, joint_act_, joint_next_act_;
+  nn::Matrix next_in_, cur_in_, mixed_in_;
+  nn::Matrix obs_j_;                // per-agent observation batch
+  nn::Matrix target_, q_grad_, dq_, da_;
 };
 
 }  // namespace hero::algos

@@ -45,77 +45,76 @@ SacUpdateStats SacAgent::update(Rng& rng) {
   const std::size_t B = batch.size();
   const std::size_t k = actor_.action_dim();
 
-  std::vector<std::vector<double>> obs_rows, next_rows, act_rows;
-  obs_rows.reserve(B);
-  for (const auto* t : batch) {
-    obs_rows.push_back(t->obs);
-    next_rows.push_back(t->next_obs);
-    act_rows.push_back(t->action);
+  // Assemble the batch straight into reusable matrices (no row-vector stack).
+  obs_m_.resize(B, obs_dim_);
+  next_m_.resize(B, obs_dim_);
+  act_m_.resize(B, k);
+  for (std::size_t i = 0; i < B; ++i) {
+    const Transition& t = *batch[i];
+    std::copy(t.obs.begin(), t.obs.end(), obs_m_.row_ptr(i));
+    std::copy(t.next_obs.begin(), t.next_obs.end(), next_m_.row_ptr(i));
+    std::copy(t.action.begin(), t.action.end(), act_m_.row_ptr(i));
   }
-  nn::Matrix obs_m = nn::Matrix::stack_rows(obs_rows);
-  nn::Matrix next_m = nn::Matrix::stack_rows(next_rows);
-  nn::Matrix act_m = nn::Matrix::stack_rows(act_rows);
 
   // ----- critic update: y = r + γ(1−d)[min Q'(s',ã') − α log π(ã'|s')] -----
-  auto next_sample = actor_.sample(next_m, rng);
-  nn::Matrix next_in = next_m.hcat(next_sample.actions);
-  nn::Matrix tq1 = q1_target_.forward(next_in);
-  nn::Matrix tq2 = q2_target_.forward(next_in);
-  nn::Matrix target(B, 1);
+  actor_.sample_into(next_m_, rng, /*deterministic=*/false, next_sample_);
+  next_m_.hcat_into(next_sample_.actions, next_in_);
+  const nn::Matrix& tq1 = q1_target_.forward(next_in_);
+  const nn::Matrix& tq2 = q2_target_.forward(next_in_);
+  target_.resize(B, 1);
   for (std::size_t i = 0; i < B; ++i) {
     const double soft_v =
-        std::min(tq1(i, 0), tq2(i, 0)) - cfg_.alpha * next_sample.log_prob[i];
-    target(i, 0) =
+        std::min(tq1(i, 0), tq2(i, 0)) - cfg_.alpha * next_sample_.log_prob[i];
+    target_(i, 0) =
         batch[i]->reward + (batch[i]->done ? 0.0 : cfg_.gamma * soft_v);
   }
 
-  nn::Matrix critic_in = obs_m.hcat(act_m);
+  obs_m_.hcat_into(act_m_, critic_in_);
   for (auto [q, opt] : {std::pair<nn::Mlp*, nn::Adam*>{&q1_, q1_opt_.get()},
                         std::pair<nn::Mlp*, nn::Adam*>{&q2_, q2_opt_.get()}}) {
-    nn::Matrix pred = q->forward(critic_in);
-    auto loss = nn::mse_loss(pred, target);
-    stats.critic_loss += 0.5 * loss.loss;
+    const nn::Matrix& pred = q->forward(critic_in_);
+    stats.critic_loss += 0.5 * nn::mse_loss_into(pred, target_, q_grad_);
     q->zero_grad();
-    q->backward(loss.grad);
+    q->backward(q_grad_);
     q->clip_grad_norm(cfg_.grad_clip);
     opt->step();
   }
 
   // ----- actor update: minimize E[α log π(ã|s) − min Q(s, ã)] -----
-  auto sample = actor_.sample(obs_m, rng);
-  nn::Matrix actor_in = obs_m.hcat(sample.actions);
-  nn::Matrix aq1 = q1_.forward(actor_in);
-  nn::Matrix aq2 = q2_.forward(actor_in);
+  actor_.sample_into(obs_m_, rng, /*deterministic=*/false, sample_);
+  obs_m_.hcat_into(sample_.actions, critic_in_);
+  const nn::Matrix& aq1 = q1_.forward(critic_in_);
+  const nn::Matrix& aq2 = q2_.forward(critic_in_);
 
   // dL/dQ = −1/B through whichever critic attains the minimum per sample.
   const double inv_b = 1.0 / static_cast<double>(B);
-  nn::Matrix dq1(B, 1), dq2(B, 1);
+  dq1_.resize(B, 1);
+  dq2_.resize(B, 1);
+  dq1_.fill(0.0);
+  dq2_.fill(0.0);
   double actor_loss = 0.0;
   for (std::size_t i = 0; i < B; ++i) {
     const double qmin = std::min(aq1(i, 0), aq2(i, 0));
-    actor_loss += (cfg_.alpha * sample.log_prob[i] - qmin) * inv_b;
-    (aq1(i, 0) <= aq2(i, 0) ? dq1 : dq2)(i, 0) = -inv_b;
+    actor_loss += (cfg_.alpha * sample_.log_prob[i] - qmin) * inv_b;
+    (aq1(i, 0) <= aq2(i, 0) ? dq1_ : dq2_)(i, 0) = -inv_b;
   }
   stats.actor_loss = actor_loss;
 
-  q1_.zero_grad();
-  q2_.zero_grad();
-  nn::Matrix din1 = q1_.backward(dq1);
-  nn::Matrix din2 = q2_.backward(dq2);
-  nn::Matrix dL_da = din1.col_slice(obs_dim_, obs_dim_ + k);
-  dL_da += din2.col_slice(obs_dim_, obs_dim_ + k);
-  // Discard the critic parameter grads accumulated by this pass.
-  q1_.zero_grad();
-  q2_.zero_grad();
+  // Input-gradient-only backward: the critics are frozen in this step, so
+  // skip their dW/db accumulation entirely (no zero_grad bracketing needed).
+  const nn::Matrix& din1 = q1_.backward_input(dq1_);
+  const nn::Matrix& din2 = q2_.backward_input(dq2_);
+  din1.col_slice_into(obs_dim_, obs_dim_ + k, dL_da_);
+  din2.col_slice_into(obs_dim_, obs_dim_ + k, dL_da_, /*accumulate=*/true);
 
-  std::vector<double> dL_dlogp(B, cfg_.alpha * inv_b);
+  dL_dlogp_.assign(B, cfg_.alpha * inv_b);
   actor_.net().zero_grad();
-  actor_.backward(sample, dL_da, dL_dlogp);
+  actor_.backward(sample_, dL_da_, dL_dlogp_);
   actor_.net().clip_grad_norm(cfg_.grad_clip);
   actor_opt_->step();
 
   double ent = 0.0;
-  for (double lp : sample.log_prob) ent -= lp;
+  for (double lp : sample_.log_prob) ent -= lp;
   stats.entropy = ent * inv_b;
 
   // ----- target networks -----

@@ -76,6 +76,15 @@ class SacAgent {
   std::unique_ptr<nn::Adam> actor_opt_, q1_opt_, q2_opt_;
   rl::ReplayBuffer<Transition> buffer_;
   long total_steps_ = 0;
+
+  // Update scratch, reused across update() calls (resized in place), so a
+  // steady-state update performs no heap allocations.
+  nn::Matrix obs_m_, next_m_, act_m_;     // batch assembly
+  nn::Matrix next_in_, critic_in_;        // [s ; a] critic inputs
+  nn::Matrix target_, q_grad_;            // TD target and dL/dQ
+  nn::Matrix dq1_, dq2_, dL_da_;          // actor-update gradients
+  nn::SquashedGaussianPolicy::Sample next_sample_, sample_;
+  std::vector<double> dL_dlogp_;
 };
 
 }  // namespace hero::algos

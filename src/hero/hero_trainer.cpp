@@ -24,12 +24,12 @@ HeroTrainer::HeroTrainer(const sim::Scenario& scenario, const HeroConfig& cfg,
                           static_cast<int>(Option::kKeepLane));
 }
 
-std::vector<int> HeroTrainer::others_options(int k) const {
-  std::vector<int> out;
+const std::vector<int>& HeroTrainer::others_options(int k) const {
+  others_scratch_.clear();
   for (std::size_t j = 0; j < current_options_.size(); ++j) {
-    if (static_cast<int>(j) != k) out.push_back(current_options_[j]);
+    if (static_cast<int>(j) != k) others_scratch_.push_back(current_options_[j]);
   }
-  return out;
+  return others_scratch_;
 }
 
 std::map<Option, std::vector<double>> HeroTrainer::train_skills(

@@ -68,8 +68,9 @@ class HeroTrainer : public rl::Controller {
 
  private:
   // Options currently held by every learner except `k` (ascending order) —
-  // the observable option history the paper assumes.
-  std::vector<int> others_options(int k) const;
+  // the observable option history the paper assumes. Returns a reference to
+  // a reused scratch vector, overwritten by the next call.
+  const std::vector<int>& others_options(int k) const;
 
   sim::Scenario scenario_;
   HeroConfig cfg_;
@@ -77,6 +78,7 @@ class HeroTrainer : public rl::Controller {
   SkillBank skills_;
   std::vector<std::unique_ptr<HeroAgent>> agents_;
   std::vector<int> current_options_;
+  mutable std::vector<int> others_scratch_;
   bool episode_started_ = false;
   bool learning_ = false;
   long total_steps_ = 0;

@@ -20,14 +20,13 @@ HighLevelAgent::HighLevelAgent(std::size_t obs_dim, int num_opponents,
   critic_opt_ = std::make_unique<nn::Adam>(critic_.params(), cfg_.lr);
 }
 
-std::vector<double> HighLevelAgent::critic_input(
-    const std::vector<double>& obs, int option,
-    const std::vector<double>& opp_block) const {
-  HERO_CHECK(obs.size() == obs_dim_ && opp_block.size() == opp_dim_);
-  std::vector<double> in = obs;
-  for (int a = 0; a < kNumOptions; ++a) in.push_back(a == option ? 1.0 : 0.0);
-  in.insert(in.end(), opp_block.begin(), opp_block.end());
-  return in;
+void HighLevelAgent::critic_input_into(const std::vector<double>& obs, int option,
+                                       const double* opp_block, double* row) const {
+  HERO_CHECK(obs.size() == obs_dim_);
+  std::size_t c = 0;
+  for (double v : obs) row[c++] = v;
+  for (int a = 0; a < kNumOptions; ++a) row[c++] = (a == option) ? 1.0 : 0.0;
+  for (std::size_t k = 0; k < opp_dim_; ++k) row[c++] = opp_block[k];
 }
 
 std::vector<double> HighLevelAgent::option_probs(
@@ -62,36 +61,41 @@ HighLevelUpdateStats HighLevelAgent::update(OpponentModel& opponents, Rng& rng) 
   auto batch = buffer_.sample(cfg_.batch, rng);
   const std::size_t B = batch.size();
 
-  auto opp_block_for = [&](const std::vector<double>& obs) {
+  // Fills blocks_ row b with the opponent block for `obs` (model prediction,
+  // or the uniform prior under the ablation).
+  auto fill_block = [&](std::size_t b, const std::vector<double>& obs) {
+    double* row = blocks_.row_ptr(b);
     if (!cfg_.use_opponent_model || opp_dim_ == 0) {
-      return std::vector<double>(opp_dim_, 1.0 / kNumOptions);
+      for (std::size_t k = 0; k < opp_dim_; ++k) row[k] = 1.0 / kNumOptions;
+    } else {
+      opponents.predict_all_into(obs, row);
     }
-    return opponents.predict_all(obs);
   };
+
+  const std::size_t cin_dim = obs_dim_ + kNumOptions + opp_dim_;
+  blocks_.resize(B, std::max<std::size_t>(opp_dim_, 1));
 
   // ----- critic TD target -----
   //   kMax:      y = R + γ^c·max_o' Q'(s', o', ô')
   //   kExpected: y = R + γ^c·Σ_o' π(o'|s', ô') Q'(s', o', ô')
-  std::vector<double> targets(B);
+  targets_.resize(B);
   {
     // Assemble per-sample next-state actor inputs and all 4 next-Q inputs.
-    std::vector<std::vector<double>> actor_rows;
-    std::vector<std::vector<double>> q_rows;  // B × kNumOptions rows
-    actor_rows.reserve(B);
-    q_rows.reserve(B * kNumOptions);
-    std::vector<std::vector<double>> next_blocks(B);
+    actor_in_.resize(B, obs_dim_ + opp_dim_);
+    q_in_.resize(B * kNumOptions, cin_dim);
     for (std::size_t b = 0; b < B; ++b) {
-      next_blocks[b] = opp_block_for(batch[b]->next_obs);
-      std::vector<double> ain = batch[b]->next_obs;
-      ain.insert(ain.end(), next_blocks[b].begin(), next_blocks[b].end());
-      actor_rows.push_back(std::move(ain));
+      fill_block(b, batch[b]->next_obs);
+      double* arow = actor_in_.row_ptr(b);
+      std::copy(batch[b]->next_obs.begin(), batch[b]->next_obs.end(), arow);
+      const double* block = blocks_.row_ptr(b);
+      for (std::size_t k = 0; k < opp_dim_; ++k) arow[obs_dim_ + k] = block[k];
       for (int o = 0; o < kNumOptions; ++o) {
-        q_rows.push_back(critic_input(batch[b]->next_obs, o, next_blocks[b]));
+        critic_input_into(batch[b]->next_obs, o, block,
+                          q_in_.row_ptr(b * kNumOptions + static_cast<std::size_t>(o)));
       }
     }
-    nn::Matrix probs =
-        nn::softmax(actor_.net().forward(nn::Matrix::stack_rows(actor_rows)));
-    nn::Matrix qnext = critic_target_.forward(nn::Matrix::stack_rows(q_rows));
+    nn::softmax_into(actor_.net().forward(actor_in_), probs_);
+    const nn::Matrix& qnext = critic_target_.forward(q_in_);
     for (std::size_t b = 0; b < B; ++b) {
       double v;
       if (cfg_.bootstrap == Bootstrap::kMax) {
@@ -102,85 +106,82 @@ HighLevelUpdateStats HighLevelAgent::update(OpponentModel& opponents, Rng& rng) 
       } else {
         v = 0.0;
         for (int o = 0; o < kNumOptions; ++o) {
-          v += probs(b, static_cast<std::size_t>(o)) *
+          v += probs_(b, static_cast<std::size_t>(o)) *
                qnext(b * kNumOptions + static_cast<std::size_t>(o), 0);
         }
       }
-      targets[b] =
+      targets_[b] =
           batch[b]->reward + (batch[b]->done ? 0.0 : batch[b]->gamma_pow * v);
     }
   }
 
-  std::vector<std::vector<double>> critic_rows;
-  critic_rows.reserve(B);
+  cin_.resize(B, cin_dim);
   for (std::size_t b = 0; b < B; ++b) {
-    critic_rows.push_back(
-        critic_input(batch[b]->obs, batch[b]->option, batch[b]->opp_actual));
+    critic_input_into(batch[b]->obs, batch[b]->option, batch[b]->opp_actual.data(),
+                      cin_.row_ptr(b));
   }
-  nn::Matrix cin = nn::Matrix::stack_rows(critic_rows);
-  nn::Matrix pred = critic_.forward(cin);
-  nn::Matrix target_m(B, 1);
-  for (std::size_t b = 0; b < B; ++b) target_m(b, 0) = targets[b];
-  auto closs = nn::mse_loss(pred, target_m);
-  stats.critic_loss = closs.loss;
+  const nn::Matrix& pred = critic_.forward(cin_);
+  target_m_.resize(B, 1);
+  for (std::size_t b = 0; b < B; ++b) target_m_(b, 0) = targets_[b];
+  stats.critic_loss = nn::mse_loss_into(pred, target_m_, closs_grad_);
   critic_.zero_grad();
-  critic_.backward(closs.grad);
+  critic_.backward(closs_grad_);
   critic_.clip_grad_norm(cfg_.grad_clip);
   critic_opt_->step();
 
   // ----- actor: ∇logπ(o|s, ô)·A with A = Q(s,o,·) − Σ_o π Q, plus entropy --
   {
-    std::vector<std::vector<double>> actor_rows;
-    std::vector<std::vector<double>> q_rows;
-    std::vector<std::vector<double>> blocks(B);
-    actor_rows.reserve(B);
-    q_rows.reserve(B * kNumOptions);
+    actor_in_.resize(B, obs_dim_ + opp_dim_);
+    q_in_.resize(B * kNumOptions, cin_dim);
     for (std::size_t b = 0; b < B; ++b) {
-      blocks[b] = opp_block_for(batch[b]->obs);
-      std::vector<double> ain = batch[b]->obs;
-      ain.insert(ain.end(), blocks[b].begin(), blocks[b].end());
-      actor_rows.push_back(std::move(ain));
+      fill_block(b, batch[b]->obs);
+      double* arow = actor_in_.row_ptr(b);
+      std::copy(batch[b]->obs.begin(), batch[b]->obs.end(), arow);
+      const double* block = blocks_.row_ptr(b);
+      for (std::size_t k = 0; k < opp_dim_; ++k) arow[obs_dim_ + k] = block[k];
       for (int o = 0; o < kNumOptions; ++o) {
         // Q evaluated with the *actual* peer options from the buffer.
-        q_rows.push_back(critic_input(batch[b]->obs, o, batch[b]->opp_actual));
+        critic_input_into(batch[b]->obs, o, batch[b]->opp_actual.data(),
+                          q_in_.row_ptr(b * kNumOptions + static_cast<std::size_t>(o)));
       }
     }
-    nn::Matrix q_all = critic_.forward(nn::Matrix::stack_rows(q_rows));
-    nn::Matrix logits = actor_.net().forward(nn::Matrix::stack_rows(actor_rows));
-    nn::Matrix probs = nn::softmax(logits);
-    nn::Matrix logp = nn::log_softmax(logits);
+    const nn::Matrix& q_all = critic_.forward(q_in_);
+    const nn::Matrix& logits = actor_.net().forward(actor_in_);
+    nn::softmax_into(logits, probs_);
+    nn::log_softmax_into(logits, logp_);
 
     const double inv_b = 1.0 / static_cast<double>(B);
-    nn::Matrix dlogits(B, kNumOptions);
+    dlogits_.resize(B, kNumOptions);
+    dlogits_.fill(0.0);
     double mean_entropy = 0.0;
     for (std::size_t b = 0; b < B; ++b) {
       double baseline = 0.0;
       for (int o = 0; o < kNumOptions; ++o) {
-        baseline += probs(b, static_cast<std::size_t>(o)) *
+        baseline += probs_(b, static_cast<std::size_t>(o)) *
                     q_all(b * kNumOptions + static_cast<std::size_t>(o), 0);
       }
       const std::size_t taken = static_cast<std::size_t>(batch[b]->option);
       const double adv = q_all(b * kNumOptions + taken, 0) - baseline;
       for (int o = 0; o < kNumOptions; ++o) {
-        dlogits(b, static_cast<std::size_t>(o)) +=
-            adv * probs(b, static_cast<std::size_t>(o)) * inv_b;
+        dlogits_(b, static_cast<std::size_t>(o)) +=
+            adv * probs_(b, static_cast<std::size_t>(o)) * inv_b;
       }
-      dlogits(b, taken) -= adv * inv_b;
+      dlogits_(b, taken) -= adv * inv_b;
 
       double h = 0.0;
       for (int o = 0; o < kNumOptions; ++o) {
         const std::size_t c = static_cast<std::size_t>(o);
-        h -= probs(b, c) * logp(b, c);
+        h -= probs_(b, c) * logp_(b, c);
       }
       mean_entropy += h * inv_b;
       for (int o = 0; o < kNumOptions; ++o) {
         const std::size_t c = static_cast<std::size_t>(o);
-        dlogits(b, c) += cfg_.entropy_coef * probs(b, c) * (logp(b, c) + h) * inv_b;
+        dlogits_(b, c) += cfg_.entropy_coef * probs_(b, c) * (logp_(b, c) + h) * inv_b;
       }
     }
     stats.actor_entropy = mean_entropy;
     actor_.net().zero_grad();
-    actor_.net().backward(dlogits);
+    actor_.net().backward(dlogits_);
     actor_.net().clip_grad_norm(cfg_.grad_clip);
     actor_opt_->step();
   }

@@ -94,8 +94,9 @@ class HighLevelAgent {
   long selections() const { return selections_; }
 
  private:
-  std::vector<double> critic_input(const std::vector<double>& obs, int option,
-                                   const std::vector<double>& opp_block) const;
+  // Writes [obs | onehot(option) | opp_block] into a preallocated row.
+  void critic_input_into(const std::vector<double>& obs, int option,
+                         const double* opp_block, double* row) const;
 
   HighLevelConfig cfg_;
   std::size_t obs_dim_;
@@ -106,6 +107,11 @@ class HighLevelAgent {
   std::unique_ptr<nn::Adam> actor_opt_, critic_opt_;
   rl::ReplayBuffer<OptionTransition> buffer_;
   long selections_ = 0;
+
+  // Update scratch, reused across update() calls (resized in place).
+  nn::Matrix actor_in_, q_in_, cin_, target_m_, closs_grad_;
+  nn::Matrix probs_, logp_, dlogits_, blocks_;
+  std::vector<double> targets_;
 };
 
 }  // namespace hero::core

@@ -1,5 +1,8 @@
 #include "hero/opponent_model.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "nn/losses.h"
 
 namespace hero::core {
@@ -16,22 +19,42 @@ OpponentModel::OpponentModel(std::size_t obs_dim, int num_opponents,
   }
 }
 
-std::vector<double> OpponentModel::predict(int j, const std::vector<double>& obs) {
+void OpponentModel::predict_into(int j, const std::vector<double>& obs, double* out) {
   auto& buffer = buffers_[static_cast<std::size_t>(j)];
   if (!trained_ && buffer.size() < cfg_.min_samples) {
-    return std::vector<double>(kNumOptions, 1.0 / kNumOptions);
+    for (int a = 0; a < kNumOptions; ++a) out[a] = 1.0 / kNumOptions;
+    return;
   }
-  nn::Matrix logits = nets_[static_cast<std::size_t>(j)].forward(nn::Matrix::row(obs));
-  return nn::softmax(logits).row_vec(0);
+  obs_row_.resize(1, obs.size());
+  std::copy(obs.begin(), obs.end(), obs_row_.data());
+  const nn::Matrix& logits = nets_[static_cast<std::size_t>(j)].forward(obs_row_);
+  // Softmax of the single logits row, straight into `out`.
+  const double* lrow = logits.row_ptr(0);
+  double mx = lrow[0];
+  for (int a = 1; a < kNumOptions; ++a) mx = std::max(mx, lrow[a]);
+  double z = 0.0;
+  for (int a = 0; a < kNumOptions; ++a) {
+    out[a] = std::exp(lrow[a] - mx);
+    z += out[a];
+  }
+  for (int a = 0; a < kNumOptions; ++a) out[a] /= z;
+}
+
+std::vector<double> OpponentModel::predict(int j, const std::vector<double>& obs) {
+  std::vector<double> out(kNumOptions);
+  predict_into(j, obs, out.data());
+  return out;
+}
+
+void OpponentModel::predict_all_into(const std::vector<double>& obs, double* out) {
+  for (int j = 0; j < num_opponents(); ++j) {
+    predict_into(j, obs, out + static_cast<std::size_t>(j) * kNumOptions);
+  }
 }
 
 std::vector<double> OpponentModel::predict_all(const std::vector<double>& obs) {
-  std::vector<double> out;
-  out.reserve(feature_dim());
-  for (int j = 0; j < num_opponents(); ++j) {
-    auto p = predict(j, obs);
-    out.insert(out.end(), p.begin(), p.end());
-  }
+  std::vector<double> out(feature_dim());
+  predict_all_into(obs, out.data());
   return out;
 }
 
@@ -46,39 +69,39 @@ double OpponentModel::update(int j, Rng& rng) {
   auto batch = buffer.sample(cfg_.batch, rng);
   const std::size_t B = batch.size();
 
-  std::vector<std::vector<double>> rows;
-  std::vector<std::size_t> labels;
-  rows.reserve(B);
-  for (const auto* s : batch) {
-    rows.push_back(s->obs);
-    labels.push_back(static_cast<std::size_t>(s->option));
+  auto& net = nets_[static_cast<std::size_t>(j)];
+  obs_m_.resize(B, net.in_dim());
+  labels_.resize(B);
+  for (std::size_t b = 0; b < B; ++b) {
+    const Sample& s = *batch[b];
+    std::copy(s.obs.begin(), s.obs.end(), obs_m_.row_ptr(b));
+    labels_[b] = static_cast<std::size_t>(s.option);
   }
 
-  auto& net = nets_[static_cast<std::size_t>(j)];
-  nn::Matrix logits = net.forward(nn::Matrix::stack_rows(rows));
-  auto ce = nn::softmax_cross_entropy(logits, labels);
+  const nn::Matrix& logits = net.forward(obs_m_);
+  const double ce_loss = nn::softmax_cross_entropy_into(logits, labels_, nullptr, ce_grad_);
 
   // Entropy regularization: loss −= λ·H(π̂);
   // d(−H)/dlogit_c = p_c (log p_c + H).
-  nn::Matrix probs = nn::softmax(logits);
-  nn::Matrix logp = nn::log_softmax(logits);
+  nn::softmax_into(logits, probs_);
+  nn::log_softmax_into(logits, logp_);
   const double inv_b = 1.0 / static_cast<double>(B);
   double mean_entropy = 0.0;
   for (std::size_t b = 0; b < B; ++b) {
     double h = 0.0;
     for (int a = 0; a < kNumOptions; ++a) {
-      h -= probs(b, static_cast<std::size_t>(a)) * logp(b, static_cast<std::size_t>(a));
+      h -= probs_(b, static_cast<std::size_t>(a)) * logp_(b, static_cast<std::size_t>(a));
     }
     mean_entropy += h * inv_b;
     for (int a = 0; a < kNumOptions; ++a) {
       const std::size_t c = static_cast<std::size_t>(a);
-      ce.grad(b, c) += cfg_.entropy_lambda * probs(b, c) * (logp(b, c) + h) * inv_b;
+      ce_grad_(b, c) += cfg_.entropy_lambda * probs_(b, c) * (logp_(b, c) + h) * inv_b;
     }
   }
-  const double loss = ce.loss - cfg_.entropy_lambda * mean_entropy;
+  const double loss = ce_loss - cfg_.entropy_lambda * mean_entropy;
 
   net.zero_grad();
-  net.backward(ce.grad);
+  net.backward(ce_grad_);
   net.clip_grad_norm(10.0);
   opts_[static_cast<std::size_t>(j)]->step();
   losses_[static_cast<std::size_t>(j)].push_back(loss);

@@ -38,11 +38,15 @@ class OpponentModel {
   int num_opponents() const { return static_cast<int>(nets_.size()); }
 
   // Predicted option distribution of opponent slot j (uniform until the
-  // model has seen min_samples labels).
+  // model has seen min_samples labels). The `_into` form writes kNumOptions
+  // values to `out` without allocating.
+  void predict_into(int j, const std::vector<double>& obs, double* out);
   std::vector<double> predict(int j, const std::vector<double>& obs);
 
   // Concatenated predictions over all opponents — the ô^{-i} feature block
-  // consumed by the high-level actor and critic.
+  // consumed by the high-level actor and critic. The `_into` form writes
+  // feature_dim() values to `out`.
+  void predict_all_into(const std::vector<double>& obs, double* out);
   std::vector<double> predict_all(const std::vector<double>& obs);
   std::size_t feature_dim() const {
     return nets_.size() * static_cast<std::size_t>(kNumOptions);
@@ -82,6 +86,10 @@ class OpponentModel {
   std::vector<std::unique_ptr<nn::Adam>> opts_;
   std::vector<rl::ReplayBuffer<Sample>> buffers_;
   std::vector<std::vector<double>> losses_;  // per opponent, per update
+
+  // Prediction/update scratch (resized in place).
+  nn::Matrix obs_row_, obs_m_, ce_grad_, probs_, logp_;
+  std::vector<std::size_t> labels_;
 };
 
 }  // namespace hero::core

@@ -4,34 +4,40 @@
 
 namespace hero::nn {
 
-Matrix ReLU::forward(const Matrix& x) {
-  cached_input_ = x;
-  return x.map([](double v) { return v > 0.0 ? v : 0.0; });
+void ReLU::forward_into(const Matrix& x, Matrix& y) {
+  y.resize(x.rows(), x.cols());
+  const double* src = x.data();
+  double* dst = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) dst[i] = src[i] > 0.0 ? src[i] : 0.0;
 }
 
-Matrix ReLU::backward(const Matrix& grad_out) {
-  HERO_CHECK(grad_out.same_shape(cached_input_));
-  Matrix g = grad_out;
-  for (std::size_t i = 0; i < g.rows(); ++i)
-    for (std::size_t j = 0; j < g.cols(); ++j)
-      if (cached_input_(i, j) <= 0.0) g(i, j) = 0.0;
-  return g;
+void ReLU::backward_into(const Matrix& x, const Matrix& y, const Matrix& grad_out,
+                         Matrix& grad_in) {
+  (void)y;
+  HERO_CHECK(grad_out.same_shape(x));
+  grad_in.resize(x.rows(), x.cols());
+  const double* xs = x.data();
+  const double* g = grad_out.data();
+  double* out = grad_in.data();
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = xs[i] > 0.0 ? g[i] : 0.0;
 }
 
-Matrix Tanh::forward(const Matrix& x) {
-  cached_output_ = x.map([](double v) { return std::tanh(v); });
-  return cached_output_;
+void Tanh::forward_into(const Matrix& x, Matrix& y) {
+  y.resize(x.rows(), x.cols());
+  const double* src = x.data();
+  double* dst = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) dst[i] = std::tanh(src[i]);
 }
 
-Matrix Tanh::backward(const Matrix& grad_out) {
-  HERO_CHECK(grad_out.same_shape(cached_output_));
-  Matrix g = grad_out;
-  for (std::size_t i = 0; i < g.rows(); ++i)
-    for (std::size_t j = 0; j < g.cols(); ++j) {
-      double t = cached_output_(i, j);
-      g(i, j) *= (1.0 - t * t);
-    }
-  return g;
+void Tanh::backward_into(const Matrix& x, const Matrix& y, const Matrix& grad_out,
+                         Matrix& grad_in) {
+  (void)x;
+  HERO_CHECK(grad_out.same_shape(y));
+  grad_in.resize(y.rows(), y.cols());
+  const double* t = y.data();
+  const double* g = grad_out.data();
+  double* out = grad_in.data();
+  for (std::size_t i = 0; i < y.size(); ++i) out[i] = g[i] * (1.0 - t[i] * t[i]);
 }
 
 }  // namespace hero::nn

@@ -1,4 +1,6 @@
-// Pointwise activation layers.
+// Pointwise activation layers. Stateless: backward uses the workspace
+// buffers handed in by the owning network (ReLU masks on its input, Tanh
+// differentiates through its output).
 #pragma once
 
 #include "nn/layer.h"
@@ -10,29 +12,29 @@ enum class Activation { kReLU, kTanh, kIdentity };
 class ReLU final : public Layer {
  public:
   explicit ReLU(std::size_t dim) : dim_(dim) {}
-  Matrix forward(const Matrix& x) override;
-  Matrix backward(const Matrix& grad_out) override;
+  void forward_into(const Matrix& x, Matrix& y) override;
+  void backward_into(const Matrix& x, const Matrix& y, const Matrix& grad_out,
+                     Matrix& grad_in) override;
   std::unique_ptr<Layer> clone() const override { return std::make_unique<ReLU>(*this); }
   std::size_t in_dim() const override { return dim_; }
   std::size_t out_dim() const override { return dim_; }
 
  private:
   std::size_t dim_;
-  Matrix cached_input_;
 };
 
 class Tanh final : public Layer {
  public:
   explicit Tanh(std::size_t dim) : dim_(dim) {}
-  Matrix forward(const Matrix& x) override;
-  Matrix backward(const Matrix& grad_out) override;
+  void forward_into(const Matrix& x, Matrix& y) override;
+  void backward_into(const Matrix& x, const Matrix& y, const Matrix& grad_out,
+                     Matrix& grad_in) override;
   std::unique_ptr<Layer> clone() const override { return std::make_unique<Tanh>(*this); }
   std::size_t in_dim() const override { return dim_; }
   std::size_t out_dim() const override { return dim_; }
 
  private:
   std::size_t dim_;
-  Matrix cached_output_;
 };
 
 }  // namespace hero::nn

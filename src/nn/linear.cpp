@@ -16,24 +16,40 @@ Linear::Linear(std::size_t in, std::size_t out, Rng& rng)
   for (std::size_t j = 0; j < out; ++j) b_(0, j) = rng.uniform(-0.01, 0.01);
 }
 
-Matrix Linear::forward(const Matrix& x) {
+void Linear::forward_into(const Matrix& x, Matrix& y) {
   HERO_CHECK_MSG(x.cols() == in_, "Linear: input dim " << x.cols() << " != " << in_);
-  cached_input_ = x;
-  Matrix y = x.matmul(w_);
-  for (std::size_t i = 0; i < y.rows(); ++i)
-    for (std::size_t j = 0; j < out_; ++j) y(i, j) += b_(0, j);
-  return y;
+  x.affine_into(w_, b_, y);
 }
 
-Matrix Linear::backward(const Matrix& grad_out) {
-  HERO_CHECK(grad_out.rows() == cached_input_.rows() && grad_out.cols() == out_);
-  grad_w_ += cached_input_.transpose().matmul(grad_out);
-  for (std::size_t i = 0; i < grad_out.rows(); ++i)
-    for (std::size_t j = 0; j < out_; ++j) grad_b_(0, j) += grad_out(i, j);
-  return grad_out.matmul(w_.transpose());
+void Linear::backward_into(const Matrix& x, const Matrix& y, const Matrix& grad_out,
+                           Matrix& grad_in) {
+  (void)y;
+  HERO_CHECK(grad_out.rows() == x.rows() && grad_out.cols() == out_);
+  // dW += xᵀ · dy, transpose-free.
+  x.matmul_transA_into(grad_out, grad_w_, /*accumulate=*/true);
+  // db += column sums of dy.
+  double* gb = grad_b_.data();
+  for (std::size_t i = 0; i < grad_out.rows(); ++i) {
+    const double* grow = grad_out.row_ptr(i);
+    for (std::size_t j = 0; j < out_; ++j) gb[j] += grow[j];
+  }
+  // dx = dy · Wᵀ, transpose-free.
+  grad_out.matmul_transB_into(w_, grad_in);
+}
+
+void Linear::backward_input_into(const Matrix& x, const Matrix& y,
+                                 const Matrix& grad_out, Matrix& grad_in) {
+  (void)y;
+  HERO_CHECK(grad_out.rows() == x.rows() && grad_out.cols() == out_);
+  // Only dx = dy · Wᵀ — no dW/db accumulation.
+  grad_out.matmul_transB_into(w_, grad_in);
 }
 
 std::vector<ParamRef> Linear::params() {
+  return {{&w_, &grad_w_}, {&b_, &grad_b_}};
+}
+
+std::vector<ConstParamRef> Linear::params() const {
   return {{&w_, &grad_w_}, {&b_, &grad_b_}};
 }
 

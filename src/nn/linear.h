@@ -1,4 +1,9 @@
 // Fully-connected layer: y = x W + b with W of shape (in, out).
+//
+// forward_into is the fused affine kernel (matmul + bias broadcast in one
+// pass); backward_into contracts against the transposed operands in place
+// (matmul_transA_into / matmul_transB_into), so no transpose is ever
+// materialized and steady-state calls allocate nothing.
 #pragma once
 
 #include "nn/layer.h"
@@ -9,9 +14,13 @@ class Linear final : public Layer {
  public:
   Linear(std::size_t in, std::size_t out, Rng& rng);
 
-  Matrix forward(const Matrix& x) override;
-  Matrix backward(const Matrix& grad_out) override;
+  void forward_into(const Matrix& x, Matrix& y) override;
+  void backward_into(const Matrix& x, const Matrix& y, const Matrix& grad_out,
+                     Matrix& grad_in) override;
+  void backward_input_into(const Matrix& x, const Matrix& y,
+                           const Matrix& grad_out, Matrix& grad_in) override;
   std::vector<ParamRef> params() override;
+  std::vector<ConstParamRef> params() const override;
   std::unique_ptr<Layer> clone() const override;
 
   std::size_t in_dim() const override { return in_; }
@@ -27,7 +36,6 @@ class Linear final : public Layer {
   Matrix b_;       // (1, out)
   Matrix grad_w_;  // accumulated dL/dW
   Matrix grad_b_;
-  Matrix cached_input_;
 };
 
 }  // namespace hero::nn

@@ -4,11 +4,22 @@
 //
 // Convention used throughout: activations are (batch, features); a Linear
 // layer stores its weight as (in, out) so that forward is `x * W + b`.
+//
+// Two kernel families coexist:
+//   * value-returning ops (matmul, transpose, hcat, ...) — convenient, they
+//     allocate their result;
+//   * `*_into` ops — the hot path. They write into a caller-owned output
+//     matrix, resizing it without releasing capacity, so steady-state calls
+//     with stable shapes perform zero heap allocations. The transposed
+//     variants (`matmul_transA_into`, `matmul_transB_into`) contract against
+//     A or B transposed *without materializing the transpose*, which is what
+//     makes Linear::backward allocation- and copy-free.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
-#include <functional>
 #include <initializer_list>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -39,6 +50,23 @@ class Matrix {
   std::size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
+  // Reshapes to (rows, cols). Existing element values are NOT preserved
+  // across a reshape; capacity is never released, so repeated resizes to the
+  // same (or smaller) shape are allocation-free.
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
+  // Resizes to src's shape and copies its contents (no allocation once
+  // capacity suffices).
+  void copy_from(const Matrix& src) {
+    if (this == &src) return;
+    resize(src.rows_, src.cols_);
+    std::copy(src.data_.begin(), src.data_.end(), data_.begin());
+  }
+
   double& at(std::size_t r, std::size_t c) {
     HERO_CHECK(r < rows_ && c < cols_);
     return data_[r * cols_ + c];
@@ -53,6 +81,8 @@ class Matrix {
 
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }
+  double* row_ptr(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row_ptr(std::size_t r) const { return data_.data() + r * cols_; }
 
   // Extracts row r as a std::vector (copies).
   std::vector<double> row_vec(std::size_t r) const;
@@ -62,6 +92,32 @@ class Matrix {
   // this (m×k) * other (k×n) -> (m×n).
   Matrix matmul(const Matrix& other) const;
   Matrix transpose() const;
+
+  // ----- fused zero-allocation kernels ------------------------------------
+  // All `*_into` kernels resize `out` to the result shape; `out` must not
+  // alias either operand. With accumulate=true the product is added to the
+  // existing contents of `out` (which must already have the result shape).
+
+  // out (m×n) = this (m×k) · other (k×n).
+  void matmul_into(const Matrix& other, Matrix& out, bool accumulate = false) const;
+  // out (k×n) = thisᵀ · other, with this (m×k), other (m×n). Transpose-free:
+  // reads A row-major, accumulating rank-1 updates — the Linear weight
+  // gradient dW += xᵀ·dy without materializing xᵀ.
+  void matmul_transA_into(const Matrix& other, Matrix& out,
+                          bool accumulate = false) const;
+  // out (m×n) = this · otherᵀ, with this (m×k), other (n×k). Row-dot-row —
+  // the Linear input gradient dx = dy·Wᵀ without materializing Wᵀ.
+  void matmul_transB_into(const Matrix& other, Matrix& out,
+                          bool accumulate = false) const;
+  // Fused affine: out = this · w + bias, bias a (1×n) row broadcast over the
+  // batch. One pass, no intermediate.
+  void affine_into(const Matrix& w, const Matrix& bias, Matrix& out) const;
+
+  // out = [this | other] (matching row counts).
+  void hcat_into(const Matrix& other, Matrix& out) const;
+  // out = columns [c0, c1) of this.
+  void col_slice_into(std::size_t c0, std::size_t c1, Matrix& out,
+                      bool accumulate = false) const;
 
   // Horizontal concatenation: [this | other], matching row counts.
   Matrix hcat(const Matrix& other) const;
@@ -78,10 +134,20 @@ class Matrix {
   // Elementwise product (Hadamard).
   Matrix hadamard(const Matrix& o) const;
 
-  // Applies f to every element in place; returns *this.
-  Matrix& apply(const std::function<double(double)>& f);
+  // Applies f to every element in place; returns *this. Templated so the
+  // compiler inlines the functor — no std::function dispatch per element.
+  template <class F>
+  Matrix& apply(F&& f) {
+    for (auto& v : data_) v = f(v);
+    return *this;
+  }
   // Applied copy.
-  Matrix map(const std::function<double(double)>& f) const;
+  template <class F>
+  Matrix map(F&& f) const {
+    Matrix r = *this;
+    r.apply(std::forward<F>(f));
+    return r;
+  }
 
   void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
   double sum() const;

@@ -37,32 +37,60 @@ Mlp& Mlp::operator=(const Mlp& other) {
   layers_.clear();
   layers_.reserve(other.layers_.size());
   for (const auto& l : other.layers_) layers_.push_back(l->clone());
+  acts_.clear();
+  grads_.clear();
+  param_cache_.clear();
   return *this;
 }
 
-Matrix Mlp::forward(const Matrix& x) {
+const Matrix& Mlp::forward(const Matrix& x) {
   HERO_CHECK(!layers_.empty());
-  Matrix h = x;
-  for (auto& l : layers_) h = l->forward(h);
-  return h;
+  if (acts_.size() != layers_.size() + 1) acts_.resize(layers_.size() + 1);
+  acts_[0].copy_from(x);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->forward_into(acts_[i], acts_[i + 1]);
+  }
+  return acts_.back();
 }
 
 std::vector<double> Mlp::forward1(const std::vector<double>& x) {
-  return forward(Matrix::row(x)).row_vec(0);
+  in_row_.resize(1, x.size());
+  std::copy(x.begin(), x.end(), in_row_.data());
+  return forward(in_row_).row_vec(0);
 }
 
-Matrix Mlp::backward(const Matrix& grad_out) {
+const Matrix& Mlp::backward(const Matrix& grad_out) {
   HERO_CHECK(!layers_.empty());
-  Matrix g = grad_out;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
-  return g;
+  HERO_CHECK_MSG(acts_.size() == layers_.size() + 1,
+                 "Mlp::backward called before forward");
+  HERO_CHECK(grad_out.same_shape(acts_.back()));
+  if (grads_.size() != acts_.size()) grads_.resize(acts_.size());
+  grads_.back().copy_from(grad_out);
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    layers_[i]->backward_into(acts_[i], acts_[i + 1], grads_[i + 1], grads_[i]);
+  }
+  return grads_.front();
 }
 
-std::vector<ParamRef> Mlp::params() {
-  std::vector<ParamRef> out;
-  for (auto& l : layers_)
-    for (auto p : l->params()) out.push_back(p);
-  return out;
+const Matrix& Mlp::backward_input(const Matrix& grad_out) {
+  HERO_CHECK(!layers_.empty());
+  HERO_CHECK_MSG(acts_.size() == layers_.size() + 1,
+                 "Mlp::backward_input called before forward");
+  HERO_CHECK(grad_out.same_shape(acts_.back()));
+  if (grads_.size() != acts_.size()) grads_.resize(acts_.size());
+  grads_.back().copy_from(grad_out);
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    layers_[i]->backward_input_into(acts_[i], acts_[i + 1], grads_[i + 1], grads_[i]);
+  }
+  return grads_.front();
+}
+
+const std::vector<ParamRef>& Mlp::params() {
+  if (param_cache_.empty()) {
+    for (auto& l : layers_)
+      for (auto p : l->params()) param_cache_.push_back(p);
+  }
+  return param_cache_;
 }
 
 void Mlp::zero_grad() {
@@ -70,8 +98,8 @@ void Mlp::zero_grad() {
 }
 
 void Mlp::soft_update_from(Mlp& src, double tau) {
-  auto dst_params = params();
-  auto src_params = src.params();
+  const auto& dst_params = params();
+  const auto& src_params = src.params();
   HERO_CHECK(dst_params.size() == src_params.size());
   for (std::size_t i = 0; i < dst_params.size(); ++i) {
     Matrix& d = *dst_params[i].value;
@@ -86,7 +114,7 @@ void Mlp::copy_params_from(Mlp& src) { soft_update_from(src, 1.0); }
 
 double Mlp::clip_grad_norm(double max_norm) {
   double sq = 0.0;
-  auto ps = params();
+  const auto& ps = params();
   for (auto p : ps)
     for (std::size_t k = 0; k < p.grad->size(); ++k)
       sq += p.grad->data()[k] * p.grad->data()[k];
@@ -112,8 +140,8 @@ std::size_t Mlp::out_dim() const {
 std::size_t Mlp::num_params() const {
   std::size_t n = 0;
   for (const auto& l : layers_) {
-    auto& mut = const_cast<Layer&>(*l);
-    for (auto p : mut.params()) n += p.value->size();
+    const Layer& layer = *l;
+    for (auto p : layer.params()) n += p.value->size();
   }
   return n;
 }

@@ -1,5 +1,13 @@
 // Multi-layer perceptron: the workhorse network of every policy and critic
 // in this reproduction (the paper uses hidden width 32 throughout).
+//
+// The network owns a reusable Workspace: one activation buffer per layer
+// boundary plus matching gradient buffers. forward()/backward() return
+// references INTO that workspace — valid until the next forward()/backward()
+// on the same network. Copy the result if you need it to survive another
+// pass (assigning to a `Matrix` value does exactly that). With stable batch
+// shapes, steady-state forward/backward perform zero heap allocations (see
+// docs/PERFORMANCE.md for the full contract).
 #pragma once
 
 #include <memory>
@@ -24,17 +32,28 @@ class Mlp {
   Mlp(Mlp&&) = default;
   Mlp& operator=(Mlp&&) = default;
 
-  // Forward pass for a (batch, in) matrix; caches activations for backward().
-  Matrix forward(const Matrix& x);
+  // Forward pass for a (batch, in) matrix. Returns the output activation in
+  // the workspace (invalidated by the next forward on this network).
+  const Matrix& forward(const Matrix& x);
   // Convenience single-sample forward.
   std::vector<double> forward1(const std::vector<double>& x);
 
   // Backpropagates dL/d(output); accumulates parameter grads, returns
   // dL/d(input) — callers use the input gradient to chain through
   // concatenated inputs (e.g. dQ/da for deterministic policy gradients).
-  Matrix backward(const Matrix& grad_out);
+  // The returned reference lives in the workspace (invalidated by the next
+  // backward on this network). Requires the matching forward() to have run.
+  const Matrix& backward(const Matrix& grad_out);
 
-  std::vector<ParamRef> params();
+  // Like backward, but computes only dL/d(input) and leaves parameter
+  // gradients untouched — for differentiating through a frozen network
+  // (e.g. dQ/da through the critics in an actor update). Roughly a third
+  // cheaper than backward + discarding the grads.
+  const Matrix& backward_input(const Matrix& grad_out);
+
+  // Flat parameter list; built once and cached (pointer-stable: layers are
+  // held by unique_ptr, so Matrix addresses survive moves of the Mlp).
+  const std::vector<ParamRef>& params();
   void zero_grad();
 
   // Polyak averaging: θ ← τ·θ_src + (1−τ)·θ (target-network update).
@@ -52,6 +71,15 @@ class Mlp {
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
+
+  // Workspace: acts_[0] holds the (copied) input, acts_[i+1] the output of
+  // layer i; grads_ mirrors acts_ with dL/d(activation). All buffers are
+  // resized in place, so capacity is reused across iterations.
+  std::vector<Matrix> acts_;
+  std::vector<Matrix> grads_;
+  Matrix in_row_;  // forward1 scratch
+
+  std::vector<ParamRef> param_cache_;
 };
 
 }  // namespace hero::nn

@@ -20,8 +20,16 @@ CategoricalPolicy::CategoricalPolicy(std::size_t in,
     : net_(in, hidden, num_actions, rng) {}
 
 std::vector<double> CategoricalPolicy::probs1(const std::vector<double>& obs) {
-  Matrix logits = net_.forward(Matrix::row(obs));
-  return softmax(logits).row_vec(0);
+  // Softmax over the single logits row, in place.
+  std::vector<double> p = net_.forward1(obs);
+  const double mx = *std::max_element(p.begin(), p.end());
+  double z = 0.0;
+  for (double& v : p) {
+    v = std::exp(v - mx);
+    z += v;
+  }
+  for (double& v : p) v /= z;
+  return p;
 }
 
 std::size_t CategoricalPolicy::act(const std::vector<double>& obs, Rng& rng,
@@ -47,21 +55,19 @@ SquashedGaussianPolicy::SquashedGaussianPolicy(std::size_t obs_dim,
   for (std::size_t k = 0; k < lo_.size(); ++k) HERO_CHECK(lo_[k] < hi_[k]);
 }
 
-SquashedGaussianPolicy::Sample SquashedGaussianPolicy::sample(const Matrix& obs,
-                                                              Rng& rng,
-                                                              bool deterministic) {
+void SquashedGaussianPolicy::sample_into(const Matrix& obs, Rng& rng,
+                                         bool deterministic, Sample& s) {
   const std::size_t k = action_dim();
-  Matrix out = trunk_.forward(obs);
+  const Matrix& out = trunk_.forward(obs);
   HERO_CHECK(out.cols() == 2 * k);
   const std::size_t n = out.rows();
 
-  Sample s;
-  s.actions = Matrix(n, k);
+  s.actions.resize(n, k);
   s.log_prob.assign(n, 0.0);
-  s.eps = Matrix(n, k);
-  s.t = Matrix(n, k);
-  s.std = Matrix(n, k);
-  s.dls_draw = Matrix(n, k);
+  s.eps.resize(n, k);
+  s.t.resize(n, k);
+  s.std.resize(n, k);
+  s.dls_draw.resize(n, k);
 
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < k; ++j) {
@@ -87,21 +93,30 @@ SquashedGaussianPolicy::Sample SquashedGaussianPolicy::sample(const Matrix& obs,
                        std::log(scale * (1.0 - t * t) + kSquashEps);
     }
   }
+}
+
+SquashedGaussianPolicy::Sample SquashedGaussianPolicy::sample(const Matrix& obs,
+                                                              Rng& rng,
+                                                              bool deterministic) {
+  Sample s;
+  sample_into(obs, rng, deterministic, s);
   return s;
 }
 
 std::vector<double> SquashedGaussianPolicy::act1(const std::vector<double>& obs,
                                                  Rng& rng, bool deterministic) {
-  return sample(Matrix::row(obs), rng, deterministic).actions.row_vec(0);
+  obs_row_.resize(1, obs.size());
+  std::copy(obs.begin(), obs.end(), obs_row_.data());
+  return sample(obs_row_, rng, deterministic).actions.row_vec(0);
 }
 
-Matrix SquashedGaussianPolicy::backward(const Sample& s, const Matrix& dL_da,
-                                        const std::vector<double>& dL_dlogp) {
+const Matrix& SquashedGaussianPolicy::backward(const Sample& s, const Matrix& dL_da,
+                                               const std::vector<double>& dL_dlogp) {
   const std::size_t k = action_dim();
   const std::size_t n = s.actions.rows();
   HERO_CHECK(dL_da.rows() == n && dL_da.cols() == k && dL_dlogp.size() == n);
 
-  Matrix grad_out(n, 2 * k);
+  grad_out_.resize(n, 2 * k);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < k; ++j) {
       const double t = s.t(i, j);
@@ -114,14 +129,14 @@ Matrix SquashedGaussianPolicy::backward(const Sample& s, const Matrix& dL_da,
       const double dlogp_dpre = 2.0 * t * scale * sech2 / (scale * sech2 + kSquashEps);
       const double g_pre = dL_da(i, j) * da_dpre + dL_dlogp[i] * dlogp_dpre;
       // mean path: dpre/dmean = 1
-      grad_out(i, j) = g_pre;
+      grad_out_(i, j) = g_pre;
       // logstd path: dpre/dlogσ = σ·eps; plus the explicit −logσ term of logπ,
       // both routed through the soft-clamp derivative.
       const double g_logstd = g_pre * std * eps + dL_dlogp[i] * (-1.0);
-      grad_out(i, k + j) = g_logstd * s.dls_draw(i, j);
+      grad_out_(i, k + j) = g_logstd * s.dls_draw(i, j);
     }
   }
-  return trunk_.backward(grad_out);
+  return trunk_.backward(grad_out_);
 }
 
 // ------------------------ DeterministicTanhPolicy ---------------------------
@@ -135,31 +150,33 @@ DeterministicTanhPolicy::DeterministicTanhPolicy(
   HERO_CHECK(lo_.size() == hi_.size() && !lo_.empty());
 }
 
-Matrix DeterministicTanhPolicy::forward(const Matrix& obs) {
-  Matrix t = trunk_.forward(obs);
-  Matrix a(t.rows(), t.cols());
+const Matrix& DeterministicTanhPolicy::forward(const Matrix& obs) {
+  const Matrix& t = trunk_.forward(obs);
+  action_.resize(t.rows(), t.cols());
   for (std::size_t i = 0; i < t.rows(); ++i) {
     for (std::size_t j = 0; j < t.cols(); ++j) {
       const double center = 0.5 * (hi_[j] + lo_[j]);
       const double scale = 0.5 * (hi_[j] - lo_[j]);
-      a(i, j) = center + scale * t(i, j);
+      action_(i, j) = center + scale * t(i, j);
     }
   }
-  return a;
+  return action_;
 }
 
 std::vector<double> DeterministicTanhPolicy::act1(const std::vector<double>& obs) {
-  return forward(Matrix::row(obs)).row_vec(0);
+  obs_row_.resize(1, obs.size());
+  std::copy(obs.begin(), obs.end(), obs_row_.data());
+  return forward(obs_row_).row_vec(0);
 }
 
-Matrix DeterministicTanhPolicy::backward(const Matrix& dL_da) {
-  Matrix g = dL_da;
-  for (std::size_t i = 0; i < g.rows(); ++i) {
-    for (std::size_t j = 0; j < g.cols(); ++j) {
-      g(i, j) *= 0.5 * (hi_[j] - lo_[j]);
+const Matrix& DeterministicTanhPolicy::backward(const Matrix& dL_da) {
+  grad_.copy_from(dL_da);
+  for (std::size_t i = 0; i < grad_.rows(); ++i) {
+    for (std::size_t j = 0; j < grad_.cols(); ++j) {
+      grad_(i, j) *= 0.5 * (hi_[j] - lo_[j]);
     }
   }
-  return trunk_.backward(g);
+  return trunk_.backward(grad_);
 }
 
 }  // namespace hero::nn

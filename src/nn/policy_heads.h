@@ -7,6 +7,10 @@
 //    sample and through log π are derived analytically; tests finite-
 //    difference-check them.
 //  * DeterministicTanhPolicy — DDPG/MADDPG actor, a = c + s·tanh(f(x)).
+//
+// Hot-path contract: sample_into / forward reuse caller- or policy-owned
+// buffers, and backward() returns a reference into the trunk workspace —
+// zero steady-state allocations end to end.
 #pragma once
 
 #include <optional>
@@ -60,15 +64,18 @@ class SquashedGaussianPolicy {
   std::size_t action_dim() const { return lo_.size(); }
 
   // Reparameterized sample; deterministic=true returns the squashed mean
-  // (evaluation mode).
+  // (evaluation mode). The `_into` form resizes `s` in place so a reused
+  // Sample allocates nothing at steady state.
+  void sample_into(const Matrix& obs, Rng& rng, bool deterministic, Sample& s);
   Sample sample(const Matrix& obs, Rng& rng, bool deterministic = false);
   std::vector<double> act1(const std::vector<double>& obs, Rng& rng,
                            bool deterministic = false);
 
   // Backprop given dL/d(action) (batch, k) and dL/d(log_prob) (batch).
-  // Accumulates trunk parameter gradients; returns dL/d(obs).
-  Matrix backward(const Sample& s, const Matrix& dL_da,
-                  const std::vector<double>& dL_dlogp);
+  // Accumulates trunk parameter gradients; returns dL/d(obs) — a reference
+  // into the trunk workspace, invalidated by the next backward.
+  const Matrix& backward(const Sample& s, const Matrix& dL_da,
+                         const std::vector<double>& dL_dlogp);
 
   Mlp& net() { return trunk_; }
   const std::vector<double>& lo() const { return lo_; }
@@ -77,6 +84,8 @@ class SquashedGaussianPolicy {
  private:
   Mlp trunk_;  // outputs [mean | raw_logstd], width 2k
   std::vector<double> lo_, hi_;
+  Matrix obs_row_;    // act1 scratch
+  Matrix grad_out_;   // backward scratch (batch, 2k)
 };
 
 // ---------------------------------------------------------------------------
@@ -89,12 +98,14 @@ class DeterministicTanhPolicy {
 
   std::size_t action_dim() const { return lo_.size(); }
 
-  // a = center + scale * tanh(f(obs)); caches for backward.
-  Matrix forward(const Matrix& obs);
+  // a = center + scale * tanh(f(obs)). Returns a reference to an internal
+  // buffer (invalidated by the next forward on this policy).
+  const Matrix& forward(const Matrix& obs);
   std::vector<double> act1(const std::vector<double>& obs);
 
-  // Backprop dL/d(action); accumulates trunk grads, returns dL/d(obs).
-  Matrix backward(const Matrix& dL_da);
+  // Backprop dL/d(action); accumulates trunk grads, returns dL/d(obs) — a
+  // reference into the trunk workspace.
+  const Matrix& backward(const Matrix& dL_da);
 
   Mlp& net() { return trunk_; }
   const std::vector<double>& lo() const { return lo_; }
@@ -103,6 +114,9 @@ class DeterministicTanhPolicy {
  private:
   Mlp trunk_;  // ends in Tanh
   std::vector<double> lo_, hi_;
+  Matrix obs_row_;  // act1 scratch
+  Matrix action_;   // forward output buffer
+  Matrix grad_;     // backward scratch
 };
 
 }  // namespace hero::nn

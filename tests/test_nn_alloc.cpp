@@ -1,0 +1,112 @@
+// Verifies the zero-allocation contract of the NN hot path: after a warmup
+// pass establishes buffer capacity, repeated Mlp::forward/backward calls
+// (and the fused Matrix kernels they are built on) must not touch the heap.
+//
+// Global operator new/delete are replaced with counting versions; this file
+// is its own test binary so the replacement cannot leak into other suites.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <functional>
+#include <new>
+
+#include "nn/losses.h"
+#include "nn/mlp.h"
+
+namespace {
+std::atomic<long> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t& t) noexcept {
+  return ::operator new(n, t);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace hero::nn {
+namespace {
+
+long allocations_during(const std::function<void()>& fn) {
+  const long before = g_allocations.load(std::memory_order_relaxed);
+  fn();
+  return g_allocations.load(std::memory_order_relaxed) - before;
+}
+
+TEST(AllocationCount, MlpForwardBackwardSteadyStateIsAllocFree) {
+  Rng rng(1);
+  Mlp net(26, {32, 32}, 25, rng);
+  Matrix x = Matrix::xavier(64, 26, rng);
+  Matrix target(64, 25, 0.1);
+  Matrix grad;
+
+  // Warmup: size every workspace/scratch buffer and the param cache.
+  for (int i = 0; i < 2; ++i) {
+    net.zero_grad();
+    mse_loss_into(net.forward(x), target, grad);
+    net.backward(grad);
+  }
+
+  const long n = allocations_during([&] {
+    for (int i = 0; i < 10; ++i) {
+      net.zero_grad();
+      mse_loss_into(net.forward(x), target, grad);
+      net.backward(grad);
+    }
+  });
+  EXPECT_EQ(n, 0) << n << " heap allocations in 10 steady-state iterations";
+}
+
+TEST(AllocationCount, FusedKernelsSteadyStateIsAllocFree) {
+  Rng rng(2);
+  Matrix a = Matrix::xavier(64, 32, rng);
+  Matrix b = Matrix::xavier(32, 16, rng);
+  Matrix bt = Matrix::xavier(16, 32, rng);
+  Matrix bias = Matrix::xavier(1, 16, rng);
+  Matrix out1, out2, out3, out4;
+
+  a.matmul_into(b, out1);
+  a.matmul_transA_into(a, out2);
+  a.matmul_transB_into(bt, out3);
+  a.affine_into(b, bias, out4);
+
+  const long n = allocations_during([&] {
+    for (int i = 0; i < 10; ++i) {
+      a.matmul_into(b, out1);
+      a.matmul_transA_into(a, out2);
+      a.matmul_transB_into(bt, out3);
+      a.affine_into(b, bias, out4);
+    }
+  });
+  EXPECT_EQ(n, 0) << n << " heap allocations in 10 steady-state iterations";
+}
+
+TEST(AllocationCount, SmallerBatchReusesCapacity) {
+  Rng rng(3);
+  Mlp net(16, {32}, 8, rng);
+  Matrix big = Matrix::xavier(128, 16, rng);
+  Matrix small = Matrix::xavier(16, 16, rng);
+  net.forward(big);  // capacity sized for the large batch
+
+  const long n = allocations_during([&] {
+    for (int i = 0; i < 10; ++i) net.forward(small);
+  });
+  EXPECT_EQ(n, 0) << n << " heap allocations when shrinking the batch";
+}
+
+}  // namespace
+}  // namespace hero::nn

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Builds the bench_json harness and regenerates the perf-trajectory
+# snapshots (BENCH_nn.json, BENCH_train.json) at the repo root.
+#
+#   tools/run_benchmarks.sh [build_dir]
+#
+# Pass extra knobs through BENCH_FLAGS, e.g.
+#   BENCH_FLAGS="--min-time 1.0 --train-episodes 16" tools/run_benchmarks.sh
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+cmake -B "$build_dir" -S "$repo_root" > /dev/null
+cmake --build "$build_dir" --target bench_json -j"$(nproc 2>/dev/null || echo 1)"
+
+"$build_dir/bench/bench_json" \
+    --nn-out "$repo_root/BENCH_nn.json" \
+    --train-out "$repo_root/BENCH_train.json" \
+    ${BENCH_FLAGS:-}
+
+echo "wrote $repo_root/BENCH_nn.json"
+echo "wrote $repo_root/BENCH_train.json"
