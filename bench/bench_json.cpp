@@ -147,6 +147,30 @@ std::vector<BenchResult> run_nn_cases(double min_time) {
     }));
   }
 
+  {
+    // The stage-2 cooperation layer: one actor+critic+opponent-conditioned
+    // gradient step at the default batch (the per-update cost the obs layer
+    // must not regress).
+    Rng rng(1);
+    core::HighLevelConfig cfg;
+    cfg.warmup_transitions = 1;
+    const std::size_t obs_dim = 11;
+    const int opp = 2;
+    core::HighLevelAgent agent(obs_dim, opp, cfg, rng);
+    core::OpponentModel opponents(obs_dim, opp, core::OpponentModelConfig{}, rng);
+    std::vector<double> obs(obs_dim, 0.1);
+    for (int i = 0; i < 512; ++i) {
+      obs[0] = 0.01 * (i % 100);
+      agent.store({obs,
+                   std::vector<double>(static_cast<std::size_t>(opp) * core::kNumOptions,
+                                       1.0 / core::kNumOptions),
+                   i % core::kNumOptions, 0.5, 0.9, obs, i % 10 == 0});
+      opponents.observe(i % opp, obs, core::option_from_index(i % core::kNumOptions));
+    }
+    out.push_back(time_case("BM_HighLevelUpdate", min_time,
+                            [&] { agent.update(opponents, rng); }));
+  }
+
   for (std::size_t batch : {std::size_t{128}, std::size_t{1024}}) {
     Rng rng(1);
     algos::SacConfig cfg;

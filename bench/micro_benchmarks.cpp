@@ -6,6 +6,7 @@
 
 #include "algos/attention_critic.h"
 #include "algos/sac.h"
+#include "hero/high_level.h"
 #include "nn/linear.h"
 #include "nn/losses.h"
 #include "nn/mlp.h"
@@ -122,5 +123,28 @@ static void BM_SacUpdate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SacUpdate)->Arg(128)->Arg(1024);
+
+static void BM_HighLevelUpdate(benchmark::State& state) {
+  Rng rng(1);
+  core::HighLevelConfig cfg;
+  cfg.warmup_transitions = 1;
+  const std::size_t obs_dim = 11;
+  const int opp = 2;
+  core::HighLevelAgent agent(obs_dim, opp, cfg, rng);
+  core::OpponentModel opponents(obs_dim, opp, core::OpponentModelConfig{}, rng);
+  std::vector<double> obs(obs_dim, 0.1);
+  for (int i = 0; i < 512; ++i) {
+    obs[0] = 0.01 * (i % 100);
+    agent.store({obs,
+                 std::vector<double>(static_cast<std::size_t>(opp) * core::kNumOptions,
+                                     1.0 / core::kNumOptions),
+                 i % core::kNumOptions, 0.5, 0.9, obs, i % 10 == 0});
+    opponents.observe(i % opp, obs, core::option_from_index(i % core::kNumOptions));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.update(opponents, rng));
+  }
+}
+BENCHMARK(BM_HighLevelUpdate);
 
 BENCHMARK_MAIN();

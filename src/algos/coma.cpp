@@ -4,6 +4,7 @@
 
 #include "common/stats.h"
 #include "nn/losses.h"
+#include "obs/obs.h"
 
 namespace hero::algos {
 
@@ -57,6 +58,7 @@ std::vector<sim::TwistCmd> ComaTrainer::act(const sim::LaneWorld& world, Rng& rn
 
 void ComaTrainer::update_from_episode(const std::vector<StepRecord>& episode,
                                       Rng& rng) {
+  OBS_SPAN("coma/update");
   (void)rng;
   if (episode.empty()) return;
   const std::size_t T = episode.size();
@@ -130,6 +132,7 @@ void ComaTrainer::update_from_episode(const std::vector<StepRecord>& episode,
 
 void ComaTrainer::train(int episodes, Rng& rng, const EpisodeHook& hook) {
   for (int ep = 0; ep < episodes; ++ep) {
+    OBS_SPAN("coma/episode");
     world_.reset(rng);
     rl::EpisodeStats stats;
     std::vector<StepRecord> episode;
@@ -165,6 +168,7 @@ void ComaTrainer::train(int episodes, Rng& rng, const EpisodeHook& hook) {
     double speed = 0.0;
     for (int vi : world_.learners()) speed += world_.mean_speed(vi);
     stats.mean_speed = speed / static_cast<double>(world_.num_learners());
+    record_episode("coma", ep, stats);
     if (hook) hook(ep, stats);
   }
 }

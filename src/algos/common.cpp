@@ -1,6 +1,35 @@
 #include "algos/common.h"
 
+#include <string>
+
+#include "obs/obs.h"
+
 namespace hero::algos {
+
+void record_episode(const char* method, int episode, const rl::EpisodeStats& stats) {
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::Registry::instance();
+    const std::string prefix(method);
+    reg.counter(prefix + ".episodes").inc();
+    reg.counter(prefix + ".steps").inc(stats.steps);
+    if (stats.collision) reg.counter(prefix + ".collisions").inc();
+    if (stats.success) reg.counter(prefix + ".successes").inc();
+    reg.histogram(prefix + ".episode_reward",
+                  {/*lo=*/-100.0, /*hi=*/100.0, /*buckets=*/64,
+                   /*log_scale=*/false})
+        .observe(stats.team_reward);
+  }
+  if (obs::telemetry_enabled()) {
+    obs::Telemetry::instance().emit(obs::TelemetryEvent("baseline/episode")
+                                        .field("method", method)
+                                        .field("episode", episode)
+                                        .field("reward", stats.team_reward)
+                                        .field("steps", stats.steps)
+                                        .field("collision", stats.collision)
+                                        .field("success", stats.success)
+                                        .field("mean_speed", stats.mean_speed));
+  }
+}
 
 std::vector<double> baseline_obs(const sim::LaneWorld& world, int vehicle) {
   std::vector<double> obs = world.high_level_obs(vehicle);

@@ -41,6 +41,12 @@ struct TrainConfig {
 // Per-episode callback: (episode index, training-episode stats).
 using EpisodeHook = std::function<void(int, const rl::EpisodeStats&)>;
 
+// Emits the per-episode observability record shared by the end-to-end
+// baseline trainers: a "baseline/episode" telemetry line plus
+// <method>.{episodes,steps,collisions,successes,episode_reward} metrics.
+// No-op while both metrics and telemetry are disabled.
+void record_episode(const char* method, int episode, const rl::EpisodeStats& stats);
+
 // The local observation every end-to-end baseline receives: the high-level
 // sensor state (lidar, speed, lane id) concatenated with the lane-camera
 // features — i.e. the union of what HERO's two layers see, so no method has

@@ -4,6 +4,7 @@
 
 #include "common/stats.h"
 #include "nn/losses.h"
+#include "obs/obs.h"
 #include "rl/exploration.h"
 
 namespace hero::algos {
@@ -49,6 +50,7 @@ std::vector<sim::TwistCmd> IndependentDqnTrainer::act(const sim::LaneWorld& worl
 }
 
 double IndependentDqnTrainer::update_agent(int agent, Rng& rng) {
+  OBS_SPAN("dqn/update");
   const std::size_t ai = static_cast<std::size_t>(agent);
   const std::size_t have =
       cfg_.prioritized ? per_buffers_[ai].size() : buffers_[ai].size();
@@ -117,6 +119,7 @@ double IndependentDqnTrainer::update_agent(int agent, Rng& rng) {
 
 void IndependentDqnTrainer::train(int episodes, Rng& rng, const EpisodeHook& hook) {
   for (int ep = 0; ep < episodes; ++ep) {
+    OBS_SPAN("dqn/episode");
     world_.reset(rng);
     rl::EpisodeStats stats;
 
@@ -162,6 +165,7 @@ void IndependentDqnTrainer::train(int episodes, Rng& rng, const EpisodeHook& hoo
     double speed = 0.0;
     for (int vi : world_.learners()) speed += world_.mean_speed(vi);
     stats.mean_speed = speed / static_cast<double>(world_.num_learners());
+    record_episode("dqn", ep, stats);
     if (hook) hook(ep, stats);
   }
 }

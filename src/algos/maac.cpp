@@ -4,6 +4,7 @@
 
 #include "common/stats.h"
 #include "nn/losses.h"
+#include "obs/obs.h"
 
 namespace hero::algos {
 
@@ -47,6 +48,7 @@ std::vector<sim::TwistCmd> MaacTrainer::act(const sim::LaneWorld& world, Rng& rn
 }
 
 void MaacTrainer::update(Rng& rng) {
+  OBS_SPAN("maac/update");
   if (!buffer_.ready(std::max(cfg_.batch, cfg_.warmup_steps))) return;
   auto batch = buffer_.sample(cfg_.batch, rng);
   const std::size_t B = batch.size();
@@ -195,6 +197,7 @@ void MaacTrainer::update(Rng& rng) {
 
 void MaacTrainer::train(int episodes, Rng& rng, const EpisodeHook& hook) {
   for (int ep = 0; ep < episodes; ++ep) {
+    OBS_SPAN("maac/episode");
     world_.reset(rng);
     rl::EpisodeStats stats;
 
@@ -234,6 +237,7 @@ void MaacTrainer::train(int episodes, Rng& rng, const EpisodeHook& hook) {
     double speed = 0.0;
     for (int vi : world_.learners()) speed += world_.mean_speed(vi);
     stats.mean_speed = speed / static_cast<double>(world_.num_learners());
+    record_episode("maac", ep, stats);
     if (hook) hook(ep, stats);
   }
 }

@@ -4,6 +4,7 @@
 
 #include "common/stats.h"
 #include "nn/losses.h"
+#include "obs/obs.h"
 #include "rl/exploration.h"
 
 namespace hero::algos {
@@ -51,6 +52,7 @@ std::vector<sim::TwistCmd> MaddpgTrainer::act(const sim::LaneWorld& world, Rng& 
 }
 
 void MaddpgTrainer::update(Rng& rng) {
+  OBS_SPAN("maddpg/update");
   if (!buffer_.ready(std::max(cfg_.batch, cfg_.warmup_steps))) return;
   auto batch = buffer_.sample(cfg_.batch, rng);
   const std::size_t B = batch.size();
@@ -146,6 +148,7 @@ void MaddpgTrainer::update(Rng& rng) {
 
 void MaddpgTrainer::train(int episodes, Rng& rng, const EpisodeHook& hook) {
   for (int ep = 0; ep < episodes; ++ep) {
+    OBS_SPAN("maddpg/episode");
     world_.reset(rng);
     rl::EpisodeStats stats;
 
@@ -186,6 +189,7 @@ void MaddpgTrainer::train(int episodes, Rng& rng, const EpisodeHook& hook) {
     double speed = 0.0;
     for (int vi : world_.learners()) speed += world_.mean_speed(vi);
     stats.mean_speed = speed / static_cast<double>(world_.num_learners());
+    record_episode("maddpg", ep, stats);
     if (hook) hook(ep, stats);
   }
 }

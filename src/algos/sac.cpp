@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "nn/losses.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hero::algos {
 
@@ -38,6 +40,10 @@ SacUpdateStats SacAgent::observe(std::vector<double> obs, std::vector<double> ac
 
 SacUpdateStats SacAgent::update(Rng& rng) {
   if (!buffer_.ready(std::max(cfg_.batch, cfg_.warmup_steps))) return {};
+  OBS_SPAN("sac/update");
+  if (obs::metrics_enabled()) {
+    obs::Registry::instance().counter("sac.updates").inc();
+  }
   SacUpdateStats stats;
   stats.updated = true;
 

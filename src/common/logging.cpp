@@ -1,12 +1,38 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
 
 namespace hero {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+LogLevel initial_level() {
+  const char* env = std::getenv("HERO_LOG_LEVEL");
+  if (!env) return LogLevel::kInfo;
+  return parse_log_level(env).value_or(LogLevel::kInfo);
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
+std::atomic<bool> g_timestamps{false};
+
+// Serializes whole-line emission: without this, threads logging through raw
+// fprintf can interleave fragments (stderr is only atomic per call, and the
+// prefix + message + newline used to be observable mid-write on some libcs).
+std::mutex& log_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+double seconds_since_start() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point t0 = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -17,14 +43,36 @@ const char* level_tag(LogLevel level) {
     default: return "?????";
   }
 }
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+std::optional<LogLevel> parse_log_level(const std::string& s) {
+  std::string low;
+  low.reserve(s.size());
+  for (char c : s) low += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (low == "debug" || low == "0") return LogLevel::kDebug;
+  if (low == "info" || low == "1") return LogLevel::kInfo;
+  if (low == "warn" || low == "warning" || low == "2") return LogLevel::kWarn;
+  if (low == "error" || low == "3") return LogLevel::kError;
+  if (low == "off" || low == "none" || low == "4") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+void set_log_timestamps(bool on) { g_timestamps.store(on); }
+bool log_timestamps() { return g_timestamps.load(); }
+
 namespace detail {
 void log_line(LogLevel level, const std::string& msg) {
-  std::fprintf(stderr, "[%s] %s\n", level_tag(level), msg.c_str());
+  std::lock_guard<std::mutex> lock(log_mutex());
+  if (g_timestamps.load()) {
+    std::fprintf(stderr, "[%s][+%.3fs] %s\n", level_tag(level),
+                 seconds_since_start(), msg.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_tag(level), msg.c_str());
+  }
 }
 }  // namespace detail
 

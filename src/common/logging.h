@@ -2,8 +2,18 @@
 //
 // Training loops and benches log progress through this; tests set the level
 // to kWarn to keep ctest output clean.
+//
+// Production hardening:
+//   * line emission is mutex-serialized, so concurrent threads (e.g. the
+//     parallel stage-1 skill trainers) never interleave partial lines;
+//   * the HERO_LOG_LEVEL environment variable ("debug".."error", "off", or
+//     a 0-4 numeral) overrides the default kInfo minimum at startup;
+//   * set_log_timestamps(true) prefixes every line with monotonic seconds
+//     since process start ("[+12.345s]"), for correlating stderr output
+//     with --trace-out / --telemetry-out timelines.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -11,9 +21,18 @@ namespace hero {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-// Process-wide minimum level; messages below it are discarded.
+// Process-wide minimum level; messages below it are discarded. The initial
+// value honours HERO_LOG_LEVEL when set (else kInfo).
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+// Parses "debug"/"info"/"warn"/"warning"/"error"/"off" (case-insensitive)
+// or a "0".."4" numeral; nullopt on anything else.
+std::optional<LogLevel> parse_log_level(const std::string& s);
+
+// Monotonic "[+seconds]" prefix on every emitted line (off by default).
+void set_log_timestamps(bool on);
+bool log_timestamps();
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg);

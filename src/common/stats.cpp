@@ -20,6 +20,23 @@ void RunningStat::add(double x) {
 
 void RunningStat::reset() { *this = RunningStat(); }
 
+void RunningStat::merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double n = na + nb;
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
 double RunningStat::variance() const {
   return n_ ? m2_ / static_cast<double>(n_) : 0.0;
 }
@@ -41,9 +58,15 @@ std::vector<std::pair<std::size_t, double>> downsample(const std::vector<double>
                                                        std::size_t points) {
   std::vector<std::pair<std::size_t, double>> out;
   if (series.empty() || points == 0) return out;
-  std::size_t block = std::max<std::size_t>(1, series.size() / points);
-  for (std::size_t start = 0; start < series.size(); start += block) {
-    std::size_t end = std::min(series.size(), start + block);
+  // Exactly min(points, size) blocks: boundary i·size/blocks partitions the
+  // series into near-equal runs (the old fixed block width overshot the
+  // requested count for non-divisible sizes, e.g. 10 points into 4 blocks
+  // of 2 yielded 5 entries).
+  const std::size_t blocks = std::min(points, series.size());
+  out.reserve(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t start = b * series.size() / blocks;
+    const std::size_t end = (b + 1) * series.size() / blocks;
     double sum = 0.0;
     for (std::size_t i = start; i < end; ++i) sum += series[i];
     out.emplace_back(end - 1, sum / static_cast<double>(end - start));

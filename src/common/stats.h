@@ -14,6 +14,12 @@ class RunningStat {
   void add(double x);
   void reset();
 
+  // Parallel Welford combine (Chan et al.): after merge(), this stream is
+  // statistically identical to having add()ed both streams' samples into
+  // one accumulator. Lets per-thread skill stats and per-agent metrics be
+  // aggregated without losing variance.
+  void merge(const RunningStat& other);
+
   std::size_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
   double variance() const;  // population variance

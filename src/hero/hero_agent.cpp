@@ -1,5 +1,11 @@
 #include "hero/hero_agent.h"
 
+#include <algorithm>
+#include <array>
+
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+
 namespace hero::core {
 
 HeroAgent::HeroAgent(std::size_t hl_obs_dim, int num_opponents,
@@ -88,15 +94,38 @@ void HeroAgent::finalize_episode(const sim::LaneWorld& world, int vehicle,
 
 void HeroAgent::observe_opponents(const std::vector<double>& own_obs,
                                   const std::vector<int>& others_options) {
+  const bool score = high_cfg_.use_opponent_model &&
+                     (obs::metrics_enabled() || obs::telemetry_enabled());
   for (std::size_t j = 0; j < others_options.size(); ++j) {
+    if (score) {
+      // Score before observe() so the label never trains on itself.
+      std::array<double, kNumOptions> p;
+      opponents_->predict_into(static_cast<int>(j), own_obs, p.data());
+      const int pred =
+          static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+      ++opp_total_;
+      if (pred == others_options[j]) ++opp_correct_;
+    }
     opponents_->observe(static_cast<int>(j), own_obs,
                         option_from_index(others_options[j]));
   }
 }
 
-HighLevelUpdateStats HeroAgent::update(Rng& rng) {
-  opponents_->update_all(rng);
-  return high_->update(*opponents_, rng);
+AgentUpdateStats HeroAgent::update(Rng& rng) {
+  OBS_SPAN("stage2/update");
+  AgentUpdateStats stats;
+  {
+    OBS_SPAN("stage2/update/opponent");
+    const auto losses = opponents_->update_all(rng);
+    for (std::size_t j = 0; j < losses.size(); ++j) {
+      if (!opponents_->ready(static_cast<int>(j))) continue;
+      stats.opponent_loss += losses[j];
+      ++stats.opponent_updates;
+    }
+    if (stats.opponent_updates > 0) stats.opponent_loss /= stats.opponent_updates;
+  }
+  stats.high = high_->update(*opponents_, rng);
+  return stats;
 }
 
 }  // namespace hero::core

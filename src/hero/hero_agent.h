@@ -12,6 +12,14 @@
 
 namespace hero::core {
 
+// What one HeroAgent::update() did, for telemetry: the high-level
+// actor–critic stats plus the opponent-model training signal.
+struct AgentUpdateStats {
+  HighLevelUpdateStats high;
+  double opponent_loss = 0.0;  // mean loss over opponents that stepped
+  int opponent_updates = 0;    // predictors past their min-samples threshold
+};
+
 class HeroAgent {
  public:
   HeroAgent(std::size_t hl_obs_dim, int num_opponents, const HighLevelConfig& high,
@@ -40,11 +48,19 @@ class HeroAgent {
   void finalize_episode(const sim::LaneWorld& world, int vehicle, bool learning);
 
   // Registers the opponents' current options as opponent-model labels.
+  // While metrics or telemetry are enabled it also scores the model's
+  // prediction (argmax vs the observed option) into the accuracy counters
+  // below — the paper's opponent-model convergence signal.
   void observe_opponents(const std::vector<double>& own_obs,
                          const std::vector<int>& others_options);
 
+  // Opponent-prediction scoreboard since the last reset_opp_score().
+  long opp_predictions() const { return opp_total_; }
+  long opp_correct() const { return opp_correct_; }
+  void reset_opp_score() { opp_total_ = opp_correct_ = 0; }
+
   // One gradient step on the high-level networks and the opponent models.
-  HighLevelUpdateStats update(Rng& rng);
+  AgentUpdateStats update(Rng& rng);
 
   const OptionExecution& execution() const { return exec_; }
   OptionExecution& execution() { return exec_; }
@@ -72,6 +88,8 @@ class HeroAgent {
   std::unique_ptr<OpponentModel> opponents_;
   OptionExecution exec_;
   std::optional<Pending> pending_;
+  long opp_total_ = 0;
+  long opp_correct_ = 0;
 };
 
 }  // namespace hero::core

@@ -1,9 +1,11 @@
 #include "hero/hero_trainer.h"
 
+#include <chrono>
 #include <string>
 
 #include "common/stats.h"
 #include "nn/serialize.h"
+#include "obs/obs.h"
 #include "sim/scenario.h"
 
 namespace hero::core {
@@ -101,8 +103,10 @@ std::vector<sim::TwistCmd> HeroTrainer::act(const sim::LaneWorld& world, Rng& rn
                                                            others_options(k), rng,
                                                            explore);
     } else {
-      agents_[static_cast<std::size_t>(k)]->maybe_reselect(
-          world, vi, others_options(k), rng, explore, learning_);
+      if (agents_[static_cast<std::size_t>(k)]->maybe_reselect(
+              world, vi, others_options(k), rng, explore, learning_)) {
+        ++option_switches_;
+      }
     }
     current_options_[static_cast<std::size_t>(k)] =
         static_cast<int>(agents_[static_cast<std::size_t>(k)]->execution().option);
@@ -126,6 +130,15 @@ void HeroTrainer::train(int episodes, Rng& rng, const algos::EpisodeHook& hook) 
   const int n = static_cast<int>(agents_.size());
 
   for (int ep = 0; ep < episodes; ++ep) {
+    OBS_SPAN("stage2/episode");
+    const bool observing = obs::metrics_enabled() || obs::telemetry_enabled();
+    const auto ep_start = std::chrono::steady_clock::now();
+    const long switches_before = option_switches_;
+    if (observing) {
+      for (auto& a : agents_) a->reset_opp_score();
+    }
+    RunningStat critic_loss, actor_entropy, critic_gn, actor_gn, opp_loss;
+
     world_.reset(rng);
     begin_episode(world_);
     rl::EpisodeStats stats;
@@ -146,7 +159,17 @@ void HeroTrainer::train(int episodes, Rng& rng, const algos::EpisodeHook& hook) 
       }
 
       if (total_steps_ % cfg_.update_every == 0) {
-        for (auto& a : agents_) a->update(rng);
+        for (auto& a : agents_) {
+          const AgentUpdateStats us = a->update(rng);
+          if (!observing) continue;
+          if (us.high.updated) {
+            critic_loss.add(us.high.critic_loss);
+            actor_entropy.add(us.high.actor_entropy);
+            critic_gn.add(us.high.critic_grad_norm);
+            actor_gn.add(us.high.actor_grad_norm);
+          }
+          if (us.opponent_updates > 0) opp_loss.add(us.opponent_loss);
+        }
       }
     }
 
@@ -162,6 +185,69 @@ void HeroTrainer::train(int episodes, Rng& rng, const algos::EpisodeHook& hook) 
     double speed = 0.0;
     for (int vi : world_.learners()) speed += world_.mean_speed(vi);
     stats.mean_speed = speed / static_cast<double>(world_.num_learners());
+
+    if (observing) {
+      const double wall_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - ep_start)
+              .count();
+      const double steps_per_sec =
+          wall_s > 0.0 ? static_cast<double>(stats.steps) / wall_s : 0.0;
+      const long switches = option_switches_ - switches_before;
+      const double switch_rate =
+          stats.steps > 0
+              ? static_cast<double>(switches) / (static_cast<double>(stats.steps) * n)
+              : 0.0;
+      long opp_preds = 0, opp_hits = 0;
+      double replay = 0.0;
+      for (auto& a : agents_) {
+        opp_preds += a->opp_predictions();
+        opp_hits += a->opp_correct();
+        replay += static_cast<double>(a->high_level().buffered());
+      }
+      replay /= n;
+      const double opp_acc =
+          opp_preds > 0 ? static_cast<double>(opp_hits) / opp_preds : 0.0;
+
+      if (obs::metrics_enabled()) {
+        auto& reg = obs::Registry::instance();
+        reg.counter("hero.stage2.episodes").inc();
+        reg.counter("hero.stage2.steps").inc(stats.steps);
+        reg.counter("hero.stage2.option_switches").inc(switches);
+        if (stats.collision) reg.counter("hero.stage2.collisions").inc();
+        if (stats.success) reg.counter("hero.stage2.successes").inc();
+        reg.gauge("hero.stage2.replay_occupancy").set(replay);
+        reg.gauge("hero.stage2.opponent_accuracy").set(opp_acc);
+        reg.histogram("hero.stage2.episode_reward",
+                      {/*lo=*/-100.0, /*hi=*/100.0, /*buckets=*/64,
+                       /*log_scale=*/false})
+            .observe(stats.team_reward);
+        reg.histogram("hero.stage2.steps_per_sec").observe(steps_per_sec);
+      }
+      if (obs::telemetry_enabled()) {
+        obs::TelemetryEvent e("stage2/episode");
+        e.field("episode", ep)
+            .field("reward", stats.team_reward)
+            .field("steps", stats.steps)
+            .field("collision", stats.collision)
+            .field("success", stats.success)
+            .field("mean_speed", stats.mean_speed)
+            .field("option_switches", switches)
+            .field("option_switch_rate", switch_rate)
+            .field("opponent_accuracy", opp_acc)
+            .field("opponent_predictions", opp_preds)
+            .field("replay_occupancy", replay)
+            .field("steps_per_sec", steps_per_sec)
+            .field("total_steps", total_steps_);
+        if (critic_loss.count() > 0) {
+          e.field("critic_loss", critic_loss.mean())
+              .field("actor_entropy", actor_entropy.mean())
+              .field("critic_grad_norm", critic_gn.mean())
+              .field("actor_grad_norm", actor_gn.mean());
+        }
+        if (opp_loss.count() > 0) e.field("opponent_loss", opp_loss.mean());
+        obs::Telemetry::instance().emit(e);
+      }
+    }
     if (hook) hook(ep, stats);
   }
   learning_ = false;

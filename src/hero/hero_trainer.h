@@ -82,6 +82,7 @@ class HeroTrainer : public rl::Controller {
   bool episode_started_ = false;
   bool learning_ = false;
   long total_steps_ = 0;
+  long option_switches_ = 0;  // β_o firings across all agents (telemetry)
 };
 
 }  // namespace hero::core

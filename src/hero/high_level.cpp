@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "nn/losses.h"
+#include "obs/trace.h"
 #include "rl/exploration.h"
 
 namespace hero::core {
@@ -78,6 +79,8 @@ HighLevelUpdateStats HighLevelAgent::update(OpponentModel& opponents, Rng& rng) 
   // ----- critic TD target -----
   //   kMax:      y = R + γ^c·max_o' Q'(s', o', ô')
   //   kExpected: y = R + γ^c·Σ_o' π(o'|s', ô') Q'(s', o', ô')
+  {
+  OBS_SPAN("stage2/update/critic");
   targets_.resize(B);
   {
     // Assemble per-sample next-state actor inputs and all 4 next-Q inputs.
@@ -126,11 +129,13 @@ HighLevelUpdateStats HighLevelAgent::update(OpponentModel& opponents, Rng& rng) 
   stats.critic_loss = nn::mse_loss_into(pred, target_m_, closs_grad_);
   critic_.zero_grad();
   critic_.backward(closs_grad_);
-  critic_.clip_grad_norm(cfg_.grad_clip);
+  stats.critic_grad_norm = critic_.clip_grad_norm(cfg_.grad_clip);
   critic_opt_->step();
+  }
 
   // ----- actor: ∇logπ(o|s, ô)·A with A = Q(s,o,·) − Σ_o π Q, plus entropy --
   {
+    OBS_SPAN("stage2/update/actor");
     actor_in_.resize(B, obs_dim_ + opp_dim_);
     q_in_.resize(B * kNumOptions, cin_dim);
     for (std::size_t b = 0; b < B; ++b) {
@@ -182,7 +187,7 @@ HighLevelUpdateStats HighLevelAgent::update(OpponentModel& opponents, Rng& rng) 
     stats.actor_entropy = mean_entropy;
     actor_.net().zero_grad();
     actor_.net().backward(dlogits_);
-    actor_.net().clip_grad_norm(cfg_.grad_clip);
+    stats.actor_grad_norm = actor_.net().clip_grad_norm(cfg_.grad_clip);
     actor_opt_->step();
   }
 

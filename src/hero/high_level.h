@@ -63,6 +63,8 @@ struct OptionTransition {
 struct HighLevelUpdateStats {
   double critic_loss = 0.0;
   double actor_entropy = 0.0;
+  double critic_grad_norm = 0.0;  // pre-clip global norms (telemetry)
+  double actor_grad_norm = 0.0;
   bool updated = false;
 };
 

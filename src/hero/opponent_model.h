@@ -73,6 +73,10 @@ class OpponentModel {
 
   // Number of labeled samples collected for opponent j.
   std::size_t samples(int j) const { return buffers_[static_cast<std::size_t>(j)].size(); }
+  // True once predictor j has enough samples for update() to take a step.
+  bool ready(int j) const {
+    return buffers_[static_cast<std::size_t>(j)].size() >= cfg_.min_samples;
+  }
 
  private:
   struct Sample {

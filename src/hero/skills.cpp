@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "nn/serialize.h"
+#include "obs/obs.h"
 #include "sim/scenario.h"
 
 namespace hero::core {
@@ -86,6 +87,7 @@ std::vector<double> SkillBank::train_skill(
   curve.reserve(static_cast<std::size_t>(episodes));
 
   for (int ep = 0; ep < episodes; ++ep) {
+    OBS_SPAN("stage1/episode");
     world.reset(rng);
     // Start-state randomization: lateral offset and heading jitter force the
     // skills to learn recovery, not just straight-line driving.
@@ -127,6 +129,18 @@ std::vector<double> SkillBank::train_skill(
       if (skill_done) break;
     }
     curve.push_back(ep_reward);
+    if (obs::metrics_enabled()) {
+      auto& reg = obs::Registry::instance();
+      reg.counter("hero.stage1.episodes").inc();
+      reg.counter("hero.stage1.steps").inc(exec.steps);
+    }
+    if (obs::telemetry_enabled()) {
+      obs::Telemetry::instance().emit(obs::TelemetryEvent("stage1/episode")
+                                          .field("skill", option_name(o))
+                                          .field("episode", ep)
+                                          .field("reward", ep_reward)
+                                          .field("steps", exec.steps));
+    }
     if (hook) hook(ep, ep_reward);
   }
   return curve;

@@ -2,9 +2,29 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace hero::nn {
 
 namespace {
+
+// Hot-path throughput counters; the references are resolved once, and each
+// pass costs one relaxed bool load when metrics are disabled.
+void count_forward(std::size_t rows) {
+  if (!obs::metrics_enabled()) return;
+  static obs::Counter& calls = obs::Registry::instance().counter("nn.forward_calls");
+  static obs::Counter& row_count = obs::Registry::instance().counter("nn.forward_rows");
+  calls.inc();
+  row_count.inc(static_cast<long long>(rows));
+}
+
+void count_backward(std::size_t rows) {
+  if (!obs::metrics_enabled()) return;
+  static obs::Counter& calls = obs::Registry::instance().counter("nn.backward_calls");
+  static obs::Counter& row_count = obs::Registry::instance().counter("nn.backward_rows");
+  calls.inc();
+  row_count.inc(static_cast<long long>(rows));
+}
 std::unique_ptr<Layer> make_activation(Activation act, std::size_t dim) {
   switch (act) {
     case Activation::kReLU: return std::make_unique<ReLU>(dim);
@@ -45,6 +65,7 @@ Mlp& Mlp::operator=(const Mlp& other) {
 
 const Matrix& Mlp::forward(const Matrix& x) {
   HERO_CHECK(!layers_.empty());
+  count_forward(x.rows());
   if (acts_.size() != layers_.size() + 1) acts_.resize(layers_.size() + 1);
   acts_[0].copy_from(x);
   for (std::size_t i = 0; i < layers_.size(); ++i) {
@@ -61,6 +82,7 @@ std::vector<double> Mlp::forward1(const std::vector<double>& x) {
 
 const Matrix& Mlp::backward(const Matrix& grad_out) {
   HERO_CHECK(!layers_.empty());
+  count_backward(grad_out.rows());
   HERO_CHECK_MSG(acts_.size() == layers_.size() + 1,
                  "Mlp::backward called before forward");
   HERO_CHECK(grad_out.same_shape(acts_.back()));

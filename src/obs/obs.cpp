@@ -1,0 +1,47 @@
+#include "obs/obs.h"
+
+#include "common/logging.h"
+
+namespace hero::obs {
+
+Outputs configure(Flags& flags) {
+  Outputs out;
+  out.metrics_path = flags.get_string("metrics-out", "");
+  out.trace_path = flags.get_string("trace-out", "");
+  out.telemetry_path = flags.get_string("telemetry-out", "");
+  if (!out.metrics_path.empty()) set_metrics_enabled(true);
+  if (!out.trace_path.empty()) set_trace_enabled(true);
+  if (!out.telemetry_path.empty() &&
+      !Telemetry::instance().open(out.telemetry_path)) {
+    LOG_ERROR << "cannot open telemetry sink " << out.telemetry_path;
+  }
+  return out;
+}
+
+void finalize(const Outputs& out) {
+  if (!out.metrics_path.empty()) {
+    if (Registry::instance().write_json(out.metrics_path)) {
+      LOG_INFO << "metrics snapshot written to " << out.metrics_path << " ("
+               << Registry::instance().size() << " metrics)";
+    } else {
+      LOG_ERROR << "cannot write metrics snapshot " << out.metrics_path;
+    }
+  }
+  if (!out.trace_path.empty()) {
+    auto& rec = TraceRecorder::instance();
+    if (rec.write_chrome_trace(out.trace_path)) {
+      LOG_INFO << "trace written to " << out.trace_path << " (" << rec.size()
+               << " spans" << (rec.dropped() ? ", some dropped at capacity" : "")
+               << ") — open in chrome://tracing or ui.perfetto.dev";
+    } else {
+      LOG_ERROR << "cannot write trace " << out.trace_path;
+    }
+  }
+  if (!out.telemetry_path.empty()) {
+    LOG_INFO << "telemetry stream " << out.telemetry_path << " ("
+             << Telemetry::instance().lines_written() << " events)";
+    Telemetry::instance().close();
+  }
+}
+
+}  // namespace hero::obs

@@ -1,0 +1,37 @@
+// Umbrella header and CLI wiring for the observability layer.
+//
+// Tool binaries opt the three subsystems in with
+//
+//   hero::Flags flags(argc, argv);
+//   auto outputs = obs::configure(flags);   // --metrics-out/--trace-out/--telemetry-out
+//   ... run ...
+//   obs::finalize(outputs);                 // write snapshots, close streams
+//
+// Each subsystem stays fully disabled (near-zero instrumentation cost)
+// unless its flag was given.
+#pragma once
+
+#include <string>
+
+#include "common/flags.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+
+namespace hero::obs {
+
+struct Outputs {
+  std::string metrics_path;    // JSON metrics snapshot
+  std::string trace_path;      // Chrome trace_event JSON
+  std::string telemetry_path;  // JSONL event stream
+};
+
+// Reads --metrics-out, --trace-out and --telemetry-out from `flags` and
+// enables the matching subsystems. Call before flags.check_unknown().
+Outputs configure(Flags& flags);
+
+// Writes the metrics snapshot and trace file (if requested) and closes the
+// telemetry stream. Safe to call with empty paths.
+void finalize(const Outputs& out);
+
+}  // namespace hero::obs

@@ -1,0 +1,90 @@
+// Structured run telemetry: a mutex-serialized JSONL event stream.
+//
+// Every line is one self-contained JSON object:
+//
+//   {"event": "episode", "t_s": 12.345, "method": "hero", "stage": 2,
+//    "episode": 41, "reward": -3.2, ..., "seq": 173}
+//
+// "event" names the record type, "t_s" is monotonic seconds since process
+// start, and "seq" is a process-wide line counter appended at write time —
+// a consumer can detect interleaving or truncation. The full schema lives
+// in docs/OBSERVABILITY.md.
+//
+// Call sites guard on telemetry_enabled() so that building the event costs
+// nothing when no --telemetry-out sink is open:
+//
+//   if (obs::telemetry_enabled()) {
+//     obs::Telemetry::instance().emit(
+//         obs::TelemetryEvent("episode").field("reward", r).field("steps", n));
+//   }
+//
+// emit() is safe from concurrent threads (stage-1 parallel skill training
+// shares one sink).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+
+namespace hero::obs {
+
+// One JSONL line under construction. field() accepts numbers, bools and
+// strings; NaN/inf serialize as null.
+class TelemetryEvent {
+ public:
+  explicit TelemetryEvent(const char* event);
+
+  TelemetryEvent& field(const char* key, double v);
+  TelemetryEvent& field(const char* key, long long v);
+  TelemetryEvent& field(const char* key, int v) {
+    return field(key, static_cast<long long>(v));
+  }
+  TelemetryEvent& field(const char* key, long v) {
+    return field(key, static_cast<long long>(v));
+  }
+  TelemetryEvent& field(const char* key, std::size_t v) {
+    return field(key, static_cast<long long>(v));
+  }
+  TelemetryEvent& field(const char* key, bool v);
+  TelemetryEvent& field(const char* key, const char* v);
+  TelemetryEvent& field(const char* key, const std::string& v);
+
+ private:
+  friend class Telemetry;
+  void key_into(const char* key);
+  std::string line_;  // "{"event": ..., "t_s": ..." — closed by emit()
+};
+
+class Telemetry {
+ public:
+  static Telemetry& instance();
+
+  // Opens (truncates) the JSONL sink and enables emission.
+  bool open(const std::string& path);
+  void close();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Appends the sequence number, closes the object and writes the line.
+  // No-op when no sink is open.
+  void emit(const TelemetryEvent& e);
+
+  std::uint64_t lines_written() const {
+    return lines_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Telemetry() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> lines_{0};
+  std::mutex mu_;
+  std::ofstream out_;
+  std::uint64_t seq_ = 0;
+};
+
+inline bool telemetry_enabled() { return Telemetry::instance().enabled(); }
+
+}  // namespace hero::obs

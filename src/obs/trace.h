@@ -1,0 +1,106 @@
+// Hierarchical trace spans: RAII scoped timers that record a wall-clock
+// tree and export Chrome trace_event JSON (loadable in chrome://tracing or
+// https://ui.perfetto.dev).
+//
+//   OBS_SPAN("stage2/update/critic");
+//
+// opens a span for the rest of the enclosing scope. Spans nest naturally:
+// the exported events are Chrome "complete" ('X') events on a per-thread
+// track, which the viewers nest by time containment. Span names use '/'
+// separated levels (docs/OBSERVABILITY.md has the naming convention).
+//
+// Each span also feeds a latency histogram "span.<name>" (microseconds) in
+// the metrics registry when metrics are enabled, so one instrumentation
+// point yields both a trace and p50/p95/p99 latency.
+//
+// When both tracing and metrics are disabled, constructing a span is two
+// relaxed atomic-bool loads — no clock read, no allocation, no lock.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace hero::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+}
+
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+void set_trace_enabled(bool on);
+
+// Microseconds on the monotonic clock since the first call in this process.
+double now_us();
+
+// Small dense per-thread id (1, 2, ...) for the trace's tid column.
+std::uint32_t current_tid();
+
+struct TraceEvent {
+  std::string name;
+  double ts_us = 0.0;   // span start
+  double dur_us = 0.0;  // span duration
+  std::uint32_t tid = 0;
+};
+
+class TraceRecorder {
+ public:
+  static TraceRecorder& instance();
+
+  void record_complete(const char* name, double ts_us, double dur_us);
+
+  // Chrome trace_event "JSON object format": {"traceEvents": [...]}.
+  bool write_chrome_trace(const std::string& path) const;
+
+  std::vector<TraceEvent> snapshot() const;
+  std::size_t size() const;
+  std::uint64_t dropped() const;  // events discarded after hitting capacity
+  void set_capacity(std::size_t cap);
+  void clear();
+
+ private:
+  TraceRecorder() = default;
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::size_t cap_ = 1u << 20;
+  std::uint64_t dropped_ = 0;
+};
+
+// Histogram "span.<name>" with microsecond log buckets (1us .. 1000s).
+Histogram& span_histogram(const char* name);
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name)
+      : name_(name), active_(trace_enabled() || metrics_enabled()) {
+    if (active_) start_us_ = now_us();
+  }
+  ~ScopedSpan() {
+    if (!active_) return;
+    const double dur = now_us() - start_us_;
+    if (trace_enabled()) {
+      TraceRecorder::instance().record_complete(name_, start_us_, dur);
+    }
+    if (metrics_enabled()) span_histogram(name_).observe(dur);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  double start_us_ = 0.0;
+  bool active_;
+};
+
+}  // namespace hero::obs
+
+#define HERO_OBS_CONCAT2(a, b) a##b
+#define HERO_OBS_CONCAT(a, b) HERO_OBS_CONCAT2(a, b)
+#define OBS_SPAN(name) \
+  ::hero::obs::ScopedSpan HERO_OBS_CONCAT(hero_obs_span_, __COUNTER__)(name)

@@ -1,11 +1,13 @@
 #include "rl/evaluation.h"
 
 #include "common/stats.h"
+#include "obs/obs.h"
 
 namespace hero::rl {
 
 EpisodeStats run_episode(sim::LaneWorld& world, Controller& controller, Rng& rng,
                          bool explore, int merger_index, int merger_target_lane) {
+  OBS_SPAN("eval/episode");
   world.reset(rng);
   controller.begin_episode(world);
 
@@ -36,6 +38,15 @@ EvalSummary evaluate(sim::LaneWorld& world, Controller& controller, Rng& rng,
     s.collision_rate += ep.collision ? 1.0 : 0.0;
     s.success_rate += ep.success ? 1.0 : 0.0;
     s.mean_speed += ep.mean_speed;
+    if (obs::telemetry_enabled()) {
+      obs::Telemetry::instance().emit(obs::TelemetryEvent("eval/episode")
+                                          .field("episode", e)
+                                          .field("reward", ep.team_reward)
+                                          .field("steps", ep.steps)
+                                          .field("collision", ep.collision)
+                                          .field("success", ep.success)
+                                          .field("mean_speed", ep.mean_speed));
+    }
   }
   if (episodes > 0) {
     s.mean_reward /= episodes;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace hero::sim {
 
 LaneWorldConfig with_real_world_shift(LaneWorldConfig cfg) {
@@ -104,6 +106,13 @@ StepResult LaneWorld::step(const std::vector<TwistCmd>& cmds, Rng& rng) {
 
   ++steps_;
   detect_collisions(out);
+  if (obs::metrics_enabled()) {
+    static obs::Counter& steps = obs::Registry::instance().counter("sim.steps");
+    static obs::Counter& collisions =
+        obs::Registry::instance().counter("sim.collisions");
+    steps.inc();
+    if (out.collision) collisions.inc();
+  }
   if (out.collision) had_collision_ = true;
   done_ = out.collision || steps_ >= cfg_.max_steps;
   out.done = done_;

@@ -8,6 +8,7 @@
 
 #include "common/csv.h"
 #include "common/flags.h"
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -136,6 +137,60 @@ TEST(RunningStat, ResetClears) {
   EXPECT_EQ(st.count(), 0u);
 }
 
+TEST(RunningStat, MergeMatchesSingleStream) {
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.normal(2.0, 5.0));
+
+  RunningStat whole;
+  for (double x : xs) whole.add(x);
+
+  // Split at an uneven boundary and merge the partial accumulators.
+  RunningStat a, b;
+  for (std::size_t i = 0; i < xs.size(); ++i) (i < 137 ? a : b).add(xs[i]);
+  a.merge(b);
+
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStat, MergeWithEmptyStreams) {
+  RunningStat filled, empty;
+  filled.add(1.0);
+  filled.add(3.0);
+
+  RunningStat lhs = filled;
+  lhs.merge(empty);  // no-op
+  EXPECT_EQ(lhs.count(), 2u);
+  EXPECT_DOUBLE_EQ(lhs.mean(), 2.0);
+
+  RunningStat rhs;
+  rhs.merge(filled);  // adopt other stream wholesale
+  EXPECT_EQ(rhs.count(), 2u);
+  EXPECT_DOUBLE_EQ(rhs.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(rhs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rhs.max(), 3.0);
+}
+
+TEST(RunningStat, MergeOfManyShardsMatchesSequential) {
+  Rng rng(11);
+  RunningStat whole;
+  std::vector<RunningStat> shards(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-10.0, 10.0);
+    whole.add(x);
+    shards[static_cast<std::size_t>(i % 7)].add(x);
+  }
+  RunningStat merged;
+  for (const auto& s : shards) merged.merge(s);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(merged.stddev(), whole.stddev(), 1e-9);
+}
+
 // -------------------------------------------------------- MovingAverage ---
 
 TEST(MovingAverage, WindowedMean) {
@@ -167,6 +222,67 @@ TEST(Downsample, FewerPointsThanRequested) {
   std::vector<double> s = {1, 2};
   auto d = downsample(s, 10);
   EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(Downsample, EmitsExactlyRequestedBlocks) {
+  // 10 samples into 4 blocks: boundaries at 0,2,5,7,10 — never more or
+  // fewer than `points` entries, even when size % points != 0.
+  std::vector<double> s = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto d = downsample(s, 4);
+  ASSERT_EQ(d.size(), 4u);
+  EXPECT_DOUBLE_EQ(d[0].second, 0.5);        // mean of {0,1}
+  EXPECT_DOUBLE_EQ(d[1].second, 3.0);        // mean of {2,3,4}
+  EXPECT_DOUBLE_EQ(d[2].second, 5.5);        // mean of {5,6}
+  EXPECT_DOUBLE_EQ(d[3].second, 8.0);        // mean of {7,8,9}
+  EXPECT_EQ(d[3].first, 9u);                 // index of each block's last sample
+}
+
+TEST(Downsample, VariedSizesAlwaysMatchRequest) {
+  for (std::size_t size : {1u, 2u, 7u, 100u, 101u, 1000u}) {
+    std::vector<double> s(size, 1.0);
+    for (std::size_t points : {1u, 2u, 3u, 10u, 64u}) {
+      auto d = downsample(s, points);
+      EXPECT_EQ(d.size(), std::min(points, size)) << "size=" << size
+                                                  << " points=" << points;
+      EXPECT_EQ(d.back().first, size - 1);
+    }
+  }
+}
+
+TEST(Downsample, SinglePointIsWholeMean) {
+  std::vector<double> s = {2, 4, 6, 8};
+  auto d = downsample(s, 1);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_DOUBLE_EQ(d[0].second, 5.0);
+  EXPECT_EQ(d[0].first, 3u);
+}
+
+TEST(Downsample, EmptySeries) {
+  EXPECT_TRUE(downsample({}, 5).empty());
+  EXPECT_TRUE(downsample({1.0}, 0).empty());
+}
+
+// ------------------------------------------------------------- Logging ----
+
+TEST(Logging, ParseLogLevel) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("0"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("3"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+}
+
+TEST(Logging, LevelRoundTrip) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(before);
 }
 
 // ----------------------------------------------------------------- Csv ----

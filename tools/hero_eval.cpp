@@ -3,12 +3,16 @@
 //
 //   hero_eval --ckpt ckpt/ [--episodes 50] [--learners 3] [--seed 9]
 //             [--real-world] [--svg episode.svg]
+//             [--metrics-out m.json] [--trace-out t.json]
+//             [--telemetry-out run.jsonl]
 //
-// `--svg` renders the first evaluation episode's trajectories.
+// `--svg` renders the first evaluation episode's trajectories. The three
+// `--*-out` flags enable the observability layer (docs/OBSERVABILITY.md).
 #include <cstdio>
 
 #include "common/flags.h"
 #include "hero/hero_trainer.h"
+#include "obs/obs.h"
 #include "rl/evaluation.h"
 #include "sim/scenario.h"
 #include "viz/trajectory.h"
@@ -23,6 +27,7 @@ int main(int argc, char** argv) {
   const unsigned seed = static_cast<unsigned>(flags.get_int("seed", 9));
   const bool real_world = flags.get_bool("real-world", false);
   const std::string svg = flags.get_string("svg", "");
+  const obs::Outputs obs_out = obs::configure(flags);
   flags.check_unknown();
 
   Rng rng(seed);
@@ -59,5 +64,6 @@ int main(int argc, char** argv) {
   std::printf("  collision rate       %8.3f\n", summary.collision_rate);
   std::printf("  merge success rate   %8.3f\n", summary.success_rate);
   std::printf("  mean speed           %8.4f m/s\n", summary.mean_speed);
+  obs::finalize(obs_out);
   return 0;
 }

@@ -4,15 +4,26 @@
 //   hero_train --out ckpt/ [--skill-episodes 400] [--episodes 2000]
 //              [--learners 3] [--seed 1] [--no-opponent-model]
 //              [--synchronous-termination] [--curves prefix]
+//              [--hl-warmup N] [--hl-batch N]
+//              [--metrics-out m.json] [--trace-out t.json]
+//              [--telemetry-out run.jsonl]
+//
+// `--hl-warmup` / `--hl-batch` override the high-level replay warmup and
+// batch size (smoke runs shrink them so gradient updates happen within a
+// couple of episodes).
 //
 // `--curves prefix` additionally writes <prefix>_reward.svg /
 // <prefix>_collision.svg / <prefix>_success.svg learning-curve plots.
+// The three `--*-out` flags enable the observability layer
+// (docs/OBSERVABILITY.md): a metrics snapshot, a Chrome trace, and the
+// structured per-episode telemetry stream.
 #include <cstdio>
 #include <filesystem>
 
 #include "common/flags.h"
 #include "common/stats.h"
 #include "hero/hero_trainer.h"
+#include "obs/obs.h"
 #include "sim/scenario.h"
 #include "viz/plot.h"
 
@@ -28,6 +39,9 @@ int main(int argc, char** argv) {
   const bool use_opp = flags.get_bool("opponent-model", true);
   const bool sync_term = flags.get_bool("synchronous-termination", false);
   const std::string curves = flags.get_string("curves", "");
+  const int hl_warmup = flags.get_int("hl-warmup", -1);
+  const int hl_batch = flags.get_int("hl-batch", -1);
+  const obs::Outputs obs_out = obs::configure(flags);
   flags.check_unknown();
 
   Rng rng(seed);
@@ -35,6 +49,8 @@ int main(int argc, char** argv) {
   core::HeroConfig cfg;
   cfg.high.use_opponent_model = use_opp;
   cfg.skill.termination.synchronous = sync_term;
+  if (hl_warmup >= 0) cfg.high.warmup_transitions = static_cast<std::size_t>(hl_warmup);
+  if (hl_batch > 0) cfg.high.batch = static_cast<std::size_t>(hl_batch);
   core::HeroTrainer trainer(scenario, cfg, rng);
 
   std::printf("stage 1: training %d skills x %d episodes...\n", 3, skill_episodes);
@@ -81,5 +97,6 @@ int main(int argc, char** argv) {
     metric_plot("success", "merge success rate",
                 [](const rl::EpisodeStats& s) { return s.success ? 1.0 : 0.0; });
   }
+  obs::finalize(obs_out);
   return 0;
 }

@@ -1,11 +1,22 @@
 #!/usr/bin/env sh
-# Builds the bench_json harness and regenerates the perf-trajectory
-# snapshots (BENCH_nn.json, BENCH_train.json) at the repo root.
+# Builds the bench_json harness, regenerates the perf-trajectory snapshots
+# (BENCH_nn.json, BENCH_train.json) at the repo root, then diffs them
+# against the committed *.seed.json baselines and fails on regressions.
 #
 #   tools/run_benchmarks.sh [build_dir]
 #
 # Pass extra knobs through BENCH_FLAGS, e.g.
 #   BENCH_FLAGS="--min-time 1.0 --train-episodes 16" tools/run_benchmarks.sh
+#
+# Regression gate knobs:
+#   BENCH_REGRESSION_PCT   allowed slowdown per benchmark, percent (default 25
+#                          — generous because QEMU/shared-runner timings swing
+#                          by ±20%)
+#   BENCH_SKIP_CHECK=1     regenerate snapshots without gating
+#
+# Only benchmarks present in both the fresh snapshot and the seed are
+# compared, so newly added cases never fail the gate before their baseline
+# lands.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -21,3 +32,59 @@ cmake --build "$build_dir" --target bench_json -j"$(nproc 2>/dev/null || echo 1)
 
 echo "wrote $repo_root/BENCH_nn.json"
 echo "wrote $repo_root/BENCH_train.json"
+
+if [ "${BENCH_SKIP_CHECK:-0}" = "1" ]; then
+    echo "BENCH_SKIP_CHECK=1 — skipping regression check"
+    exit 0
+fi
+
+threshold=${BENCH_REGRESSION_PCT:-25}
+
+# check_snapshot new seed metric_key direction
+#   direction: higher_is_worse (ns/iter) | lower_is_worse (steps/sec)
+check_snapshot() {
+    if [ ! -f "$2" ]; then
+        echo "no seed snapshot $2 — skipping"
+        return 0
+    fi
+    awk -v pct="$threshold" -v key="$3" -v dir="$4" '
+        BEGIN { FS = "\"" }
+        $2 == "name" && $6 == key {
+            v = $7
+            sub(/^: */, "", v)
+            sub(/[,}].*/, "", v)
+            if (NR == FNR) seedval[$4] = v + 0
+            else { newval[$4] = v + 0; order[++n] = $4 }
+        }
+        END {
+            bad = 0
+            for (i = 1; i <= n; ++i) {
+                name = order[i]
+                if (!(name in seedval) || seedval[name] <= 0) {
+                    printf "  %-36s (no seed baseline — skipped)\n", name
+                    continue
+                }
+                ratio = newval[name] / seedval[name]
+                worse = (dir == "higher_is_worse") ? (ratio - 1) * 100 : (1 - ratio) * 100
+                flag = ""
+                if (worse > pct) { flag = "  << REGRESSION"; bad = 1 }
+                printf "  %-36s seed %14.1f  new %14.1f  %+6.1f%%%s\n", \
+                       name, seedval[name], newval[name], (ratio - 1) * 100, flag
+            }
+            exit bad
+        }
+    ' "$2" "$1"
+}
+
+status=0
+echo "== regression check vs seed snapshots (threshold ${threshold}%) =="
+echo "BENCH_nn.json vs BENCH_nn.seed.json (ns/iter, higher is worse):"
+check_snapshot "$repo_root/BENCH_nn.json" "$repo_root/BENCH_nn.seed.json" \
+    real_time_ns higher_is_worse || status=1
+echo "BENCH_train.json vs BENCH_train.seed.json (steps/sec, lower is worse):"
+check_snapshot "$repo_root/BENCH_train.json" "$repo_root/BENCH_train.seed.json" \
+    steps_per_sec lower_is_worse || status=1
+if [ "$status" -ne 0 ]; then
+    echo "benchmark regression beyond ${threshold}% — failing (BENCH_SKIP_CHECK=1 to override)"
+fi
+exit "$status"
