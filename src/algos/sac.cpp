@@ -1,6 +1,7 @@
 #include "algos/sac.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "nn/losses.h"
 #include "obs/metrics.h"
@@ -74,6 +75,7 @@ SacUpdateStats SacAgent::update(Rng& rng) {
     target_(i, 0) =
         batch[i]->reward + (batch[i]->done ? 0.0 : cfg_.gamma * soft_v);
   }
+  HERO_DCHECK_FINITE(target_, "SacAgent::update critic TD target");
 
   obs_m_.hcat_into(act_m_, critic_in_);
   for (auto [q, opt] : {std::pair<nn::Mlp*, nn::Adam*>{&q1_, q1_opt_.get()},
@@ -113,6 +115,9 @@ SacUpdateStats SacAgent::update(Rng& rng) {
   din1.col_slice_into(obs_dim_, obs_dim_ + k, dL_da_);
   din2.col_slice_into(obs_dim_, obs_dim_ + k, dL_da_, /*accumulate=*/true);
 
+  HERO_DCHECK_MSG(std::isfinite(actor_loss),
+                  "SacAgent::update non-finite actor loss " << actor_loss);
+  HERO_DCHECK_FINITE(dL_da_, "SacAgent::update dL/da");
   dL_dlogp_.assign(B, cfg_.alpha * inv_b);
   actor_.net().zero_grad();
   actor_.backward(sample_, dL_da_, dL_dlogp_);

@@ -1,17 +1,35 @@
 // Lightweight runtime-check macros used across the library.
 //
-// HERO_CHECK fires in all build types: invariants of the library itself
-// (shape mismatches, invalid configuration) are programming errors that we
-// want to surface loudly rather than propagate NaNs through training.
+// Two tiers (docs/CORRECTNESS.md):
+//
+//   HERO_CHECK / HERO_CHECK_MSG fire in every build type: invariants of the
+//   library itself (shape mismatches, invalid configuration) are programming
+//   errors we surface loudly rather than propagate NaNs through training.
+//
+//   HERO_DCHECK / HERO_DCHECK_MSG compile to nothing unless the build was
+//   configured with -DHERO_DEBUG_CHECKS=ON. They guard per-element
+//   invariants on hot paths (finiteness of activations and gradients, replay
+//   and simulator state) that are too expensive for release binaries but
+//   catch a NaN at the op that produced it instead of 200 episodes later.
+//
+// Both tiers keep the failure path out of line: the condition test is the
+// only code in the hot path, and the message stream is constructed solely
+// after the condition has already failed.
 #pragma once
 
-#include <cstdio>
-#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
 namespace hero {
+
+// Cold out-of-line failure paths. Splitting the no-message overload avoids
+// materializing an empty std::string at every call site.
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  throw std::logic_error(os.str());
+}
 
 [[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
                                       const std::string& msg) {
@@ -23,16 +41,38 @@ namespace hero {
 
 }  // namespace hero
 
-#define HERO_CHECK(cond)                                             \
-  do {                                                               \
-    if (!(cond)) ::hero::check_failed(#cond, __FILE__, __LINE__, ""); \
+#define HERO_CHECK(cond)                                            \
+  do {                                                              \
+    if (!(cond)) [[unlikely]] {                                     \
+      ::hero::check_failed(#cond, __FILE__, __LINE__);              \
+    }                                                               \
   } while (0)
 
-#define HERO_CHECK_MSG(cond, msg)                                          \
-  do {                                                                     \
-    if (!(cond)) {                                                         \
-      std::ostringstream hero_check_os;                                    \
-      hero_check_os << msg;                                                \
-      ::hero::check_failed(#cond, __FILE__, __LINE__, hero_check_os.str()); \
-    }                                                                      \
+// The std::ostringstream (and everything streamed into it) is built only on
+// the failure branch — the happy path is a bare predicate test.
+#define HERO_CHECK_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond)) [[unlikely]] {                                              \
+      std::ostringstream hero_check_os;                                      \
+      hero_check_os << msg;                                                  \
+      ::hero::check_failed(#cond, __FILE__, __LINE__, hero_check_os.str());  \
+    }                                                                        \
   } while (0)
+
+// Debug-only invariants: enabled by the HERO_DEBUG_CHECKS CMake option.
+// When disabled the condition is never evaluated (it sits behind `if
+// constexpr`-like dead code the optimizer removes), so operands may be
+// arbitrarily expensive.
+#ifdef HERO_DEBUG_CHECKS
+#define HERO_DCHECK(cond) HERO_CHECK(cond)
+#define HERO_DCHECK_MSG(cond, msg) HERO_CHECK_MSG(cond, msg)
+#define HERO_DEBUG_CHECKS_ENABLED 1
+#else
+#define HERO_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#define HERO_DCHECK_MSG(cond, msg) \
+  do {                             \
+  } while (0)
+#define HERO_DEBUG_CHECKS_ENABLED 0
+#endif

@@ -126,6 +126,7 @@ HighLevelUpdateStats HighLevelAgent::update(OpponentModel& opponents, Rng& rng) 
   const nn::Matrix& pred = critic_.forward(cin_);
   target_m_.resize(B, 1);
   for (std::size_t b = 0; b < B; ++b) target_m_(b, 0) = targets_[b];
+  HERO_DCHECK_FINITE(target_m_, "HighLevelAgent::update critic TD target");
   stats.critic_loss = nn::mse_loss_into(pred, target_m_, closs_grad_);
   critic_.zero_grad();
   critic_.backward(closs_grad_);
@@ -185,6 +186,7 @@ HighLevelUpdateStats HighLevelAgent::update(OpponentModel& opponents, Rng& rng) 
       }
     }
     stats.actor_entropy = mean_entropy;
+    HERO_DCHECK_FINITE(dlogits_, "HighLevelAgent::update actor logit gradient");
     actor_.net().zero_grad();
     actor_.net().backward(dlogits_);
     stats.actor_grad_norm = actor_.net().clip_grad_norm(cfg_.grad_clip);

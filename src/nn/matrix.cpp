@@ -514,4 +514,24 @@ double Matrix::abs_max() const {
   return s;
 }
 
+bool Matrix::all_finite() const {
+  for (double v : data_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+void Matrix::check_finite(const char* what) const {
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (!std::isfinite(data_[i])) [[unlikely]] {
+      std::ostringstream os;
+      os << what << ": non-finite value " << data_[i] << " at ("
+         << i / std::max<std::size_t>(cols_, 1) << ", "
+         << i % std::max<std::size_t>(cols_, 1) << ") of " << rows_ << "x" << cols_
+         << " matrix";
+      check_failed("all_finite()", __FILE__, __LINE__, os.str());
+    }
+  }
+}
+
 }  // namespace hero::nn

@@ -155,6 +155,14 @@ class Matrix {
 
   bool same_shape(const Matrix& o) const { return rows_ == o.rows_ && cols_ == o.cols_; }
 
+  // ----- finite guards (docs/CORRECTNESS.md) ------------------------------
+  // True iff every element is neither NaN nor infinite.
+  bool all_finite() const;
+  // Throws std::logic_error naming `what`, the offending (row, col) and its
+  // value if any element is non-finite. Call sites on hot paths wrap this in
+  // HERO_DCHECK_FINITE so release builds pay nothing.
+  void check_finite(const char* what) const;
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
@@ -162,3 +170,13 @@ class Matrix {
 };
 
 }  // namespace hero::nn
+
+// Debug-only NaN/inf sweep of a whole matrix — the workhorse of the finite-
+// guard layer. Expands to nothing unless HERO_DEBUG_CHECKS is on.
+#if HERO_DEBUG_CHECKS_ENABLED
+#define HERO_DCHECK_FINITE(m, what) (m).check_finite(what)
+#else
+#define HERO_DCHECK_FINITE(m, what) \
+  do {                              \
+  } while (0)
+#endif

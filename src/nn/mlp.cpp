@@ -65,12 +65,16 @@ Mlp& Mlp::operator=(const Mlp& other) {
 
 const Matrix& Mlp::forward(const Matrix& x) {
   HERO_CHECK(!layers_.empty());
+  HERO_DCHECK_MSG(x.cols() == in_dim(),
+                  "Mlp::forward: input dim " << x.cols() << " != " << in_dim());
+  HERO_DCHECK_FINITE(x, "Mlp::forward input");
   count_forward(x.rows());
   if (acts_.size() != layers_.size() + 1) acts_.resize(layers_.size() + 1);
   acts_[0].copy_from(x);
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     layers_[i]->forward_into(acts_[i], acts_[i + 1]);
   }
+  HERO_DCHECK_FINITE(acts_.back(), "Mlp::forward output");
   return acts_.back();
 }
 
@@ -86,11 +90,13 @@ const Matrix& Mlp::backward(const Matrix& grad_out) {
   HERO_CHECK_MSG(acts_.size() == layers_.size() + 1,
                  "Mlp::backward called before forward");
   HERO_CHECK(grad_out.same_shape(acts_.back()));
+  HERO_DCHECK_FINITE(grad_out, "Mlp::backward grad_out");
   if (grads_.size() != acts_.size()) grads_.resize(acts_.size());
   grads_.back().copy_from(grad_out);
   for (std::size_t i = layers_.size(); i-- > 0;) {
     layers_[i]->backward_into(acts_[i], acts_[i + 1], grads_[i + 1], grads_[i]);
   }
+  HERO_DCHECK_FINITE(grads_.front(), "Mlp::backward grad_in");
   return grads_.front();
 }
 

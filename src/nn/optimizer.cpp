@@ -14,11 +14,13 @@ void Sgd::step() {
   for (std::size_t i = 0; i < params_.size(); ++i) {
     Matrix& w = *params_[i].value;
     Matrix& g = *params_[i].grad;
+    HERO_DCHECK_FINITE(g, "Sgd::step gradient");
     Matrix& vel = velocity_[i];
     for (std::size_t k = 0; k < w.size(); ++k) {
       vel.data()[k] = momentum_ * vel.data()[k] + g.data()[k];
       w.data()[k] -= lr_ * vel.data()[k];
     }
+    HERO_DCHECK_FINITE(w, "Sgd::step updated weights");
     g.fill(0.0);
   }
 }
@@ -41,6 +43,7 @@ void Adam::step() {
   for (std::size_t i = 0; i < params_.size(); ++i) {
     Matrix& w = *params_[i].value;
     Matrix& g = *params_[i].grad;
+    HERO_DCHECK_FINITE(g, "Adam::step gradient");
     for (std::size_t k = 0; k < w.size(); ++k) {
       double gk = g.data()[k];
       m_[i].data()[k] = beta1_ * m_[i].data()[k] + (1.0 - beta1_) * gk;
@@ -49,6 +52,7 @@ void Adam::step() {
       double vhat = v_[i].data()[k] / bc2;
       w.data()[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
+    HERO_DCHECK_FINITE(w, "Adam::step updated weights");
     g.fill(0.0);
   }
 }

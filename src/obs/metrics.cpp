@@ -69,7 +69,10 @@ double Histogram::lower_edge(std::size_t bucket) const {
 
 void Histogram::observe(double x) {
   if (!metrics_enabled()) return;
-  if (std::isnan(x)) return;
+  if (std::isnan(x)) {
+    dropped_nan_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   std::size_t b;
   if (x > opt_.hi) {
     b = opt_.buckets;  // overflow
@@ -124,6 +127,7 @@ double Histogram::percentile(double p) const {
 void Histogram::reset() {
   for (std::size_t i = 0; i <= opt_.buckets; ++i) counts_[i].store(0);
   count_.store(0);
+  dropped_nan_.store(0);
   sum_.store(0.0);
   min_.store(std::numeric_limits<double>::infinity());
   max_.store(-std::numeric_limits<double>::infinity());
@@ -217,6 +221,7 @@ std::string Registry::snapshot_json() const {
     out += ", \"p90\": " + json_number(h->percentile(90));
     out += ", \"p95\": " + json_number(h->percentile(95));
     out += ", \"p99\": " + json_number(h->percentile(99));
+    out += ", \"dropped_nan\": " + std::to_string(h->dropped_nan());
     out += "}";
   }
   out += first ? "}\n" : "\n  }\n";

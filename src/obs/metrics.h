@@ -80,6 +80,12 @@ class Histogram {
   void observe(double x);
 
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  // NaN samples are not representable in any bucket; they are dropped but
+  // counted here and exported in the JSON snapshot, so a poisoned metric is
+  // visible instead of silently shrinking.
+  std::uint64_t dropped_nan() const {
+    return dropped_nan_.load(std::memory_order_relaxed);
+  }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   double mean() const;
   double min() const;  // 0 when empty
@@ -103,6 +109,7 @@ class Histogram {
   std::vector<double> upper_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  // buckets + overflow
   std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> dropped_nan_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_;
   std::atomic<double> max_;

@@ -20,12 +20,16 @@ class ReplayBuffer {
   }
 
   void add(Transition t) {
+    HERO_DCHECK_MSG(write_ < capacity_,
+                    "ReplayBuffer write cursor " << write_ << " out of bounds ("
+                                                 << capacity_ << ")");
     if (data_.size() < capacity_) {
       data_.push_back(std::move(t));
     } else {
       data_[write_] = std::move(t);
     }
     write_ = (write_ + 1) % capacity_;
+    HERO_DCHECK(data_.size() <= capacity_);
   }
 
   std::size_t size() const { return data_.size(); }
@@ -40,6 +44,7 @@ class ReplayBuffer {
   // add() — consumers copy what they need into batch matrices immediately.
   std::vector<const Transition*> sample(std::size_t batch, Rng& rng) const {
     HERO_CHECK(!data_.empty());
+    HERO_DCHECK_MSG(batch > 0, "ReplayBuffer::sample with empty batch");
     std::vector<const Transition*> out;
     out.reserve(batch);
     for (std::size_t i = 0; i < batch; ++i) out.push_back(&data_[rng.index(data_.size())]);

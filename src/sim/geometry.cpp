@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/check.h"
+
 namespace hero::sim {
 
 double wrap_angle(double a) {
@@ -38,6 +40,12 @@ bool separated_on(const Obb& a, const Obb& b, const Vec2& axis) {
 }  // namespace
 
 bool obb_overlap(const Obb& a, const Obb& b) {
+  HERO_DCHECK_MSG(a.half_len >= 0.0 && a.half_wid >= 0.0 && b.half_len >= 0.0 &&
+                      b.half_wid >= 0.0,
+                  "obb_overlap: negative half-extent");
+  HERO_DCHECK_MSG(std::isfinite(a.center.x) && std::isfinite(a.center.y) &&
+                      std::isfinite(b.center.x) && std::isfinite(b.center.y),
+                  "obb_overlap: non-finite box centre");
   const Vec2 axes[4] = {
       Vec2{1.0, 0.0}.rotated(a.heading), Vec2{0.0, 1.0}.rotated(a.heading),
       Vec2{1.0, 0.0}.rotated(b.heading), Vec2{0.0, 1.0}.rotated(b.heading)};

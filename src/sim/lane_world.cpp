@@ -105,6 +105,27 @@ StepResult LaneWorld::step(const std::vector<TwistCmd>& cmds, Rng& rng) {
   }
 
   ++steps_;
+#if HERO_DEBUG_CHECKS_ENABLED
+  // Post-integration invariants: states stay finite, arc-length stays wrapped
+  // into [0, C), and speeds respect the vehicle envelope. An excursion here
+  // means the integrator (not the policy) broke — catch it at the step that
+  // produced it.
+  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+    const VehicleState& st = vehicles_[i].state();
+    HERO_DCHECK_MSG(std::isfinite(st.x) && std::isfinite(st.y) &&
+                        std::isfinite(st.heading) && std::isfinite(st.speed),
+                    "LaneWorld::step vehicle " << i << " non-finite state");
+    HERO_DCHECK_MSG(st.x >= 0.0 && st.x < track_.circumference(),
+                    "LaneWorld::step vehicle " << i << " arc-length " << st.x
+                                               << " outside [0, "
+                                               << track_.circumference() << ")");
+    HERO_DCHECK_MSG(st.speed >= cfg_.vehicle.min_speed - 1e-9 &&
+                        st.speed <= cfg_.vehicle.max_speed + 1e-9,
+                    "LaneWorld::step vehicle " << i << " speed " << st.speed
+                                               << " outside [" << cfg_.vehicle.min_speed
+                                               << ", " << cfg_.vehicle.max_speed << "]");
+  }
+#endif
   detect_collisions(out);
   if (obs::metrics_enabled()) {
     static obs::Counter& steps = obs::Registry::instance().counter("sim.steps");
@@ -143,6 +164,10 @@ void LaneWorld::detect_collisions(StepResult& out) const {
       Obb b = vehicles_[j].footprint();
       // Respect the ring topology: place j relative to i.
       b.center.x = a.center.x + track_.signed_dx(a.center.x, b.center.x);
+      // The separating-axis test is a symmetric relation; if it ever
+      // disagrees under argument order the collision reward is corrupt.
+      HERO_DCHECK_MSG(obb_overlap(a, b) == obb_overlap(b, a),
+                      "obb_overlap asymmetry between vehicles " << i << " and " << j);
       if (obb_overlap(a, b)) {
         hit[i] = hit[j] = true;
       }

@@ -1,0 +1,138 @@
+// Tests for the debug invariant layer (docs/CORRECTNESS.md).
+//
+// The same source compiles under both build flavors:
+//   * HERO_DEBUG_CHECKS=ON  — HERO_DCHECK fires on injected NaN / shape
+//     violations (the CI debug-checks job runs this flavor);
+//   * default (OFF)         — the macros compile to nothing: conditions are
+//     never evaluated and poisoned inputs flow through unchecked.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "nn/matrix.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "rl/replay_buffer.h"
+
+namespace {
+
+using hero::Rng;
+using hero::nn::Matrix;
+using hero::nn::Mlp;
+
+constexpr bool kChecksOn = HERO_DEBUG_CHECKS_ENABLED != 0;
+
+TEST(DebugChecks, DcheckConditionNotEvaluatedWhenDisabled) {
+  int evaluations = 0;
+  auto costly = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  HERO_DCHECK(costly());
+  HERO_DCHECK_MSG(costly(), "message " << evaluations);
+  EXPECT_EQ(evaluations, kChecksOn ? 2 : 0);
+}
+
+TEST(DebugChecks, DcheckFiresOnFalseCondition) {
+  auto violate = [] { HERO_DCHECK_MSG(1 == 2, "injected violation"); };
+  if (kChecksOn) {
+    EXPECT_THROW(violate(), std::logic_error);
+  } else {
+    EXPECT_NO_THROW(violate());
+  }
+}
+
+TEST(DebugChecks, CheckFiniteNamesOffendingElement) {
+  // check_finite is an unconditional function — it always throws; only the
+  // HERO_DCHECK_FINITE wrapper is compiled out.
+  Matrix m(2, 3, 1.0);
+  EXPECT_TRUE(m.all_finite());
+  EXPECT_NO_THROW(m.check_finite("test"));
+  m(1, 2) = std::nan("");
+  EXPECT_FALSE(m.all_finite());
+  try {
+    m.check_finite("poisoned activations");
+    FAIL() << "check_finite did not throw on NaN";
+  } catch (const std::logic_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("poisoned activations"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("(1, 2)"), std::string::npos) << msg;
+  }
+  m(1, 2) = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(m.check_finite("inf"), std::logic_error);
+}
+
+TEST(DebugChecks, DcheckFiniteMacroCompilesOutWhenDisabled) {
+  Matrix m(1, 2, 0.0);
+  m(0, 1) = std::nan("");
+  auto guarded = [&m] { HERO_DCHECK_FINITE(m, "macro guard"); };
+  if (kChecksOn) {
+    EXPECT_THROW(guarded(), std::logic_error);
+  } else {
+    EXPECT_NO_THROW(guarded());
+  }
+}
+
+TEST(DebugChecks, MlpForwardRejectsNaNInput) {
+  Rng rng(3);
+  Mlp net(4, {8}, 2, rng);
+  Matrix x(5, 4, 0.5);
+  EXPECT_NO_THROW(net.forward(x));
+  x(2, 1) = std::nan("");
+  if (kChecksOn) {
+    EXPECT_THROW(net.forward(x), std::logic_error);
+  } else {
+    EXPECT_NO_THROW(net.forward(x));
+  }
+}
+
+TEST(DebugChecks, MlpBackwardRejectsNaNGradient) {
+  Rng rng(4);
+  Mlp net(3, {6}, 2, rng);
+  Matrix x(4, 3, 0.25);
+  net.forward(x);
+  Matrix g(4, 2, 0.1);
+  g(0, 0) = std::nan("");
+  if (kChecksOn) {
+    EXPECT_THROW(net.backward(g), std::logic_error);
+  } else {
+    EXPECT_NO_THROW(net.backward(g));
+  }
+}
+
+TEST(DebugChecks, OptimizerRejectsNaNGradient) {
+  Rng rng(5);
+  Mlp net(2, {4}, 1, rng);
+  net.zero_grad();
+  // Poison one gradient entry directly.
+  auto params = net.params();
+  ASSERT_FALSE(params.empty());
+  params.front().grad->operator()(0, 0) = std::nan("");
+  hero::nn::Adam opt(params, 1e-3);
+  if (kChecksOn) {
+    EXPECT_THROW(opt.step(), std::logic_error);
+  } else {
+    EXPECT_NO_THROW(opt.step());
+  }
+}
+
+TEST(DebugChecks, ReplayBufferEmptyBatchInvariant) {
+  struct Transition {
+    int x;
+  };
+  hero::rl::ReplayBuffer<Transition> buf(8);
+  buf.add({1});
+  Rng rng(6);
+  auto sample_empty = [&] { (void)buf.sample(0, rng); };
+  if (kChecksOn) {
+    EXPECT_THROW(sample_empty(), std::logic_error);
+  } else {
+    EXPECT_NO_THROW(sample_empty());
+  }
+}
+
+}  // namespace

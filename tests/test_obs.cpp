@@ -181,10 +181,27 @@ TEST(Histogram, ResetClears) {
   ObsGuard guard(/*metrics=*/true);
   auto& h = Registry::instance().histogram("test.hist.reset");
   h.observe(5.0);
+  h.observe(std::nan(""));
   h.reset();
   EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.dropped_nan(), 0u);
   EXPECT_DOUBLE_EQ(h.min(), 0.0);
   EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(Histogram, NanSamplesAreCountedNotSilentlyDropped) {
+  ObsGuard guard(/*metrics=*/true);
+  auto& h = Registry::instance().histogram("test.hist.nan");
+  h.observe(2.0);
+  h.observe(std::nan(""));
+  h.observe(std::nan(""));
+  // NaN never lands in a bucket or perturbs the moments…
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+  // …but the drops are visible, in the API and in the JSON snapshot.
+  EXPECT_EQ(h.dropped_nan(), 2u);
+  const std::string json = Registry::instance().snapshot_json();
+  EXPECT_NE(json.find("\"dropped_nan\": 2"), std::string::npos) << json;
 }
 
 // ------------------------------------------------------------ Snapshot ----

@@ -1,0 +1,104 @@
+#!/usr/bin/env sh
+# Seed-determinism gate: runs hero_train twice with the same seed and fails
+# unless the two runs are bitwise identical in everything that matters —
+# the saved checkpoint directory and the telemetry JSONL stream (normalized:
+# wall-clock fields stripped, lines canonically sorted because stage-1 skill
+# threads interleave their writes nondeterministically while the *content*
+# of every line is deterministic per-thread).
+#
+#   tools/check_determinism.sh [build_dir]
+#
+# Knobs:
+#   DET_SEED            seed passed to both runs       (default 7)
+#   DET_EPISODES        stage-2 episodes               (default 2)
+#   DET_SKILL_EPISODES  stage-1 episodes per skill     (default 2)
+#
+# A diff here means a hidden entropy source crept in (an unseeded RNG,
+# iteration over pointer-keyed containers, uninitialized reads feeding
+# control flow) — exactly what lint rule R1 and docs/CORRECTNESS.md exist
+# to keep out.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+seed=${DET_SEED:-7}
+episodes=${DET_EPISODES:-2}
+skill_episodes=${DET_SKILL_EPISODES:-2}
+
+cmake -B "$build_dir" -S "$repo_root" > /dev/null
+cmake --build "$build_dir" --target hero_train -j"$(nproc 2>/dev/null || echo 1)" \
+    > /dev/null
+
+work=$(mktemp -d "${TMPDIR:-/tmp}/hero_determinism.XXXXXX")
+trap 'rm -rf "$work"' EXIT INT TERM
+
+run() {
+    out_dir="$work/run$1"
+    mkdir -p "$out_dir"
+    "$build_dir/tools/hero_train" \
+        --out "$out_dir/ckpt" \
+        --seed "$seed" \
+        --skill-episodes "$skill_episodes" \
+        --episodes "$episodes" \
+        --hl-warmup 8 --hl-batch 8 \
+        --telemetry-out "$out_dir/telemetry.jsonl" \
+        > "$out_dir/stdout.log"
+}
+
+echo "run 1/2 (seed $seed, $skill_episodes skill episodes, $episodes episodes)..."
+run 1
+echo "run 2/2..."
+run 2
+
+# Strip wall-clock-derived fields (t_s timestamps, steps_per_sec throughput)
+# and write-order fields (seq), re-serialize each event with sorted keys,
+# then sort lines: thread interleaving cannot perturb the result, any payload
+# difference still fails.
+normalize() {
+    python3 - "$1" "$2" <<'EOF'
+import json, sys
+
+src, dst = sys.argv[1], sys.argv[2]
+lines = []
+with open(src) as f:
+    for raw in f:
+        raw = raw.strip()
+        if not raw:
+            continue
+        event = json.loads(raw)
+        event.pop("t_s", None)
+        event.pop("seq", None)
+        event.pop("steps_per_sec", None)
+        lines.append(json.dumps(event, sort_keys=True))
+lines.sort()
+with open(dst, "w") as f:
+    f.write("\n".join(lines) + "\n")
+EOF
+}
+
+normalize "$work/run1/telemetry.jsonl" "$work/run1/telemetry.norm"
+normalize "$work/run2/telemetry.jsonl" "$work/run2/telemetry.norm"
+
+status=0
+if ! diff -u "$work/run1/telemetry.norm" "$work/run2/telemetry.norm" \
+        > "$work/telemetry.diff" 2>&1; then
+    echo "FAIL: telemetry streams differ between identically-seeded runs:"
+    head -n 40 "$work/telemetry.diff"
+    status=1
+else
+    echo "ok: telemetry identical ($(wc -l < "$work/run1/telemetry.norm") events)"
+fi
+
+if ! diff -r "$work/run1/ckpt" "$work/run2/ckpt" > "$work/ckpt.diff" 2>&1; then
+    echo "FAIL: checkpoint directories differ between identically-seeded runs:"
+    head -n 40 "$work/ckpt.diff"
+    status=1
+else
+    echo "ok: checkpoints bitwise identical"
+fi
+
+if [ "$status" -ne 0 ]; then
+    echo "seed-determinism check FAILED (seed $seed)"
+fi
+exit "$status"

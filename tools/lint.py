@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules the generic tools cannot express.
+
+Rules (docs/CORRECTNESS.md):
+
+  R1  no-libc-rand      std::rand / srand / rand() and time(nullptr)-style
+                        seeding are forbidden outside src/common/rng.* —
+                        every random stream must go through hero::Rng so runs
+                        are seed-deterministic (tools/check_determinism.sh).
+  R2  no-alloc-in-into  functions named *_into are the zero-allocation hot
+                        path (docs/PERFORMANCE.md); their bodies must not
+                        contain allocation-prone constructs (new, make_unique,
+                        std::vector<...> locals, std::string construction,
+                        push_back/emplace_back/reserve, malloc).
+  R3  no-bare-printf    library code under src/ must not print to
+                        stdout/stderr directly (printf/fprintf/std::cout/
+                        std::cerr) — use common/logging.h. snprintf into a
+                        buffer is fine. src/common/logging.cpp is the one
+                        sanctioned sink.
+  R4  pragma-once       every header under src/ starts its include guard
+                        with #pragma once.
+
+Exit status is the number of violation kinds found (0 = clean). Run:
+
+    python3 tools/lint.py [--root REPO_ROOT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# R1 ----------------------------------------------------------------------
+RAND_PATTERNS = [
+    (re.compile(r"\bstd::rand\b"), "std::rand"),
+    (re.compile(r"(?<!\w)(?:std::)?srand\s*\("), "srand()"),
+    (re.compile(r"(?<![\w:.])rand\s*\(\s*\)"), "rand()"),
+    (re.compile(r"\btime\s*\(\s*(nullptr|NULL|0)\s*\)"), "time(nullptr) seeding"),
+]
+RAND_ALLOWED = {"src/common/rng.h", "src/common/rng.cpp"}
+
+# R2 ----------------------------------------------------------------------
+ALLOC_PATTERNS = [
+    (re.compile(r"\bnew\b(?!\w)"), "operator new"),
+    (re.compile(r"\bmake_unique\b"), "make_unique"),
+    (re.compile(r"\bmake_shared\b"), "make_shared"),
+    (re.compile(r"\bmalloc\s*\("), "malloc"),
+    (re.compile(r"\bstd::vector\s*<"), "std::vector local"),
+    (re.compile(r"\bstd::string\b(?!\s*[&*])"), "std::string construction"),
+    (re.compile(r"\.(push_back|emplace_back|reserve)\s*\("), "container growth"),
+]
+INTO_DEF = re.compile(r"^\s*(?:[\w:<>&*,\s]+?)\b(\w+_into)\s*\(", re.MULTILINE)
+
+# R3 ----------------------------------------------------------------------
+PRINT_PATTERNS = [
+    (re.compile(r"(?<![\w:])(?:std::)?printf\s*\("), "printf"),
+    (re.compile(r"(?<![\w:])(?:std::)?fprintf\s*\("), "fprintf"),
+    (re.compile(r"\bstd::cout\b"), "std::cout"),
+    (re.compile(r"\bstd::cerr\b"), "std::cerr"),
+]
+PRINT_ALLOWED = {"src/common/logging.cpp"}
+
+COMMENT_OR_STRING = re.compile(
+    r"//.*?$|/\*.*?\*/|\"(?:[^\"\\]|\\.)*\"|'(?:[^'\\]|\\.)*'",
+    re.DOTALL | re.MULTILINE,
+)
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments/strings but preserves line structure for line numbers."""
+
+    def repl(m: re.Match[str]) -> str:
+        return re.sub(r"[^\n]", " ", m.group(0))
+
+    return COMMENT_OR_STRING.sub(repl, text)
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def into_function_bodies(text: str):
+    """Yields (name, start_offset, body_text) for each *_into definition."""
+    for m in INTO_DEF.finditer(text):
+        # Find the opening brace of the definition (skip declarations ending ';').
+        i = m.end()
+        depth = 0
+        while i < len(text) and text[i] not in "{;":
+            i += 1
+        if i >= len(text) or text[i] == ";":
+            continue
+        start = i
+        depth = 1
+        i += 1
+        while i < len(text) and depth:
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+            i += 1
+        yield m.group(1), start, text[start:i]
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", type=Path, default=Path(__file__).resolve().parent.parent)
+    args = ap.parse_args()
+    root: Path = args.root
+    src = root / "src"
+
+    violations: dict[str, list[str]] = {"R1": [], "R2": [], "R3": [], "R4": []}
+
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in {".h", ".cpp"}:
+            continue
+        rel = path.relative_to(root).as_posix()
+        raw = path.read_text(encoding="utf-8")
+        code = strip_comments_and_strings(raw)
+
+        if rel not in RAND_ALLOWED:
+            for pat, what in RAND_PATTERNS:
+                for m in pat.finditer(code):
+                    violations["R1"].append(f"{rel}:{line_of(code, m.start())}: {what}")
+
+        for name, start, body in into_function_bodies(code):
+            for pat, what in ALLOC_PATTERNS:
+                for m in pat.finditer(body):
+                    violations["R2"].append(
+                        f"{rel}:{line_of(code, start + m.start())}: "
+                        f"{what} inside {name}()"
+                    )
+
+        if rel not in PRINT_ALLOWED:
+            for pat, what in PRINT_PATTERNS:
+                for m in pat.finditer(code):
+                    # snprintf/vsnprintf are buffer formatting, not output.
+                    ctx = code[max(0, m.start() - 2) : m.end()]
+                    if "snprintf" in ctx:
+                        continue
+                    violations["R3"].append(f"{rel}:{line_of(code, m.start())}: {what}")
+
+        if path.suffix == ".h" and "#pragma once" not in raw:
+            violations["R4"].append(f"{rel}: missing #pragma once")
+
+    failed = 0
+    names = {
+        "R1": "no-libc-rand",
+        "R2": "no-alloc-in-into",
+        "R3": "no-bare-printf",
+        "R4": "pragma-once",
+    }
+    for rule, items in violations.items():
+        if not items:
+            print(f"ok   {rule} {names[rule]}")
+            continue
+        failed += 1
+        print(f"FAIL {rule} {names[rule]} ({len(items)} violation(s)):")
+        for item in items:
+            print(f"     {item}")
+    return failed
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,28 @@ repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}
 
 cmake -B "$build_dir" -S "$repo_root" > /dev/null
+
+# Refuse to regenerate the perf baselines from an instrumented build: debug
+# invariant checks and sanitizers slow the hot path by integer factors, and a
+# BENCH_*.json written from such a build would poison every later regression
+# comparison (docs/CORRECTNESS.md).
+cache="$build_dir/CMakeCache.txt"
+if [ -f "$cache" ]; then
+    if grep -q '^HERO_DEBUG_CHECKS:BOOL=ON' "$cache"; then
+        echo "ERROR: $build_dir was configured with HERO_DEBUG_CHECKS=ON —" >&2
+        echo "       refusing to write BENCH_*.json from an instrumented build." >&2
+        echo "       Re-run against a build dir configured with the default" >&2
+        echo "       (HERO_DEBUG_CHECKS=OFF) settings." >&2
+        exit 2
+    fi
+    if grep -E '^CMAKE_(CXX_FLAGS|EXE_LINKER_FLAGS)[^=]*=.*-fsanitize' "$cache" \
+            > /dev/null; then
+        echo "ERROR: $build_dir carries -fsanitize flags —" >&2
+        echo "       refusing to write BENCH_*.json from a sanitizer build." >&2
+        exit 2
+    fi
+fi
+
 cmake --build "$build_dir" --target bench_json -j"$(nproc 2>/dev/null || echo 1)"
 
 "$build_dir/bench/bench_json" \
