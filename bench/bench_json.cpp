@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -28,6 +29,8 @@
 #include "hero/hero_trainer.h"
 #include "nn/losses.h"
 #include "nn/mlp.h"
+#include "runtime/rollout.h"
+#include "sim/lane_world.h"
 #include "sim/scenario.h"
 
 namespace {
@@ -171,6 +174,31 @@ std::vector<BenchResult> run_nn_cases(double min_time) {
                             [&] { agent.update(opponents, rng); }));
   }
 
+  // One RolloutRunner round: 8 episodes of raw environment stepping across
+  // per-slot LaneWorld replicas. Measures the runtime layer's dispatch +
+  // stream-split overhead; on a single-core host the multi-worker variants
+  // show scheduling cost, not speedup (docs/PARALLELISM.md).
+  for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+    const sim::Scenario scenario = sim::cooperative_lane_change();
+    runtime::ThreadPool pool(workers);
+    runtime::RolloutRunner runner(pool, /*root_seed=*/1);
+    std::vector<std::unique_ptr<sim::LaneWorld>> worlds;
+    for (std::size_t s = 0; s < runner.max_slots(); ++s) {
+      worlds.push_back(std::make_unique<sim::LaneWorld>(scenario.config));
+    }
+    out.push_back(time_case("BM_ParallelRollout/w" + std::to_string(workers),
+                            min_time, [&] {
+      runner.run_round(0, 8, [&](std::size_t, std::size_t slot, Rng& rng) {
+        sim::LaneWorld& w = *worlds[slot];
+        w.reset(rng);
+        const std::vector<sim::TwistCmd> cmds(
+            static_cast<std::size_t>(w.num_learners()), sim::TwistCmd{0.12, 0.0});
+        while (!w.done()) w.step(cmds, rng);
+      });
+    }));
+  }
+
   for (std::size_t batch : {std::size_t{128}, std::size_t{1024}}) {
     Rng rng(1);
     algos::SacConfig cfg;
@@ -210,65 +238,74 @@ TrainSlice time_train(const std::string& name, TrainFn&& fn) {
   return s;
 }
 
-std::vector<TrainSlice> run_train_cases(int episodes) {
+// One pass over all five trainers at a fixed worker count. Names carry a
+// "/wN" suffix for N > 1 so the single-worker entries keep their historical
+// names (and their seed baselines). On a single-core host the multi-worker
+// numbers measure dispatch overhead, not speedup — the snapshot records what
+// the hardware actually delivered (docs/PARALLELISM.md).
+void run_train_cases(int episodes, int workers, std::vector<TrainSlice>& out) {
   using namespace hero;
-  std::vector<TrainSlice> out;
   const sim::Scenario scenario = sim::cooperative_lane_change();
+  const std::string suffix = workers > 1 ? "/w" + std::to_string(workers) : "";
 
   auto step_counter = [](long& steps) {
     return [&steps](int, const rl::EpisodeStats& s) { steps += s.steps; };
   };
 
-  out.push_back(time_train("dqn", [&] {
+  out.push_back(time_train("dqn" + suffix, [&] {
     Rng rng(1);
     algos::DqnConfig cfg;
     cfg.warmup_steps = 64;
+    cfg.num_workers = workers;
     algos::IndependentDqnTrainer t(scenario, cfg, rng);
     long steps = 0;
     t.train(episodes, rng, step_counter(steps));
     return steps;
   }));
 
-  out.push_back(time_train("coma", [&] {
+  out.push_back(time_train("coma" + suffix, [&] {
     Rng rng(1);
-    algos::ComaTrainer t(scenario, algos::ComaConfig{}, rng);
+    algos::ComaConfig cfg;
+    cfg.num_workers = workers;
+    algos::ComaTrainer t(scenario, cfg, rng);
     long steps = 0;
     t.train(episodes, rng, step_counter(steps));
     return steps;
   }));
 
-  out.push_back(time_train("maddpg", [&] {
+  out.push_back(time_train("maddpg" + suffix, [&] {
     Rng rng(1);
     algos::MaddpgConfig cfg;
     cfg.warmup_steps = 64;
+    cfg.num_workers = workers;
     algos::MaddpgTrainer t(scenario, cfg, rng);
     long steps = 0;
     t.train(episodes, rng, step_counter(steps));
     return steps;
   }));
 
-  out.push_back(time_train("maac", [&] {
+  out.push_back(time_train("maac" + suffix, [&] {
     Rng rng(1);
     algos::MaacConfig cfg;
     cfg.warmup_steps = 64;
+    cfg.num_workers = workers;
     algos::MaacTrainer t(scenario, cfg, rng);
     long steps = 0;
     t.train(episodes, rng, step_counter(steps));
     return steps;
   }));
 
-  out.push_back(time_train("hero", [&] {
+  out.push_back(time_train("hero" + suffix, [&] {
     Rng rng(1);
     core::HeroConfig cfg;
     cfg.high.warmup_transitions = 16;
+    cfg.num_workers = workers;
     core::HeroTrainer t(scenario, cfg, rng);
     t.train_skills(/*episodes_per_skill=*/2, rng);
     long steps = 0;
     t.train(episodes, rng, step_counter(steps));
     return steps;
   }));
-
-  return out;
 }
 
 }  // namespace
@@ -279,6 +316,9 @@ int main(int argc, char** argv) {
   const std::string train_out = flags.get_string("train-out", "BENCH_train.json");
   const double min_time = flags.get_double("min-time", 0.25);
   const int train_episodes = flags.get_int("train-episodes", 8);
+  // Largest worker count for the "/wN" training slices; 1 keeps the run to
+  // the historical single-worker set.
+  const int max_workers = flags.get_int("max-workers", 8);
   flags.check_unknown();
 
   std::fprintf(stderr, "== op-level benchmarks ==\n");
@@ -300,7 +340,8 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "== training-slice benchmarks (%d episodes each) ==\n",
                train_episodes);
-  auto train = run_train_cases(train_episodes);
+  std::vector<TrainSlice> train;
+  for (int w = 1; w <= max_workers; w *= 2) run_train_cases(train_episodes, w, train);
   std::vector<std::pair<std::string, double>> train_entries;
   for (const auto& s : train) train_entries.emplace_back(s.name, s.steps_per_sec);
   write_json(train_out, "train_steps_per_sec", train_entries, "steps_per_sec", {});

@@ -36,6 +36,13 @@ struct TrainConfig {
 
   // Gaussian exploration noise (deterministic-policy methods).
   double act_noise = 0.1;
+
+  // Worker threads for the update phase (runtime::ThreadPool). The parallel
+  // paths draw every RNG value serially in agent order before fanning out,
+  // and workers write only index-addressed state — so results are bitwise
+  // identical to num_workers == 1 at any worker count
+  // (docs/PARALLELISM.md §baselines).
+  int num_workers = 1;
 };
 
 // Per-episode callback: (episode index, training-episode stats).

@@ -24,6 +24,11 @@ IndependentDqnTrainer::IndependentDqnTrainer(const sim::Scenario& scenario,
     buffers_.emplace_back(cfg_.buffer_capacity);
     per_buffers_.emplace_back(cfg_.buffer_capacity, cfg_.per_alpha, cfg_.per_beta0);
   }
+  scratch_.resize(static_cast<std::size_t>(n));
+  if (cfg_.num_workers > 1) {
+    pool_ = std::make_unique<runtime::ThreadPool>(
+        static_cast<std::size_t>(cfg_.num_workers));
+  }
 }
 
 std::size_t IndependentDqnTrainer::select_action(int agent,
@@ -47,6 +52,52 @@ std::vector<sim::TwistCmd> IndependentDqnTrainer::act(const sim::LaneWorld& worl
     cmds.push_back(grid_.decode(select_action(k, baseline_obs(world, vi), rng, explore)));
   }
   return cmds;
+}
+
+double IndependentDqnTrainer::update_math(int agent,
+                                          const std::vector<const Transition*>& batch,
+                                          const std::vector<double>* weights,
+                                          UpdateScratch& s,
+                                          std::vector<double>* out_td) {
+  const std::size_t ai = static_cast<std::size_t>(agent);
+  const std::size_t B = batch.size();
+  const std::size_t obs_dim = q_[ai].in_dim();
+  s.obs_m.resize(B, obs_dim);
+  s.next_m.resize(B, obs_dim);
+  s.actions.resize(B);
+  for (std::size_t i = 0; i < B; ++i) {
+    const Transition& t = *batch[i];
+    std::copy(t.obs.begin(), t.obs.end(), s.obs_m.row_ptr(i));
+    std::copy(t.next_obs.begin(), t.next_obs.end(), s.next_m.row_ptr(i));
+    s.actions[i] = t.action;
+  }
+
+  // TD target: r + γ·max_a' Q_target(s', a') for non-terminal transitions.
+  const nn::Matrix& next_q = q_target_[ai].forward(s.next_m);
+  s.targets.resize(B);
+  for (std::size_t i = 0; i < B; ++i) {
+    double mx = next_q(i, 0);
+    for (std::size_t a = 1; a < grid_.size(); ++a) mx = std::max(mx, next_q(i, a));
+    s.targets[i] = batch[i]->reward + (batch[i]->done ? 0.0 : cfg_.gamma * mx);
+  }
+
+  auto& net = q_[ai];
+  const nn::Matrix& pred = net.forward(s.obs_m);
+  const double loss = nn::huber_loss_selected_into(pred, s.actions, s.targets, 1.0,
+                                                   weights, s.loss_grad);
+  if (out_td) {
+    // Capture TD errors before backward/step invalidates `pred`.
+    out_td->resize(B);
+    for (std::size_t i = 0; i < B; ++i) {
+      (*out_td)[i] = pred(i, s.actions[i]) - s.targets[i];
+    }
+  }
+  net.zero_grad();
+  net.backward(s.loss_grad);
+  net.clip_grad_norm(cfg_.grad_clip);
+  opt_[ai]->step();
+  q_target_[ai].soft_update_from(net, cfg_.tau);
+  return loss;
 }
 
 double IndependentDqnTrainer::update_agent(int agent, Rng& rng) {
@@ -75,46 +126,40 @@ double IndependentDqnTrainer::update_agent(int agent, Rng& rng) {
     batch = buffers_[ai].sample(cfg_.batch, rng);
   }
 
-  const std::size_t B = batch.size();
-  const std::size_t obs_dim = q_[ai].in_dim();
-  obs_m_.resize(B, obs_dim);
-  next_m_.resize(B, obs_dim);
-  actions_.resize(B);
-  for (std::size_t i = 0; i < B; ++i) {
-    const Transition& t = *batch[i];
-    std::copy(t.obs.begin(), t.obs.end(), obs_m_.row_ptr(i));
-    std::copy(t.next_obs.begin(), t.next_obs.end(), next_m_.row_ptr(i));
-    actions_[i] = t.action;
-  }
-
-  // TD target: r + γ·max_a' Q_target(s', a') for non-terminal transitions.
-  const nn::Matrix& next_q = q_target_[ai].forward(next_m_);
-  targets_.resize(B);
-  for (std::size_t i = 0; i < B; ++i) {
-    double mx = next_q(i, 0);
-    for (std::size_t a = 1; a < grid_.size(); ++a) mx = std::max(mx, next_q(i, a));
-    targets_[i] = batch[i]->reward + (batch[i]->done ? 0.0 : cfg_.gamma * mx);
-  }
-
-  auto& net = q_[ai];
-  const nn::Matrix& pred = net.forward(obs_m_);
+  UpdateScratch& s = scratch_[ai];
   const double loss =
-      nn::huber_loss_selected_into(pred, actions_, targets_, 1.0, weights, loss_grad_);
+      update_math(agent, batch, weights, s, cfg_.prioritized ? &s.td : nullptr);
   if (cfg_.prioritized) {
-    // Capture TD errors before backward/step invalidates `pred`.
-    td_.resize(B);
-    for (std::size_t i = 0; i < B; ++i) td_[i] = pred(i, actions_[i]) - targets_[i];
-  }
-  net.zero_grad();
-  net.backward(loss_grad_);
-  net.clip_grad_norm(cfg_.grad_clip);
-  opt_[ai]->step();
-  q_target_[ai].soft_update_from(net, cfg_.tau);
-
-  if (cfg_.prioritized) {
-    per_buffers_[ai].update_priorities(psample.indices, td_);
+    per_buffers_[ai].update_priorities(psample.indices, s.td);
   }
   return loss;
+}
+
+void IndependentDqnTrainer::update_round(Rng& rng) {
+  const int n = world_.num_learners();
+  // Prioritized replay stays serial: the β anneal and priority rewrites are
+  // keyed to the global update order.
+  if (!pool_ || cfg_.prioritized) {
+    for (int k = 0; k < n; ++k) update_agent(k, rng);
+    return;
+  }
+  OBS_SPAN("dqn/update_round");
+  // Draw every batch serially in agent order (the only RNG consumer), then
+  // fan the per-agent gradient math out — each task touches only
+  // agent-indexed nets/optimizers/scratch, so the result is bitwise
+  // identical to the serial loop.
+  sampled_.assign(static_cast<std::size_t>(n), {});
+  const std::size_t need = std::max(cfg_.batch, cfg_.warmup_steps);
+  for (int k = 0; k < n; ++k) {
+    const std::size_t ki = static_cast<std::size_t>(k);
+    if (buffers_[ki].size() < need) continue;
+    ++updates_;
+    sampled_[ki] = buffers_[ki].sample(cfg_.batch, rng);
+  }
+  pool_->parallel_for(static_cast<std::size_t>(n), [&](std::size_t k) {
+    if (sampled_[k].empty()) return;
+    update_math(static_cast<int>(k), sampled_[k], nullptr, scratch_[k], nullptr);
+  });
 }
 
 void IndependentDqnTrainer::train(int episodes, Rng& rng, const EpisodeHook& hook) {
@@ -154,9 +199,7 @@ void IndependentDqnTrainer::train(int episodes, Rng& rng, const EpisodeHook& hoo
         }
       }
 
-      if (total_steps_ % cfg_.update_every == 0) {
-        for (int k = 0; k < n; ++k) update_agent(k, rng);
-      }
+      if (total_steps_ % cfg_.update_every == 0) update_round(rng);
     }
 
     stats.steps = world_.steps();

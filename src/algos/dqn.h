@@ -15,6 +15,7 @@
 #include "rl/discretizer.h"
 #include "rl/prioritized_replay.h"
 #include "rl/replay_buffer.h"
+#include "runtime/thread_pool.h"
 
 namespace hero::algos {
 
@@ -52,9 +53,26 @@ class IndependentDqnTrainer : public rl::Controller {
     bool done;
   };
 
+  // Per-agent update scratch: one block per agent so the gradient math of
+  // independent agents can run on pool workers without sharing matrices.
+  struct UpdateScratch {
+    nn::Matrix obs_m, next_m, loss_grad;
+    std::vector<double> targets, td;
+    std::vector<std::size_t> actions;
+  };
+
   std::size_t select_action(int agent, const std::vector<double>& obs, Rng& rng,
                             bool explore);
   double update_agent(int agent, Rng& rng);
+  // The gradient step on agent's Q-net for an already-sampled batch — no RNG,
+  // touches only agent-indexed state, so it can run on a pool worker.
+  double update_math(int agent, const std::vector<const Transition*>& batch,
+                     const std::vector<double>* weights, UpdateScratch& s,
+                     std::vector<double>* out_td);
+  // One update across all agents: serial per agent by default; with
+  // num_workers > 1 and uniform replay, batches are drawn serially in agent
+  // order and the math fans out (bitwise-identical results either way).
+  void update_round(Rng& rng);
 
   sim::Scenario scenario_;
   DqnConfig cfg_;
@@ -69,10 +87,9 @@ class IndependentDqnTrainer : public rl::Controller {
   long total_steps_ = 0;
   long updates_ = 0;
 
-  // Update scratch, reused across update_agent() calls (resized in place).
-  nn::Matrix obs_m_, next_m_, loss_grad_;
-  std::vector<double> targets_, td_;
-  std::vector<std::size_t> actions_;
+  std::vector<UpdateScratch> scratch_;  // one per agent
+  std::vector<std::vector<const Transition*>> sampled_;  // parallel round staging
+  std::unique_ptr<runtime::ThreadPool> pool_;  // null while num_workers <= 1
 };
 
 }  // namespace hero::algos

@@ -15,6 +15,7 @@
 #include "nn/policy_heads.h"
 #include "rl/discretizer.h"
 #include "rl/replay_buffer.h"
+#include "runtime/thread_pool.h"
 
 namespace hero::algos {
 
@@ -50,6 +51,12 @@ class MaacTrainer : public rl::Controller {
   std::size_t sample_action(int agent, const std::vector<double>& obs, Rng& rng,
                             bool greedy);
   void update(Rng& rng);
+  // Runs fn(i) for i in [0, n) — on the pool when num_workers > 1. Used for
+  // the minibatch-assembly loops (index-addressed row writes ⇒ results are
+  // bitwise identical at any worker count). The network passes stay serial:
+  // MAAC's actor and attention critic are shared across agents, and the
+  // critic accumulates gradients agent by agent.
+  void for_rows(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   sim::Scenario scenario_;
   MaacConfig cfg_;
@@ -76,6 +83,7 @@ class MaacTrainer : public rl::Controller {
   AttentionCritic::Pass pass_, tgt_pass_;
   std::vector<double> y_;
   std::vector<std::size_t> taken_;
+  std::unique_ptr<runtime::ThreadPool> pool_;  // null while num_workers <= 1
 };
 
 }  // namespace hero::algos

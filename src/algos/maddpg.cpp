@@ -28,6 +28,19 @@ MaddpgTrainer::MaddpgTrainer(const sim::Scenario& scenario, const MaddpgConfig& 
                                                     cfg_.lr * 0.5));
     critic_opt_.push_back(std::make_unique<nn::Adam>(critics_.back().params(), cfg_.lr));
   }
+  scratch_.resize(static_cast<std::size_t>(n_));
+  if (cfg_.num_workers > 1) {
+    pool_ = std::make_unique<runtime::ThreadPool>(
+        static_cast<std::size_t>(cfg_.num_workers));
+  }
+}
+
+void MaddpgTrainer::for_agents(const std::function<void(std::size_t)>& fn) {
+  if (pool_) {
+    pool_->parallel_for(static_cast<std::size_t>(n_), fn);
+  } else {
+    for (std::size_t i = 0; i < static_cast<std::size_t>(n_); ++i) fn(i);
+  }
 }
 
 std::vector<double> MaddpgTrainer::actor_action(int agent,
@@ -75,75 +88,81 @@ void MaddpgTrainer::update(Rng& rng) {
     }
   }
 
-  // Target joint action a' = (μ'_1(o'_1), ..., μ'_N(o'_N)).
+  // Target joint action a' = (μ'_1(o'_1), ..., μ'_N(o'_N)). Each agent's
+  // target actor reads its own scratch and writes a disjoint column block —
+  // index-addressed, so the fan-out below cannot reorder results.
   joint_next_act_.resize(B, N * act_dim_);
-  obs_j_.resize(B, obs_dim_);
-  for (std::size_t j = 0; j < N; ++j) {
+  for_agents([&](std::size_t j) {
+    nn::Matrix& obs_j = scratch_[j].obs_j;
+    obs_j.resize(B, obs_dim_);
     for (std::size_t b = 0; b < B; ++b) {
       const auto& o = batch[b]->next_obs[j];
-      std::copy(o.begin(), o.end(), obs_j_.row_ptr(b));
+      std::copy(o.begin(), o.end(), obs_j.row_ptr(b));
     }
-    const nn::Matrix& aj = actor_targets_[j].forward(obs_j_);
+    const nn::Matrix& aj = actor_targets_[j].forward(obs_j);
     for (std::size_t b = 0; b < B; ++b) {
       double* row = joint_next_act_.row_ptr(b) + j * act_dim_;
       const double* arow = aj.row_ptr(b);
       for (std::size_t c = 0; c < act_dim_; ++c) row[c] = arow[c];
     }
-  }
+  });
   joint_next_obs_.hcat_into(joint_next_act_, next_in_);
   joint_obs_.hcat_into(joint_act_, cur_in_);
 
-  for (int i = 0; i < n_; ++i) {
-    auto& critic = critics_[static_cast<std::size_t>(i)];
-    // Critic i: y = r_i + γ(1−d) Q'_i(o', a').
-    const nn::Matrix& tq = critic_targets_[static_cast<std::size_t>(i)].forward(next_in_);
-    target_.resize(B, 1);
-    for (std::size_t b = 0; b < B; ++b) {
-      target_(b, 0) = batch[b]->rewards[static_cast<std::size_t>(i)] +
-                      (batch[b]->done ? 0.0 : cfg_.gamma * tq(b, 0));
-    }
-    const nn::Matrix& pred = critic.forward(cur_in_);
-    nn::mse_loss_into(pred, target_, q_grad_);
-    critic.zero_grad();
-    critic.backward(q_grad_);
-    critic.clip_grad_norm(cfg_.grad_clip);
-    critic_opt_[static_cast<std::size_t>(i)]->step();
+  for_agents([&](std::size_t i) { update_agent(static_cast<int>(i), batch); });
+}
 
-    // Actor i: ascend Q_i(o, [a_{-i} from buffer, a_i = μ_i(o_i)]).
-    for (std::size_t b = 0; b < B; ++b) {
-      const auto& o = batch[b]->obs[static_cast<std::size_t>(i)];
-      std::copy(o.begin(), o.end(), obs_j_.row_ptr(b));
-    }
-    const nn::Matrix& a_i = actors_[static_cast<std::size_t>(i)].forward(obs_j_);
-    // [joint_obs | joint_act] with agent i's action block replaced by μ_i.
-    mixed_in_.copy_from(cur_in_);
-    const std::size_t a_off =
-        N * obs_dim_ + static_cast<std::size_t>(i) * act_dim_;
-    for (std::size_t b = 0; b < B; ++b) {
-      double* row = mixed_in_.row_ptr(b) + a_off;
-      const double* arow = a_i.row_ptr(b);
-      for (std::size_t c = 0; c < act_dim_; ++c) row[c] = arow[c];
-    }
-    critic.forward(mixed_in_);
-    dq_.resize(B, 1);
-    dq_.fill(-1.0 / static_cast<double>(B));
-    // The critic is frozen here — only dQ/da is needed, so skip its
-    // parameter-gradient accumulation.
-    const nn::Matrix& din = critic.backward_input(dq_);
-    din.col_slice_into(a_off, a_off + act_dim_, da_);
-    auto& actor = actors_[static_cast<std::size_t>(i)];
-    actor.net().zero_grad();
-    actor.backward(da_);
-    actor.net().clip_grad_norm(cfg_.grad_clip);
-    actor_opt_[static_cast<std::size_t>(i)]->step();
-  }
+void MaddpgTrainer::update_agent(int i, const std::vector<const Transition*>& batch) {
+  const std::size_t B = batch.size();
+  const std::size_t N = static_cast<std::size_t>(n_);
+  const std::size_t ii = static_cast<std::size_t>(i);
+  AgentScratch& s = scratch_[ii];
+  auto& critic = critics_[ii];
 
-  for (int i = 0; i < n_; ++i) {
-    actor_targets_[static_cast<std::size_t>(i)].net().soft_update_from(
-        actors_[static_cast<std::size_t>(i)].net(), cfg_.tau);
-    critic_targets_[static_cast<std::size_t>(i)].soft_update_from(
-        critics_[static_cast<std::size_t>(i)], cfg_.tau);
+  // Critic i: y = r_i + γ(1−d) Q'_i(o', a').
+  const nn::Matrix& tq = critic_targets_[ii].forward(next_in_);
+  s.target.resize(B, 1);
+  for (std::size_t b = 0; b < B; ++b) {
+    s.target(b, 0) = batch[b]->rewards[ii] +
+                     (batch[b]->done ? 0.0 : cfg_.gamma * tq(b, 0));
   }
+  const nn::Matrix& pred = critic.forward(cur_in_);
+  nn::mse_loss_into(pred, s.target, s.q_grad);
+  critic.zero_grad();
+  critic.backward(s.q_grad);
+  critic.clip_grad_norm(cfg_.grad_clip);
+  critic_opt_[ii]->step();
+
+  // Actor i: ascend Q_i(o, [a_{-i} from buffer, a_i = μ_i(o_i)]).
+  s.obs_j.resize(B, obs_dim_);
+  for (std::size_t b = 0; b < B; ++b) {
+    const auto& o = batch[b]->obs[ii];
+    std::copy(o.begin(), o.end(), s.obs_j.row_ptr(b));
+  }
+  const nn::Matrix& a_i = actors_[ii].forward(s.obs_j);
+  // [joint_obs | joint_act] with agent i's action block replaced by μ_i.
+  s.mixed_in.copy_from(cur_in_);
+  const std::size_t a_off = N * obs_dim_ + ii * act_dim_;
+  for (std::size_t b = 0; b < B; ++b) {
+    double* row = s.mixed_in.row_ptr(b) + a_off;
+    const double* arow = a_i.row_ptr(b);
+    for (std::size_t c = 0; c < act_dim_; ++c) row[c] = arow[c];
+  }
+  critic.forward(s.mixed_in);
+  s.dq.resize(B, 1);
+  s.dq.fill(-1.0 / static_cast<double>(B));
+  // The critic is frozen here — only dQ/da is needed, so skip its
+  // parameter-gradient accumulation.
+  const nn::Matrix& din = critic.backward_input(s.dq);
+  din.col_slice_into(a_off, a_off + act_dim_, s.da);
+  auto& actor = actors_[ii];
+  actor.net().zero_grad();
+  actor.backward(s.da);
+  actor.net().clip_grad_norm(cfg_.grad_clip);
+  actor_opt_[ii]->step();
+
+  actor_targets_[ii].net().soft_update_from(actor.net(), cfg_.tau);
+  critic_targets_[ii].soft_update_from(critic, cfg_.tau);
 }
 
 void MaddpgTrainer::train(int episodes, Rng& rng, const EpisodeHook& hook) {

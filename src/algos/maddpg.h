@@ -12,6 +12,7 @@
 #include "nn/optimizer.h"
 #include "nn/policy_heads.h"
 #include "rl/replay_buffer.h"
+#include "runtime/thread_pool.h"
 
 namespace hero::algos {
 
@@ -37,9 +38,23 @@ class MaddpgTrainer : public rl::Controller {
     bool done;
   };
 
+  // Per-agent update scratch: agent i's critic/actor phase only touches
+  // block i, so the per-agent loop can fan out onto pool workers.
+  struct AgentScratch {
+    nn::Matrix obs_j;  // agent's observation batch
+    nn::Matrix target, q_grad, dq, da, mixed_in;
+  };
+
   std::vector<double> actor_action(int agent, const std::vector<double>& obs,
                                    Rng& rng, bool explore);
+  // Agent i's critic regression + actor ascent + target soft updates for an
+  // already-assembled joint batch. No RNG; reads only the shared read-only
+  // joint matrices and writes agent-indexed state.
+  void update_agent(int i, const std::vector<const Transition*>& batch);
   void update(Rng& rng);
+  // Runs fn(i) for every agent — on the pool when num_workers > 1
+  // (bitwise-identical results either way; see TrainConfig::num_workers).
+  void for_agents(const std::function<void(std::size_t)>& fn);
 
   sim::Scenario scenario_;
   MaddpgConfig cfg_;
@@ -55,10 +70,12 @@ class MaddpgTrainer : public rl::Controller {
   long total_steps_ = 0;
 
   // Update scratch, reused across update() calls (resized in place).
+  // The joint matrices are assembled once per update and read-only during
+  // the per-agent phase.
   nn::Matrix joint_obs_, joint_next_obs_, joint_act_, joint_next_act_;
-  nn::Matrix next_in_, cur_in_, mixed_in_;
-  nn::Matrix obs_j_;                // per-agent observation batch
-  nn::Matrix target_, q_grad_, dq_, da_;
+  nn::Matrix next_in_, cur_in_;
+  std::vector<AgentScratch> scratch_;  // one per agent
+  std::unique_ptr<runtime::ThreadPool> pool_;  // null while num_workers <= 1
 };
 
 }  // namespace hero::algos

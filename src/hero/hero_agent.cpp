@@ -1,7 +1,6 @@
 #include "hero/hero_agent.h"
 
 #include <algorithm>
-#include <array>
 
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -19,13 +18,17 @@ HeroAgent::HeroAgent(std::size_t hl_obs_dim, int num_opponents,
 void HeroAgent::reset_episode() {
   pending_.reset();
   exec_ = OptionExecution{};
+  opp_cache_.clear();
 }
 
-std::vector<double> HeroAgent::opp_block(const std::vector<double>& obs) {
+const std::vector<double>& HeroAgent::opp_block(const std::vector<double>& obs) {
+  opp_cache_.resize(opponents_->feature_dim());
   if (!high_cfg_.use_opponent_model || opponents_->num_opponents() == 0) {
-    return std::vector<double>(opponents_->feature_dim(), 1.0 / kNumOptions);
+    std::fill(opp_cache_.begin(), opp_cache_.end(), 1.0 / kNumOptions);
+  } else {
+    opponents_->predict_all_into(obs, opp_cache_.data());
   }
-  return opponents_->predict_all(obs);
+  return opp_cache_;
 }
 
 std::vector<double> HeroAgent::one_hot_block(
@@ -95,20 +98,34 @@ void HeroAgent::finalize_episode(const sim::LaneWorld& world, int vehicle,
 void HeroAgent::observe_opponents(const std::vector<double>& own_obs,
                                   const std::vector<int>& others_options) {
   const bool score = high_cfg_.use_opponent_model &&
-                     (obs::metrics_enabled() || obs::telemetry_enabled());
+                     (obs::metrics_enabled() || obs::telemetry_enabled()) &&
+                     opp_cache_.size() == others_options.size() * kNumOptions;
   for (std::size_t j = 0; j < others_options.size(); ++j) {
     if (score) {
-      // Score before observe() so the label never trains on itself.
-      std::array<double, kNumOptions> p;
-      opponents_->predict_into(static_cast<int>(j), own_obs, p.data());
-      const int pred =
-          static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+      // Score the prediction cached at option-selection time — one forward
+      // per hold instead of one per primitive step. (The label recorded via
+      // observe() below never trains on its own prediction either way.)
+      const double* p = opp_cache_.data() + j * kNumOptions;
+      const int pred = static_cast<int>(std::max_element(p, p + kNumOptions) - p);
       ++opp_total_;
       if (pred == others_options[j]) ++opp_correct_;
     }
     opponents_->observe(static_cast<int>(j), own_obs,
                         option_from_index(others_options[j]));
   }
+}
+
+void HeroAgent::sync_policy_from(HeroAgent& src) {
+  high_->actor().net().copy_params_from(src.high_->actor().net());
+  high_->set_selections(src.high_->selections());
+  HERO_CHECK(opponents_->num_opponents() == src.opponents_->num_opponents());
+  for (int j = 0; j < opponents_->num_opponents(); ++j) {
+    opponents_->net(j).copy_params_from(src.opponents_->net(j));
+  }
+  // Readiness is monotone: once the learner's predictors are live, replicas
+  // must stop answering with the uniform prior (their own buffers reset
+  // every episode, so buffer occupancy cannot carry the signal).
+  if (src.opponents_->prediction_ready()) opponents_->mark_trained();
 }
 
 AgentUpdateStats HeroAgent::update(Rng& rng) {

@@ -50,9 +50,23 @@ class HeroAgent {
   // Registers the opponents' current options as opponent-model labels.
   // While metrics or telemetry are enabled it also scores the model's
   // prediction (argmax vs the observed option) into the accuracy counters
-  // below — the paper's opponent-model convergence signal.
+  // below — the paper's opponent-model convergence signal. Scoring reuses
+  // the forward pass cached at option-selection time (opp_block_cache())
+  // instead of re-running inference every primitive step: the prediction
+  // being scored is "what the model forecast for this option hold", and the
+  // per-step inference disappears from the hot path.
   void observe_opponents(const std::vector<double>& own_obs,
                          const std::vector<int>& others_options);
+
+  // The ô^{-i} block computed at the last option selection (empty before the
+  // first selection). Cached across the option hold — see observe_opponents.
+  const std::vector<double>& opp_block_cache() const { return opp_cache_; }
+
+  // Copies everything a rollout replica needs to act like `src` — high-level
+  // actor parameters, the ε-schedule position, opponent predictor parameters
+  // and their readiness. Critics and optimizer state stay behind: replicas
+  // only act, the learner updates (docs/PARALLELISM.md §sync).
+  void sync_policy_from(HeroAgent& src);
 
   // Opponent-prediction scoreboard since the last reset_opp_score().
   long opp_predictions() const { return opp_total_; }
@@ -77,7 +91,7 @@ class HeroAgent {
     double discount = 1.0;
   };
 
-  std::vector<double> opp_block(const std::vector<double>& obs);
+  const std::vector<double>& opp_block(const std::vector<double>& obs);
   std::vector<double> one_hot_block(const std::vector<int>& others_options) const;
   void select(const sim::LaneWorld& world, int vehicle,
               const std::vector<int>& others_options, Rng& rng, bool explore);
@@ -88,6 +102,7 @@ class HeroAgent {
   std::unique_ptr<OpponentModel> opponents_;
   OptionExecution exec_;
   std::optional<Pending> pending_;
+  std::vector<double> opp_cache_;  // ô^{-i} from the last selection
   long opp_total_ = 0;
   long opp_correct_ = 0;
 };

@@ -1,11 +1,13 @@
 #include "hero/hero_trainer.h"
 
+#include <algorithm>
 #include <chrono>
 #include <string>
 
 #include "common/stats.h"
 #include "nn/serialize.h"
 #include "obs/obs.h"
+#include "runtime/rollout.h"
 #include "sim/scenario.h"
 
 namespace hero::core {
@@ -34,10 +36,22 @@ const std::vector<int>& HeroTrainer::others_options(int k) const {
   return others_scratch_;
 }
 
+runtime::ThreadPool& HeroTrainer::ensure_pool(std::size_t threads) {
+  if (!pool_ || pool_->size() < threads) {
+    pool_ = std::make_unique<runtime::ThreadPool>(threads);
+  }
+  return *pool_;
+}
+
 std::map<Option, std::vector<double>> HeroTrainer::train_skills(
     int episodes_per_skill, Rng& rng, const SkillHook& hook) {
-  if (cfg_.parallel_skills) {
-    return skills_.train_all_parallel(episodes_per_skill, rng.engine()(), hook);
+  if (cfg_.parallel_skills || cfg_.num_workers > 1) {
+    // One task per learned skill; a pool at least as wide as the skill count
+    // preserves the historical thread-per-skill concurrency.
+    auto& pool = ensure_pool(std::max<std::size_t>(
+        static_cast<std::size_t>(std::max(cfg_.num_workers, 1)),
+        static_cast<std::size_t>(kNumOptions - 1)));
+    return skills_.train_all_parallel(episodes_per_skill, rng.engine()(), pool, hook);
   }
   std::map<Option, std::vector<double>> curves;
   for (int i = 0; i < kNumOptions; ++i) {
@@ -126,6 +140,75 @@ std::vector<sim::TwistCmd> HeroTrainer::act(const sim::LaneWorld& world, Rng& rn
 }
 
 void HeroTrainer::train(int episodes, Rng& rng, const algos::EpisodeHook& hook) {
+  if (cfg_.num_workers <= 1) {
+    train_serial(episodes, rng, hook);
+  } else {
+    train_parallel(episodes, rng, hook);
+  }
+}
+
+void HeroTrainer::emit_episode_obs(int episode, const rl::EpisodeStats& stats,
+                                   long switches, long opp_preds, long opp_hits,
+                                   double steps_per_sec,
+                                   const RunningStat& critic_loss,
+                                   const RunningStat& actor_entropy,
+                                   const RunningStat& critic_gn,
+                                   const RunningStat& actor_gn,
+                                   const RunningStat& opp_loss) {
+  const int n = static_cast<int>(agents_.size());
+  const double switch_rate =
+      stats.steps > 0
+          ? static_cast<double>(switches) / (static_cast<double>(stats.steps) * n)
+          : 0.0;
+  double replay = 0.0;
+  for (auto& a : agents_) replay += static_cast<double>(a->high_level().buffered());
+  replay /= n;
+  const double opp_acc =
+      opp_preds > 0 ? static_cast<double>(opp_hits) / opp_preds : 0.0;
+
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::Registry::instance();
+    reg.counter("hero.stage2.episodes").inc();
+    reg.counter("hero.stage2.steps").inc(stats.steps);
+    reg.counter("hero.stage2.option_switches").inc(switches);
+    if (stats.collision) reg.counter("hero.stage2.collisions").inc();
+    if (stats.success) reg.counter("hero.stage2.successes").inc();
+    reg.gauge("hero.stage2.replay_occupancy").set(replay);
+    reg.gauge("hero.stage2.opponent_accuracy").set(opp_acc);
+    reg.histogram("hero.stage2.episode_reward",
+                  {/*lo=*/-100.0, /*hi=*/100.0, /*buckets=*/64,
+                   /*log_scale=*/false})
+        .observe(stats.team_reward);
+    reg.histogram("hero.stage2.steps_per_sec").observe(steps_per_sec);
+  }
+  if (obs::telemetry_enabled()) {
+    obs::TelemetryEvent e("stage2/episode");
+    e.field("episode", episode)
+        .field("reward", stats.team_reward)
+        .field("steps", stats.steps)
+        .field("collision", stats.collision)
+        .field("success", stats.success)
+        .field("mean_speed", stats.mean_speed)
+        .field("option_switches", switches)
+        .field("option_switch_rate", switch_rate)
+        .field("opponent_accuracy", opp_acc)
+        .field("opponent_predictions", opp_preds)
+        .field("replay_occupancy", replay)
+        .field("steps_per_sec", steps_per_sec)
+        .field("total_steps", total_steps_);
+    if (critic_loss.count() > 0) {
+      e.field("critic_loss", critic_loss.mean())
+          .field("actor_entropy", actor_entropy.mean())
+          .field("critic_grad_norm", critic_gn.mean())
+          .field("actor_grad_norm", actor_gn.mean());
+    }
+    if (opp_loss.count() > 0) e.field("opponent_loss", opp_loss.mean());
+    obs::Telemetry::instance().emit(e);
+  }
+}
+
+void HeroTrainer::train_serial(int episodes, Rng& rng,
+                               const algos::EpisodeHook& hook) {
   learning_ = true;
   const int n = static_cast<int>(agents_.size());
 
@@ -192,63 +275,262 @@ void HeroTrainer::train(int episodes, Rng& rng, const algos::EpisodeHook& hook) 
               .count();
       const double steps_per_sec =
           wall_s > 0.0 ? static_cast<double>(stats.steps) / wall_s : 0.0;
-      const long switches = option_switches_ - switches_before;
-      const double switch_rate =
-          stats.steps > 0
-              ? static_cast<double>(switches) / (static_cast<double>(stats.steps) * n)
-              : 0.0;
       long opp_preds = 0, opp_hits = 0;
-      double replay = 0.0;
       for (auto& a : agents_) {
         opp_preds += a->opp_predictions();
         opp_hits += a->opp_correct();
-        replay += static_cast<double>(a->high_level().buffered());
       }
-      replay /= n;
-      const double opp_acc =
-          opp_preds > 0 ? static_cast<double>(opp_hits) / opp_preds : 0.0;
-
-      if (obs::metrics_enabled()) {
-        auto& reg = obs::Registry::instance();
-        reg.counter("hero.stage2.episodes").inc();
-        reg.counter("hero.stage2.steps").inc(stats.steps);
-        reg.counter("hero.stage2.option_switches").inc(switches);
-        if (stats.collision) reg.counter("hero.stage2.collisions").inc();
-        if (stats.success) reg.counter("hero.stage2.successes").inc();
-        reg.gauge("hero.stage2.replay_occupancy").set(replay);
-        reg.gauge("hero.stage2.opponent_accuracy").set(opp_acc);
-        reg.histogram("hero.stage2.episode_reward",
-                      {/*lo=*/-100.0, /*hi=*/100.0, /*buckets=*/64,
-                       /*log_scale=*/false})
-            .observe(stats.team_reward);
-        reg.histogram("hero.stage2.steps_per_sec").observe(steps_per_sec);
-      }
-      if (obs::telemetry_enabled()) {
-        obs::TelemetryEvent e("stage2/episode");
-        e.field("episode", ep)
-            .field("reward", stats.team_reward)
-            .field("steps", stats.steps)
-            .field("collision", stats.collision)
-            .field("success", stats.success)
-            .field("mean_speed", stats.mean_speed)
-            .field("option_switches", switches)
-            .field("option_switch_rate", switch_rate)
-            .field("opponent_accuracy", opp_acc)
-            .field("opponent_predictions", opp_preds)
-            .field("replay_occupancy", replay)
-            .field("steps_per_sec", steps_per_sec)
-            .field("total_steps", total_steps_);
-        if (critic_loss.count() > 0) {
-          e.field("critic_loss", critic_loss.mean())
-              .field("actor_entropy", actor_entropy.mean())
-              .field("critic_grad_norm", critic_gn.mean())
-              .field("actor_grad_norm", actor_gn.mean());
-        }
-        if (opp_loss.count() > 0) e.field("opponent_loss", opp_loss.mean());
-        obs::Telemetry::instance().emit(e);
-      }
+      emit_episode_obs(ep, stats, option_switches_ - switches_before, opp_preds,
+                       opp_hits, steps_per_sec, critic_loss, actor_entropy,
+                       critic_gn, actor_gn, opp_loss);
     }
     if (hook) hook(ep, stats);
+  }
+  learning_ = false;
+}
+
+void HeroTrainer::ensure_replicas(std::size_t slots, std::uint64_t root_seed) {
+  HeroConfig replica_cfg = cfg_;
+  replica_cfg.num_workers = 1;  // replicas never recurse into the runtime
+  replica_cfg.parallel_skills = false;
+  while (replicas_.size() < slots) {
+    // Construction draws initialize networks that the first sync_replicas()
+    // overwrites; the stream only needs to be deterministic.
+    Rng init = runtime::stream_rng(root_seed, 0x5107'0000ULL + replicas_.size());
+    replicas_.push_back(
+        std::make_unique<HeroTrainer>(scenario_, replica_cfg, init));
+  }
+}
+
+void HeroTrainer::sync_replicas(std::size_t slots) {
+  for (std::size_t s = 0; s < slots; ++s) {
+    HeroTrainer& w = *replicas_[s];
+    for (std::size_t k = 0; k < agents_.size(); ++k) {
+      w.agents_[k]->sync_policy_from(*agents_[k]);
+    }
+  }
+}
+
+void HeroTrainer::parallel_update(Rng& rng, std::vector<AgentUpdateStats>& out) {
+  const std::size_t n = agents_.size();
+  out.resize(n);
+  // One engine draw keys the whole round; per-agent streams split from it so
+  // the update is independent of pool scheduling, and the learner's rng
+  // advances exactly once per round regardless of agent count.
+  const std::uint64_t base = rng.engine()();
+  pool_->parallel_for(n, [&](std::size_t k) {
+    Rng agent_rng = runtime::stream_rng(base, k);
+    out[k] = agents_[k]->update(agent_rng);
+  });
+}
+
+void HeroTrainer::collect_episode(Rng& rng, std::size_t slot,
+                                  runtime::ShardedReplay<StagedHigh>& high_staging,
+                                  runtime::ShardedReplay<StagedOpp>& opp_staging,
+                                  CollectedEpisode& out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  learning_ = true;  // store semi-MDP transitions in the replica buffers
+  const int n = static_cast<int>(agents_.size());
+  const long switches_before = option_switches_;
+  out.switches = 0;  // the learner reuses CollectedEpisode records round-over-round
+  out.opp_total = 0;
+  out.opp_correct = 0;
+  out.selections.assign(static_cast<std::size_t>(n), 0);
+  out.high_counts.assign(static_cast<std::size_t>(n), 0);
+  out.opp_counts.assign(static_cast<std::size_t>(n), 0);
+  for (int k = 0; k < n; ++k) {
+    out.selections[static_cast<std::size_t>(k)] =
+        agents_[static_cast<std::size_t>(k)]->high_level().selections();
+  }
+  for (auto& a : agents_) a->reset_opp_score();
+
+  world_.reset(rng);
+  begin_episode(world_);
+  rl::EpisodeStats stats;
+
+  while (!world_.done()) {
+    auto cmds = act(world_, rng, /*explore=*/true);
+    auto result = world_.step(cmds, rng);
+    stats.team_reward += mean_of(result.reward);
+    if (result.collision) stats.collision = true;
+    ++total_steps_;
+    for (int k = 0; k < n; ++k) {
+      const int vi = world_.learners()[static_cast<std::size_t>(k)];
+      agents_[static_cast<std::size_t>(k)]->accumulate(
+          result.reward[static_cast<std::size_t>(k)]);
+      agents_[static_cast<std::size_t>(k)]->observe_opponents(
+          world_.high_level_obs(vi), others_options(k));
+    }
+  }
+  for (int k = 0; k < n; ++k) {
+    const int vi = world_.learners()[static_cast<std::size_t>(k)];
+    agents_[static_cast<std::size_t>(k)]->finalize_episode(world_, vi,
+                                                           /*learning=*/true);
+  }
+
+  stats.steps = world_.steps();
+  stats.success = !stats.collision &&
+                  world_.lane(scenario_.merger_index) == scenario_.merger_target_lane;
+  double speed = 0.0;
+  for (int vi : world_.learners()) speed += world_.mean_speed(vi);
+  stats.mean_speed = speed / static_cast<double>(world_.num_learners());
+
+  // Stage this episode's experience into our shard, agent-major, FIFO within
+  // an agent — the exact order drain_front hands the learner.
+  for (int k = 0; k < n; ++k) {
+    auto& agent = *agents_[static_cast<std::size_t>(k)];
+    const auto& buf = agent.high_level().buffer();
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      high_staging.push(slot, {k, buf.at(i)});
+    }
+    out.high_counts[static_cast<std::size_t>(k)] = buf.size();
+    agent.high_level().clear_buffer();
+
+    auto& om = agent.opponents();
+    std::size_t staged = 0;
+    for (int j = 0; j < om.num_opponents(); ++j) {
+      const std::size_t m = om.samples(j);
+      for (std::size_t i = 0; i < m; ++i) {
+        opp_staging.push(slot, {k, j, om.sample_at(j, i)});
+      }
+      staged += m;
+    }
+    out.opp_counts[static_cast<std::size_t>(k)] = staged;
+    om.clear_buffers();
+
+    out.opp_total += agent.opp_predictions();
+    out.opp_correct += agent.opp_correct();
+    // Report the ε-schedule advance, then rewind to the round-start position:
+    // every episode of a round explores from the learner's schedule, so the
+    // trajectory of episode e cannot depend on which slot ran it (the
+    // worker-count invariance in docs/PARALLELISM.md).
+    const long start = out.selections[static_cast<std::size_t>(k)];
+    out.selections[static_cast<std::size_t>(k)] =
+        agent.high_level().selections() - start;
+    agent.high_level().set_selections(start);
+  }
+  out.stats = stats;
+  out.switches = option_switches_ - switches_before;
+  runtime::RolloutRunner::record_worker_rate(slot, stats.steps,
+                                             runtime::seconds_since(t0));
+}
+
+void HeroTrainer::train_parallel(int episodes, Rng& rng,
+                                 const algos::EpisodeHook& hook) {
+  learning_ = true;
+  const int n = static_cast<int>(agents_.size());
+  const std::size_t workers = static_cast<std::size_t>(std::max(cfg_.num_workers, 1));
+  const std::size_t envs = cfg_.num_envs > 0 ? static_cast<std::size_t>(cfg_.num_envs)
+                                             : workers;
+  auto& pool = ensure_pool(workers);
+  // The root seed is one engine draw — the caller's rng advances the same
+  // way no matter how many episodes follow.
+  const std::uint64_t root = rng.engine()();
+  runtime::RolloutRunner runner(pool, root);
+  const std::size_t max_slots = std::min(pool.size(), envs);
+  ensure_replicas(max_slots, root);
+  for (std::size_t s = 0; s < max_slots; ++s) {
+    replicas_[s]->skills_.sync_policies_from(skills_);  // stage-2 skills frozen
+  }
+  sync_replicas(max_slots);
+
+  // Staging shards sized for one round: per slot, ceil(envs/slots) episodes
+  // of at most max_steps transitions per agent (+1 for the terminal store).
+  const std::size_t per_slot_eps = (envs + max_slots - 1) / max_slots;
+  const std::size_t max_steps =
+      static_cast<std::size_t>(std::max(world_.config().max_steps, 1)) + 2;
+  const std::size_t per_slot_items =
+      per_slot_eps * max_steps * static_cast<std::size_t>(std::max(n, 1));
+  runtime::ShardedReplay<StagedHigh> high_staging(per_slot_items * max_slots,
+                                                  max_slots);
+  runtime::ShardedReplay<StagedOpp> opp_staging(
+      per_slot_items * max_slots * static_cast<std::size_t>(std::max(n - 1, 1)),
+      max_slots);
+
+  std::vector<CollectedEpisode> results(envs);
+  std::vector<AgentUpdateStats> update_stats;
+
+  int done_eps = 0;
+  while (done_eps < episodes) {
+    const std::size_t round =
+        std::min(envs, static_cast<std::size_t>(episodes - done_eps));
+    const std::size_t slots = std::min(pool.size(), round);
+    {
+      OBS_SPAN("runtime/rollout");
+      runner.run_round(static_cast<std::size_t>(done_eps), round,
+                       [&](std::size_t ep, std::size_t slot, Rng& ep_rng) {
+                         replicas_[slot]->collect_episode(
+                             ep_rng, slot, high_staging, opp_staging,
+                             results[ep - static_cast<std::size_t>(done_eps)]);
+                       });
+    }
+    {
+      OBS_SPAN("runtime/learn");
+      for (std::size_t e = 0; e < round; ++e) {
+        const CollectedEpisode& col = results[e];
+        const std::size_t slot = e % slots;
+        // Deterministic round-robin merge: episode e's staged items leave
+        // shard e % slots in exactly the order the worker pushed them.
+        std::size_t high_total = 0, opp_total = 0;
+        for (int k = 0; k < n; ++k) {
+          high_total += col.high_counts[static_cast<std::size_t>(k)];
+          opp_total += col.opp_counts[static_cast<std::size_t>(k)];
+        }
+        high_staging.drain_front(slot, high_total, [&](StagedHigh&& item) {
+          agents_[static_cast<std::size_t>(item.agent)]->high_level().store(
+              std::move(item.t));
+        });
+        opp_staging.drain_front(slot, opp_total, [&](StagedOpp&& item) {
+          agents_[static_cast<std::size_t>(item.agent)]->opponents().observe(
+              item.opponent, std::move(item.s.obs),
+              option_from_index(item.s.option));
+        });
+        total_steps_ += col.stats.steps;
+        option_switches_ += col.switches;
+        for (int k = 0; k < n; ++k) {
+          auto& hl = agents_[static_cast<std::size_t>(k)]->high_level();
+          hl.set_selections(hl.selections() +
+                            col.selections[static_cast<std::size_t>(k)]);
+        }
+
+        // Preserve the serial gradient cadence: one update round per
+        // update_every collected steps, remainder carried across episodes.
+        RunningStat critic_loss, actor_entropy, critic_gn, actor_gn, opp_loss;
+        pending_update_steps_ += col.stats.steps;
+        while (pending_update_steps_ >= cfg_.update_every) {
+          pending_update_steps_ -= cfg_.update_every;
+          parallel_update(rng, update_stats);
+          for (const auto& us : update_stats) {
+            if (us.high.updated) {
+              critic_loss.add(us.high.critic_loss);
+              actor_entropy.add(us.high.actor_entropy);
+              critic_gn.add(us.high.critic_grad_norm);
+              actor_gn.add(us.high.actor_grad_norm);
+            }
+            if (us.opponent_updates > 0) opp_loss.add(us.opponent_loss);
+          }
+        }
+
+        if (obs::metrics_enabled() || obs::telemetry_enabled()) {
+          // Wall-clock throughput is a property of the whole round, not one
+          // episode; per-worker rates live in the runtime.worker.* gauges.
+          emit_episode_obs(done_eps + static_cast<int>(e), col.stats,
+                           col.switches, col.opp_total, col.opp_correct,
+                           /*steps_per_sec=*/0.0, critic_loss, actor_entropy,
+                           critic_gn, actor_gn, opp_loss);
+        }
+        if (obs::metrics_enabled()) {
+          auto& reg = obs::Registry::instance();
+          for (std::size_t s = 0; s < slots; ++s) {
+            reg.gauge("runtime.shard." + std::to_string(s) + ".occupancy")
+                .set(static_cast<double>(high_staging.shard_size(s)));
+          }
+        }
+        if (hook) hook(done_eps + static_cast<int>(e), col.stats);
+      }
+      sync_replicas(slots);
+    }
+    done_eps += static_cast<int>(round);
   }
   learning_ = false;
 }

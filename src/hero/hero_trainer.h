@@ -14,7 +14,10 @@
 #include <memory>
 
 #include "algos/common.h"
+#include "common/stats.h"
 #include "hero/hero_agent.h"
+#include "runtime/sharded_replay.h"
+#include "runtime/thread_pool.h"
 
 namespace hero::core {
 
@@ -24,10 +27,20 @@ struct HeroConfig {
   OpponentModelConfig opponent;
   int update_every = 2;        // world steps between gradient updates
   int skill_episodes = 1200;   // default stage-1 budget per skill
-  // Train the skills in parallel environments (paper Sec. V-C), one thread
-  // per skill. Off by default so single-seed runs stay bit-reproducible with
-  // historical results; the parallel path is deterministic per skill.
+  // Train the skills in parallel environments (paper Sec. V-C), one pool
+  // task per skill. Off by default so single-seed runs stay bit-reproducible
+  // with historical results; the parallel path is deterministic per skill.
   bool parallel_skills = false;
+  // Stage-2 rollout workers. 1 (default) keeps the exact historical serial
+  // code path — bitwise identical to pre-runtime builds. >1 collects
+  // episodes on a thread pool with counter-based per-episode RNG streams:
+  // deterministic for a fixed (seed, num_envs) pair, invariant to scheduling
+  // and to num_workers itself (docs/PARALLELISM.md).
+  int num_workers = 1;
+  // Episodes in flight per rollout round; 0 → num_workers. The determinism
+  // contract is keyed on this value (it fixes the episode→stream map and the
+  // merge cadence).
+  int num_envs = 0;
 };
 
 class HeroTrainer : public rl::Controller {
@@ -72,6 +85,53 @@ class HeroTrainer : public rl::Controller {
   // a reused scratch vector, overwritten by the next call.
   const std::vector<int>& others_options(int k) const;
 
+  // --- parallel stage 2 (cfg_.num_workers > 1; docs/PARALLELISM.md) ---
+  // A transition collected by a worker replica, staged for the learner.
+  struct StagedHigh {
+    int agent;
+    OptionTransition t;
+  };
+  struct StagedOpp {
+    int agent;
+    int opponent;
+    OpponentModel::Sample s;
+  };
+  // Per-episode collection record, filled by the worker, consumed by the
+  // learner's merge in canonical episode order.
+  struct CollectedEpisode {
+    rl::EpisodeStats stats;
+    long switches = 0;
+    long opp_total = 0;
+    long opp_correct = 0;
+    std::vector<long> selections;          // per agent: Δ ε-schedule position
+    std::vector<std::size_t> high_counts;  // per agent: staged transitions
+    std::vector<std::size_t> opp_counts;   // per agent: staged labels
+  };
+
+  void train_serial(int episodes, Rng& rng, const algos::EpisodeHook& hook);
+  void train_parallel(int episodes, Rng& rng, const algos::EpisodeHook& hook);
+  // Runs one episode on a worker replica and stages its transitions into
+  // shard `slot`.
+  void collect_episode(Rng& rng, std::size_t slot,
+                       runtime::ShardedReplay<StagedHigh>& high_staging,
+                       runtime::ShardedReplay<StagedOpp>& opp_staging,
+                       CollectedEpisode& out);
+  // Pushes learner policy/opponent parameters to every replica.
+  void sync_replicas(std::size_t slots);
+  // One update round: every agent steps in parallel, stats merged in agent
+  // order.
+  void parallel_update(Rng& rng, std::vector<AgentUpdateStats>& out);
+  // Lazily builds the worker pool (>= threads) and the replica trainers.
+  runtime::ThreadPool& ensure_pool(std::size_t threads);
+  void ensure_replicas(std::size_t slots, std::uint64_t root_seed);
+  // Shared telemetry/metrics emission for one finished episode.
+  void emit_episode_obs(int episode, const rl::EpisodeStats& stats, long switches,
+                        long opp_preds, long opp_hits, double steps_per_sec,
+                        const RunningStat& critic_loss,
+                        const RunningStat& actor_entropy,
+                        const RunningStat& critic_gn, const RunningStat& actor_gn,
+                        const RunningStat& opp_loss);
+
   sim::Scenario scenario_;
   HeroConfig cfg_;
   sim::LaneWorld world_;
@@ -83,6 +143,11 @@ class HeroTrainer : public rl::Controller {
   bool learning_ = false;
   long total_steps_ = 0;
   long option_switches_ = 0;  // β_o firings across all agents (telemetry)
+
+  // Parallel-runtime state (unused while num_workers == 1).
+  std::unique_ptr<runtime::ThreadPool> pool_;
+  std::vector<std::unique_ptr<HeroTrainer>> replicas_;  // one per worker slot
+  long pending_update_steps_ = 0;  // carries the steps/update_every remainder
 };
 
 }  // namespace hero::core

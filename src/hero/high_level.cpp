@@ -62,19 +62,26 @@ HighLevelUpdateStats HighLevelAgent::update(OpponentModel& opponents, Rng& rng) 
   auto batch = buffer_.sample(cfg_.batch, rng);
   const std::size_t B = batch.size();
 
-  // Fills blocks_ row b with the opponent block for `obs` (model prediction,
-  // or the uniform prior under the ablation).
-  auto fill_block = [&](std::size_t b, const std::vector<double>& obs) {
-    double* row = blocks_.row_ptr(b);
+  // Fills blocks_ (B × opp_dim) with the opponent blocks for one batch-wide
+  // set of observations: a single batched forward per opponent network
+  // (identical values to the old per-row predict_all_into loop — see
+  // OpponentBatchEquivalence in tests/test_hero_learning.cpp — at a fraction
+  // of the dispatch cost). Uniform prior under the ablation.
+  auto fill_blocks = [&](auto&& obs_of) {
+    blocks_.resize(B, std::max<std::size_t>(opp_dim_, 1));
     if (!cfg_.use_opponent_model || opp_dim_ == 0) {
-      for (std::size_t k = 0; k < opp_dim_; ++k) row[k] = 1.0 / kNumOptions;
-    } else {
-      opponents.predict_all_into(obs, row);
+      blocks_.fill(1.0 / kNumOptions);
+      return;
     }
+    obs_rows_.resize(B, obs_dim_);
+    for (std::size_t b = 0; b < B; ++b) {
+      const std::vector<double>& obs = obs_of(b);
+      std::copy(obs.begin(), obs.end(), obs_rows_.row_ptr(b));
+    }
+    opponents.predict_all_rows(obs_rows_, blocks_);
   };
 
   const std::size_t cin_dim = obs_dim_ + kNumOptions + opp_dim_;
-  blocks_.resize(B, std::max<std::size_t>(opp_dim_, 1));
 
   // ----- critic TD target -----
   //   kMax:      y = R + γ^c·max_o' Q'(s', o', ô')
@@ -84,10 +91,12 @@ HighLevelUpdateStats HighLevelAgent::update(OpponentModel& opponents, Rng& rng) 
   targets_.resize(B);
   {
     // Assemble per-sample next-state actor inputs and all 4 next-Q inputs.
+    fill_blocks([&](std::size_t b) -> const std::vector<double>& {
+      return batch[b]->next_obs;
+    });
     actor_in_.resize(B, obs_dim_ + opp_dim_);
     q_in_.resize(B * kNumOptions, cin_dim);
     for (std::size_t b = 0; b < B; ++b) {
-      fill_block(b, batch[b]->next_obs);
       double* arow = actor_in_.row_ptr(b);
       std::copy(batch[b]->next_obs.begin(), batch[b]->next_obs.end(), arow);
       const double* block = blocks_.row_ptr(b);
@@ -137,10 +146,12 @@ HighLevelUpdateStats HighLevelAgent::update(OpponentModel& opponents, Rng& rng) 
   // ----- actor: ∇logπ(o|s, ô)·A with A = Q(s,o,·) − Σ_o π Q, plus entropy --
   {
     OBS_SPAN("stage2/update/actor");
+    fill_blocks([&](std::size_t b) -> const std::vector<double>& {
+      return batch[b]->obs;
+    });
     actor_in_.resize(B, obs_dim_ + opp_dim_);
     q_in_.resize(B * kNumOptions, cin_dim);
     for (std::size_t b = 0; b < B; ++b) {
-      fill_block(b, batch[b]->obs);
       double* arow = actor_in_.row_ptr(b);
       std::copy(batch[b]->obs.begin(), batch[b]->obs.end(), arow);
       const double* block = blocks_.row_ptr(b);

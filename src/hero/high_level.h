@@ -86,6 +86,9 @@ class HighLevelAgent {
   void store(OptionTransition t) { buffer_.add(std::move(t)); }
   std::size_t buffered() const { return buffer_.size(); }
   const rl::ReplayBuffer<OptionTransition>& buffer() const { return buffer_; }
+  // Drops buffered transitions (worker replicas stage their collected
+  // transitions to the learner after every episode, then reset).
+  void clear_buffer() { buffer_.clear(); }
 
   // One actor+critic gradient step; TD-targets query `opponents` on the
   // stored next observations (always the latest model, per the paper).
@@ -94,6 +97,9 @@ class HighLevelAgent {
   nn::Mlp& critic() { return critic_; }
   nn::CategoricalPolicy& actor() { return actor_; }
   long selections() const { return selections_; }
+  // Overwrites the ε-schedule position — the parallel runtime keeps worker
+  // replicas on the learner's schedule (docs/PARALLELISM.md §sync).
+  void set_selections(long n) { selections_ = n; }
 
  private:
   // Writes [obs | onehot(option) | opp_block] into a preallocated row.
@@ -112,7 +118,7 @@ class HighLevelAgent {
 
   // Update scratch, reused across update() calls (resized in place).
   nn::Matrix actor_in_, q_in_, cin_, target_m_, closs_grad_;
-  nn::Matrix probs_, logp_, dlogits_, blocks_;
+  nn::Matrix probs_, logp_, dlogits_, blocks_, obs_rows_;
   std::vector<double> targets_;
 };
 

@@ -58,6 +58,36 @@ std::vector<double> OpponentModel::predict_all(const std::vector<double>& obs) {
   return out;
 }
 
+void OpponentModel::predict_all_rows(const nn::Matrix& obs_rows, nn::Matrix& out) {
+  const std::size_t B = obs_rows.rows();
+  out.resize(B, std::max<std::size_t>(feature_dim(), 1));
+  for (int j = 0; j < num_opponents(); ++j) {
+    const std::size_t off = static_cast<std::size_t>(j) * kNumOptions;
+    auto& buffer = buffers_[static_cast<std::size_t>(j)];
+    if (!trained_ && buffer.size() < cfg_.min_samples) {
+      for (std::size_t b = 0; b < B; ++b) {
+        double* row = out.row_ptr(b) + off;
+        for (int a = 0; a < kNumOptions; ++a) row[a] = 1.0 / kNumOptions;
+      }
+      continue;
+    }
+    const nn::Matrix& logits = nets_[static_cast<std::size_t>(j)].forward(obs_rows);
+    for (std::size_t b = 0; b < B; ++b) {
+      // Same max-subtracted softmax as predict_into, row by row.
+      const double* lrow = logits.row_ptr(b);
+      double* orow = out.row_ptr(b) + off;
+      double mx = lrow[0];
+      for (int a = 1; a < kNumOptions; ++a) mx = std::max(mx, lrow[a]);
+      double z = 0.0;
+      for (int a = 0; a < kNumOptions; ++a) {
+        orow[a] = std::exp(lrow[a] - mx);
+        z += orow[a];
+      }
+      for (int a = 0; a < kNumOptions; ++a) orow[a] /= z;
+    }
+  }
+}
+
 void OpponentModel::observe(int j, std::vector<double> obs, Option option) {
   buffers_[static_cast<std::size_t>(j)].add(
       {std::move(obs), static_cast<int>(option)});

@@ -48,12 +48,39 @@ class OpponentModel {
   // feature_dim() values to `out`.
   void predict_all_into(const std::vector<double>& obs, double* out);
   std::vector<double> predict_all(const std::vector<double>& obs);
+
+  // Batched predict_all over a whole minibatch: row b of `obs_rows`
+  // (B × obs_dim) yields row b of `out` (B × feature_dim). One forward per
+  // opponent network instead of B single-row forwards — same values as
+  // calling predict_all_into per row (the kernels treat batch rows
+  // independently), but ~B× fewer network dispatches. This is the
+  // high-level update's hot path (docs/PARALLELISM.md §hot-path).
+  void predict_all_rows(const nn::Matrix& obs_rows, nn::Matrix& out);
   std::size_t feature_dim() const {
     return nets_.size() * static_cast<std::size_t>(kNumOptions);
   }
 
+  // One observed (own obs, opponent j's current option) pair. Public so the
+  // parallel runtime can stage copies of a worker replica's collected
+  // samples back to the learner (hero_trainer.cpp merge phase).
+  struct Sample {
+    std::vector<double> obs;
+    int option;
+  };
+
   // Records one observed (own obs, opponent j's current option) pair.
   void observe(int j, std::vector<double> obs, Option option);
+
+  // FIFO access to opponent j's collected samples (index order == insertion
+  // order while the buffer has not wrapped — worker replicas clear per
+  // episode, far below capacity). Used by the merge phase.
+  const Sample& sample_at(int j, std::size_t i) const {
+    return buffers_[static_cast<std::size_t>(j)].at(i);
+  }
+  // Drops all collected samples (worker replicas, after staging a round).
+  void clear_buffers() {
+    for (auto& b : buffers_) b.clear();
+  }
 
   // One gradient step on opponent j's predictor; returns the loss (NaN-free;
   // 0 when below min_samples). update_all() steps every predictor and
@@ -67,9 +94,20 @@ class OpponentModel {
   nn::Mlp& net(int j) { return nets_[static_cast<std::size_t>(j)]; }
 
   // Marks the predictors as trained so predict() trusts the networks even
-  // with an empty sample buffer (used after loading a checkpoint).
+  // with an empty sample buffer (used after loading a checkpoint, and by
+  // worker replicas syncing from a learner whose predictors are live —
+  // replicas clear their buffers every episode, so the learner's readiness
+  // has to be carried over explicitly).
   void mark_trained() { trained_ = true; }
   bool trained() const { return trained_; }
+
+  // True once predict() consults the networks rather than the uniform
+  // prior. All per-opponent buffers fill in lockstep (every opponent is
+  // observed each step), so one flag describes the whole model.
+  bool prediction_ready() const {
+    return trained_ ||
+           (!buffers_.empty() && buffers_[0].size() >= cfg_.min_samples);
+  }
 
   // Number of labeled samples collected for opponent j.
   std::size_t samples(int j) const { return buffers_[static_cast<std::size_t>(j)].size(); }
@@ -79,11 +117,6 @@ class OpponentModel {
   }
 
  private:
-  struct Sample {
-    std::vector<double> obs;
-    int option;
-  };
-
   OpponentModelConfig cfg_;
   bool trained_ = false;
   std::vector<nn::Mlp> nets_;

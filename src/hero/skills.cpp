@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <mutex>
-#include <thread>
 
 #include "nn/serialize.h"
 #include "obs/obs.h"
@@ -147,33 +146,33 @@ std::vector<double> SkillBank::train_skill(
 }
 
 std::map<Option, std::vector<double>> SkillBank::train_all_parallel(
-    int episodes_per_skill, std::uint64_t seed,
+    int episodes_per_skill, std::uint64_t seed, runtime::ThreadPool& pool,
     const std::function<void(Option, int, double)>& hook) {
   std::mutex hook_mutex;
   std::array<std::vector<double>, kNumOptions> results;
-  std::vector<std::thread> threads;
 
-  for (int i = 0; i < kNumOptions; ++i) {
+  // One pool task per learned option. The per-skill RNG stream is derived
+  // from (seed, option index) exactly as the historical thread-per-skill
+  // implementation did, so curves are bitwise-stable across pool sizes and
+  // vs. the legacy code path.
+  pool.parallel_for(kNumOptions, [&](std::size_t idx) {
+    const int i = static_cast<int>(idx);
     const Option o = option_from_index(i);
-    if (!has_agent(o)) continue;
-    threads.emplace_back([this, o, i, episodes_per_skill, seed, &results, &hook,
-                          &hook_mutex] {
-      // Per-thread environment and RNG stream; the SAC agent for option `o`
-      // is only ever touched by this thread.
-      sim::LaneWorld world(sim::skill_training_world(/*with_leader=*/false));
-      Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i + 1)));
-      std::function<void(int, double)> thread_hook;
-      if (hook) {
-        thread_hook = [&](int ep, double r) {
-          std::lock_guard<std::mutex> lock(hook_mutex);
-          hook(o, ep, r);
-        };
-      }
-      results[static_cast<std::size_t>(i)] =
-          train_skill(o, world, episodes_per_skill, rng, thread_hook);
-    });
-  }
-  for (auto& t : threads) t.join();
+    if (!has_agent(o)) return;
+    // Task-local environment and RNG stream; the SAC agent for option `o`
+    // is only ever touched by the one task training it.
+    sim::LaneWorld world(sim::skill_training_world(/*with_leader=*/false));
+    Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i + 1)));
+    std::function<void(int, double)> task_hook;
+    if (hook) {
+      task_hook = [&](int ep, double r) {
+        std::lock_guard<std::mutex> lock(hook_mutex);
+        hook(o, ep, r);
+      };
+    }
+    results[static_cast<std::size_t>(i)] =
+        train_skill(o, world, episodes_per_skill, rng, task_hook);
+  });
 
   std::map<Option, std::vector<double>> curves;
   for (int i = 0; i < kNumOptions; ++i) {
@@ -181,6 +180,16 @@ std::map<Option, std::vector<double>> SkillBank::train_all_parallel(
     curves[option_from_index(i)] = std::move(results[static_cast<std::size_t>(i)]);
   }
   return curves;
+}
+
+void SkillBank::sync_policies_from(SkillBank& src) {
+  for (int i = 0; i < kNumOptions; ++i) {
+    auto& dst_ptr = agents_[static_cast<std::size_t>(i)];
+    auto& src_ptr = src.agents_[static_cast<std::size_t>(i)];
+    HERO_CHECK((dst_ptr == nullptr) == (src_ptr == nullptr));
+    if (!dst_ptr) continue;
+    dst_ptr->policy().net().copy_params_from(src_ptr->policy().net());
+  }
 }
 
 void SkillBank::save(const std::string& dir) const {

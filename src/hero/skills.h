@@ -19,6 +19,7 @@
 
 #include "algos/sac.h"
 #include "hero/options.h"
+#include "runtime/thread_pool.h"
 
 namespace hero::core {
 
@@ -63,15 +64,20 @@ class SkillBank {
                                   const std::function<void(int, double)>& hook = {});
 
   // Parallel stage 1 (paper Sec. V-C: "we create parallel training
-  // environments with different intrinsic reward functions"): one thread per
-  // learned skill, each with its own environment and RNG stream (derived
-  // deterministically from `seed`). Skills share no mutable state, so the
-  // threads are independent; the optional hook is serialized internally and
-  // receives (option, episode, reward). Returns the same curves as running
-  // train_skill per option.
+  // environments with different intrinsic reward functions"): one pool task
+  // per learned skill, each with its own environment and RNG stream (derived
+  // deterministically from `seed`, independent of pool size or scheduling).
+  // Skills share no mutable state, so the tasks are independent; the
+  // optional hook is serialized internally and receives (option, episode,
+  // reward). Returns the same curves as running train_skill per option.
   std::map<Option, std::vector<double>> train_all_parallel(
-      int episodes_per_skill, std::uint64_t seed,
+      int episodes_per_skill, std::uint64_t seed, runtime::ThreadPool& pool,
       const std::function<void(Option, int, double)>& hook = {});
+
+  // Copies the act-path parameters (SAC policy networks) from `src` into
+  // this bank — how rollout replicas pick up the learner's frozen skills
+  // (critics/optimizers are learner-only state).
+  void sync_policies_from(SkillBank& src);
 
   // Checkpointing of all learned skills (directory of herockpt files).
   void save(const std::string& dir) const;

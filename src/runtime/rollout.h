@@ -1,0 +1,74 @@
+// RolloutRunner: deterministic multi-worker episode collection.
+//
+// The runner owns the episode → (RNG stream, worker slot) mapping for a
+// training run. Episodes are numbered globally (0, 1, 2, …); episode e
+// always draws from counter-based stream e of the run's root seed
+// (rng_stream.h), and runs on slot e mod S under parallel_for_slots, so a
+// trainer keeps one environment/policy replica per slot and never shares it
+// between concurrent episodes.
+//
+// Because the stream is addressed by the episode index — not by the thread
+// that happens to run it — the collected trajectories are bitwise identical
+// for a fixed (seed, num_envs) regardless of scheduling, and the learner
+// restores canonical episode order at the merge barrier (ShardedReplay
+// drain_front per episode). See docs/PARALLELISM.md.
+//
+// Instrumentation: per-slot `runtime.worker.<slot>.steps_per_sec` gauges via
+// record_worker_rate(), plus the pool's own queue metrics. Wall-clock rates
+// go to metrics/trace only — never telemetry — so telemetry stays
+// byte-comparable across same-seed runs.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "obs/metrics.h"
+#include "runtime/rng_stream.h"
+#include "runtime/thread_pool.h"
+
+namespace hero::runtime {
+
+class RolloutRunner {
+ public:
+  RolloutRunner(ThreadPool& pool, std::uint64_t root_seed)
+      : pool_(pool), root_seed_(root_seed) {}
+
+  ThreadPool& pool() { return pool_; }
+  std::uint64_t root_seed() const { return root_seed_; }
+
+  // Maximum number of concurrently-live slots a round can use; trainers size
+  // their replica arrays to this.
+  std::size_t max_slots() const { return pool_.size(); }
+
+  // Runs episodes [first, first + count) across the pool. fn receives
+  // (episode_index, slot, episode_rng); slot < max_slots() is exclusive to
+  // one in-flight episode at a time. Blocks until the round completes.
+  void run_round(std::size_t first, std::size_t count,
+                 const std::function<void(std::size_t, std::size_t, Rng&)>& fn) {
+    pool_.parallel_for_slots(count, [&](std::size_t i, std::size_t slot) {
+      Rng rng = stream_rng(root_seed_, static_cast<std::uint64_t>(first + i));
+      fn(first + i, slot, rng);
+    });
+  }
+
+  // Publishes a worker-throughput gauge for one finished episode.
+  static void record_worker_rate(std::size_t slot, long steps, double wall_s) {
+    if (!obs::metrics_enabled() || wall_s <= 0.0) return;
+    obs::Registry::instance()
+        .gauge("runtime.worker." + std::to_string(slot) + ".steps_per_sec")
+        .set(static_cast<double>(steps) / wall_s);
+  }
+
+ private:
+  ThreadPool& pool_;
+  std::uint64_t root_seed_;
+};
+
+// Monotonic wall-clock helper shared by the rollout/learn span bookkeeping.
+inline double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace hero::runtime

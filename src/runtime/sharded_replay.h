@@ -1,0 +1,142 @@
+// Sharded experience buffer for multi-worker collection.
+//
+// One shard per worker slot: a worker only ever pushes to its own shard, so
+// collection never contends on a single mutex — each shard's lock has a
+// single producer and is uncontended in steady state (the learner touches it
+// only at the merge/sample barrier between rounds). Shards are bounded
+// rings: when full, the oldest item is overwritten, like rl::ReplayBuffer.
+//
+// Determinism contract (docs/PARALLELISM.md): every read-side operation
+// visits shards in a fixed order —
+//   * sample(batch, rng) draws round-robin across the non-empty shards
+//     (draw k comes from non-empty shard k mod S', the in-shard index from
+//     the caller's rng), so the sampled sequence depends only on shard
+//     contents and the rng state, never on thread timing;
+//   * drain_front(shard, n, fn) pops the n oldest items of one shard FIFO,
+//     letting the learner merge a round's episodes back into canonical
+//     episode order regardless of which worker ran which episode.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace hero::runtime {
+
+template <typename T>
+class ShardedReplay {
+ public:
+  // Total capacity is split evenly across shards (rounded up).
+  ShardedReplay(std::size_t total_capacity, std::size_t num_shards)
+      : shard_capacity_((total_capacity + num_shards - 1) / num_shards),
+        shards_(num_shards) {
+    HERO_CHECK(num_shards > 0);
+    HERO_CHECK(total_capacity >= num_shards);
+  }
+
+  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t shard_capacity() const { return shard_capacity_; }
+
+  void push(std::size_t shard, T item) {
+    Shard& s = at(shard);
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.items.size() < shard_capacity_) {
+      s.items.push_back(std::move(item));
+    } else {
+      s.items[s.head] = std::move(item);  // overwrite oldest
+      s.head = (s.head + 1) % shard_capacity_;
+    }
+  }
+
+  std::size_t shard_size(std::size_t shard) const {
+    const Shard& s = at(shard);
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.items.size();
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < shards_.size(); ++i) total += shard_size(i);
+    return total;
+  }
+
+  // Deterministic round-robin sample with replacement (copies items out).
+  void sample(std::size_t batch, Rng& rng, std::vector<T>& out) const {
+    out.clear();
+    out.reserve(batch);
+    // Snapshot the set of non-empty shards in index order.
+    std::vector<std::size_t> live;
+    live.reserve(shards_.size());
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (shard_size(i) > 0) live.push_back(i);
+    }
+    HERO_CHECK_MSG(!live.empty(), "sample() on an empty ShardedReplay");
+    for (std::size_t k = 0; k < batch; ++k) {
+      const Shard& s = at(live[k % live.size()]);
+      std::lock_guard<std::mutex> lock(s.mu);
+      // Size may have grown since the snapshot; index against the live size.
+      out.push_back(s.items[(s.head + rng.index(s.items.size())) % s.items.size()]);
+    }
+  }
+
+  // Pops the `n` oldest items of `shard` in FIFO order through `fn(T&&)`.
+  // The caller must know n <= shard_size(shard) — staging rounds track
+  // per-episode item counts exactly.
+  template <class Fn>
+  void drain_front(std::size_t shard, std::size_t n, Fn&& fn) {
+    Shard& s = at(shard);
+    std::lock_guard<std::mutex> lock(s.mu);
+    HERO_CHECK_MSG(n <= s.items.size(), "drain_front(" << n << ") from shard with "
+                                                       << s.items.size() << " items");
+    for (std::size_t k = 0; k < n; ++k) {
+      fn(std::move(s.items[(s.head + k) % s.items.size()]));
+    }
+    if (n == s.items.size()) {
+      s.items.clear();
+      s.head = 0;
+    } else {
+      // Compact the survivors to the front so head stays meaningful. Staging
+      // use drains whole rounds, so this path is cold.
+      std::vector<T> rest;
+      rest.reserve(s.items.size() - n);
+      for (std::size_t k = n; k < s.items.size(); ++k) {
+        rest.push_back(std::move(s.items[(s.head + k) % s.items.size()]));
+      }
+      s.items = std::move(rest);
+      s.head = 0;
+    }
+  }
+
+  void clear() {
+    for (auto& sp : shards_) {
+      std::lock_guard<std::mutex> lock(sp.mu);
+      sp.items.clear();
+      sp.head = 0;
+    }
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<T> items;    // ring once full
+    std::size_t head = 0;    // index of the oldest item
+  };
+
+  Shard& at(std::size_t i) {
+    HERO_DCHECK(i < shards_.size());
+    return shards_[i];
+  }
+  const Shard& at(std::size_t i) const {
+    HERO_DCHECK(i < shards_.size());
+    return shards_[i];
+  }
+
+  std::size_t shard_capacity_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace hero::runtime

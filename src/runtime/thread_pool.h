@@ -1,0 +1,71 @@
+// Fixed-size worker pool for the parallel training runtime.
+//
+// This is the only place in src/ allowed to own raw std::thread objects
+// (enforced by tools/lint.py rule R5): every other subsystem expresses
+// parallelism as parallel_for / parallel_for_slots calls so the determinism
+// contract in docs/PARALLELISM.md is auditable in one file.
+//
+// Scheduling model:
+//   * submit()              — fire-and-forget task on the shared FIFO queue.
+//   * parallel_for(n, fn)   — runs fn(i) for i in [0, n); indices are claimed
+//                             dynamically (atomic counter), so work product is
+//                             deterministic as long as fn(i) writes only to
+//                             index-addressed state. Blocks until all done.
+//   * parallel_for_slots    — static round-robin partition: slot s runs
+//                             indices s, s + S, s + 2S, … and no two indices
+//                             of the same slot ever run concurrently. Callers
+//                             use the slot id to pick a worker-exclusive
+//                             replica (env, network clone, RNG scratch).
+//
+// Tasks must not throw (errors in this codebase abort via HERO_CHECK) and
+// must not submit nested parallel_for calls from inside pool workers — the
+// learner thread is the single orchestrator.
+//
+// Instrumented via src/obs: `runtime.pool.threads` gauge,
+// `runtime.pool.tasks` counter and a `runtime.pool.queue_depth` histogram
+// observed at submit time (docs/OBSERVABILITY.md naming scheme).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hero::runtime {
+
+class ThreadPool {
+ public:
+  // Spawns max(1, num_threads) workers.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueues a task. Never blocks (unbounded queue).
+  void submit(std::function<void()> task);
+
+  // Dynamic-claim parallel loop; blocks until every index has run.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  // Static-partition parallel loop over min(size(), n) slots; fn receives
+  // (index, slot). Blocks until every index has run.
+  void parallel_for_slots(std::size_t n,
+                          const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace hero::runtime

@@ -65,6 +65,11 @@ struct StepResult {
   bool done = false;            // collision or step limit
 };
 
+// Thread-safety: a LaneWorld instance is confined to one thread at a time —
+// reset/step mutate internal state and draw from the caller's Rng. The only
+// state shared between instances is the obs metrics registry (atomic
+// counters), so the parallel runtime keeps one instance per worker slot and
+// never locks (docs/PARALLELISM.md).
 class LaneWorld {
  public:
   explicit LaneWorld(const LaneWorldConfig& cfg);

@@ -197,6 +197,58 @@ TEST(Maac, TrainsAndActs) {
   EXPECT_EQ(cmds.size(), 3u);
 }
 
+// The baselines' num_workers option parallelizes minibatch assembly and the
+// independent per-agent updates; every RNG draw happens serially in agent
+// order before the fan-out and workers write only index-addressed state, so
+// the parallel path must reproduce the serial path bit for bit.
+template <typename Trainer, typename Config>
+std::vector<double> reward_trace(const Config& cfg, unsigned seed, int episodes) {
+  Rng rng(seed);
+  Trainer t(small_scenario(), cfg, rng);
+  std::vector<double> rewards;
+  t.train(episodes, rng, [&](int, const rl::EpisodeStats& s) {
+    rewards.push_back(s.team_reward);
+  });
+  return rewards;
+}
+
+TEST(IndependentDqn, ParallelUpdatesMatchSerialBitwise) {
+  DqnConfig serial = fast_dqn();
+  DqnConfig parallel = serial;
+  parallel.num_workers = 3;
+  EXPECT_EQ((reward_trace<IndependentDqnTrainer>(serial, 42, 5)),
+            (reward_trace<IndependentDqnTrainer>(parallel, 42, 5)));
+}
+
+TEST(Maddpg, ParallelUpdatesMatchSerialBitwise) {
+  MaddpgConfig serial;
+  serial.batch = 32;
+  serial.warmup_steps = 64;
+  MaddpgConfig parallel = serial;
+  parallel.num_workers = 3;
+  EXPECT_EQ((reward_trace<MaddpgTrainer>(serial, 42, 4)),
+            (reward_trace<MaddpgTrainer>(parallel, 42, 4)));
+}
+
+TEST(Coma, ParallelAssemblyMatchesSerialBitwise) {
+  ComaConfig serial;
+  ComaConfig parallel = serial;
+  parallel.num_workers = 3;
+  EXPECT_EQ((reward_trace<ComaTrainer>(serial, 42, 4)),
+            (reward_trace<ComaTrainer>(parallel, 42, 4)));
+}
+
+TEST(Maac, ParallelAssemblyMatchesSerialBitwise) {
+  MaacConfig serial;
+  serial.batch = 16;
+  serial.warmup_steps = 32;
+  serial.embed_dim = 16;
+  MaacConfig parallel = serial;
+  parallel.num_workers = 3;
+  EXPECT_EQ((reward_trace<MaacTrainer>(serial, 42, 3)),
+            (reward_trace<MaacTrainer>(parallel, 42, 3)));
+}
+
 // Determinism: identical seeds must reproduce identical training traces.
 TEST(IndependentDqn, DeterministicGivenSeed) {
   auto run = [](unsigned seed) {

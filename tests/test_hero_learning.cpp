@@ -310,5 +310,54 @@ TEST(HeroAgent, ReselectionFinalizesPendingTransition) {
   }
 }
 
+// The high-level update's hot path replaced per-row predict_all_into calls
+// with one batched predict_all_rows per minibatch; the swap is only legal if
+// the two produce bitwise-identical blocks (the update math, and therefore
+// the determinism contract, rides on it).
+TEST(OpponentModel, BatchedRowsMatchPerRowPredictions) {
+  Rng rng(21);
+  const std::size_t obs_dim = 3;
+  OpponentModelConfig cfg;
+  cfg.min_samples = 16;
+  OpponentModel model(obs_dim, 2, cfg, rng);
+
+  auto check_batch_matches = [&](const char* phase) {
+    const std::size_t B = 7;
+    nn::Matrix rows(B, obs_dim);
+    std::vector<double> obs(obs_dim);
+    Rng data(77);
+    for (std::size_t b = 0; b < B; ++b) {
+      for (std::size_t d = 0; d < obs_dim; ++d) {
+        rows.row_ptr(b)[d] = data.uniform(-1.0, 1.0);
+      }
+    }
+    nn::Matrix batched;
+    model.predict_all_rows(rows, batched);
+    ASSERT_EQ(batched.rows(), B);
+    ASSERT_EQ(batched.cols(), model.feature_dim());
+    std::vector<double> row(model.feature_dim());
+    for (std::size_t b = 0; b < B; ++b) {
+      std::copy(rows.row_ptr(b), rows.row_ptr(b) + obs_dim, obs.begin());
+      model.predict_all_into(obs, row.data());
+      for (std::size_t f = 0; f < row.size(); ++f) {
+        // Bitwise, not approximate: the batched kernel must be a pure
+        // reshape of the per-row computation.
+        EXPECT_EQ(batched.row_ptr(b)[f], row[f]) << phase << " b=" << b << " f=" << f;
+      }
+    }
+  };
+
+  check_batch_matches("uniform-prior");  // below min_samples: both uniform
+
+  Rng data(5);
+  for (int i = 0; i < 200; ++i) {
+    const double x = data.uniform(-1.0, 1.0);
+    model.observe(0, {x, 0.0, 0.5}, x > 0 ? Option::kLaneChange : Option::kSlowDown);
+    model.observe(1, {x, 0.0, 0.5}, x > 0 ? Option::kAccelerate : Option::kKeepLane);
+    model.update_all(data);
+  }
+  check_batch_matches("trained");
+}
+
 }  // namespace
 }  // namespace hero::core

@@ -6,6 +6,7 @@
 #include <filesystem>
 
 #include "hero/skills.h"
+#include "runtime/thread_pool.h"
 #include "sim/scenario.h"
 
 namespace hero::core {
@@ -272,7 +273,8 @@ TEST(SkillBank, ParallelTrainingProducesAllCurves) {
   cfg.sac.warmup_steps = 64;
   SkillBank bank(8, cfg, rng);
   int hook_calls = 0;
-  auto curves = bank.train_all_parallel(12, /*seed=*/7,
+  runtime::ThreadPool pool(3);
+  auto curves = bank.train_all_parallel(12, /*seed=*/7, pool,
                                         [&](Option, int, double) { ++hook_calls; });
   ASSERT_EQ(curves.size(), 3u);
   for (const auto& [o, curve] : curves) {
@@ -289,7 +291,8 @@ TEST(SkillBank, ParallelTrainingDeterministicPerSeed) {
     cfg.sac.batch = 16;
     cfg.sac.warmup_steps = 32;
     SkillBank bank(8, cfg, rng);
-    return bank.train_all_parallel(8, seed);
+    runtime::ThreadPool pool(2);
+    return bank.train_all_parallel(8, seed, pool);
   };
   auto a = run(5);
   auto b = run(5);

@@ -1,0 +1,154 @@
+#!/usr/bin/env sh
+# Regression gate for bench_json snapshots.
+#
+#   tools/bench_gate.sh NEW SEED METRIC_KEY DIRECTION [THRESHOLD_PCT]
+#   tools/bench_gate.sh --self-test
+#
+# NEW / SEED are bench_json snapshots ({"benchmarks": [{"name": ..,
+# "<METRIC_KEY>": ..}, ...]}). DIRECTION makes the comparison semantics
+# explicit instead of baked into the metric name:
+#
+#   higher_is_worse   latency-style metrics (real_time_ns): the gate fails
+#                     when NEW is more than THRESHOLD_PCT *above* SEED.
+#   lower_is_worse    throughput-style metrics (steps_per_sec): the gate
+#                     fails when NEW is more than THRESHOLD_PCT *below* SEED.
+#
+# THRESHOLD_PCT defaults to 25 (QEMU/shared-runner timings swing by ±20%).
+# Benchmarks present in only one snapshot are reported and skipped, so newly
+# added cases never fail the gate before their baseline lands.
+#
+# --self-test exercises both directions against synthetic fixtures and exits
+# non-zero if the gate ever misclassifies a regression or an improvement.
+# It runs in CI (ctest: bench_gate_selftest) so the gate itself is tested.
+set -eu
+
+usage() {
+    echo "usage: $0 NEW SEED METRIC_KEY {higher_is_worse|lower_is_worse} [THRESHOLD_PCT]" >&2
+    echo "       $0 --self-test" >&2
+    exit 2
+}
+
+# gate NEW SEED KEY DIRECTION THRESHOLD — prints a per-benchmark table,
+# returns 1 if any benchmark regressed beyond the threshold.
+gate() {
+    new=$1 seed=$2 key=$3 dir=$4 pct=$5
+    if [ ! -f "$seed" ]; then
+        echo "no seed snapshot $seed — skipping"
+        return 0
+    fi
+    awk -v pct="$pct" -v key="$key" -v dir="$dir" '
+        BEGIN { FS = "\"" }
+        $2 == "name" && $6 == key {
+            v = $7
+            sub(/^: */, "", v)
+            sub(/[,}].*/, "", v)
+            if (NR == FNR) seedval[$4] = v + 0
+            else { newval[$4] = v + 0; order[++n] = $4 }
+        }
+        END {
+            bad = 0
+            for (i = 1; i <= n; ++i) {
+                name = order[i]
+                if (!(name in seedval) || seedval[name] <= 0) {
+                    printf "  %-36s (no seed baseline — skipped)\n", name
+                    continue
+                }
+                ratio = newval[name] / seedval[name]
+                worse = (dir == "higher_is_worse") ? (ratio - 1) * 100 : (1 - ratio) * 100
+                flag = ""
+                if (worse > pct) { flag = "  << REGRESSION"; bad = 1 }
+                printf "  %-36s seed %14.1f  new %14.1f  %+6.1f%%%s\n", \
+                       name, seedval[name], newval[name], (ratio - 1) * 100, flag
+            }
+            exit bad
+        }
+    ' "$seed" "$new"
+}
+
+self_test() {
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT INT TERM
+    fails=0
+
+    snapshot() {  # snapshot FILE KEY NAME=VALUE...
+        f=$1 k=$2
+        shift 2
+        {
+            printf '{\n  "kind": "self_test",\n  "benchmarks": [\n'
+            count=$# i=0
+            for pair in "$@"; do
+                i=$((i + 1))
+                comma=","
+                [ "$i" -eq "$count" ] && comma=""
+                printf '    {"name": "%s", "%s": %s}%s\n' \
+                    "${pair%%=*}" "$k" "${pair#*=}" "$comma"
+            done
+            printf '  ]\n}\n'
+        } > "$f"
+    }
+
+    expect() {  # expect LABEL WANT_STATUS gate-args...
+        label=$1 want=$2
+        shift 2
+        got=0
+        gate "$@" > /dev/null 2>&1 || got=$?
+        if [ "$got" -ne "$want" ]; then
+            echo "self-test FAIL: $label (want exit $want, got $got)" >&2
+            fails=$((fails + 1))
+        else
+            echo "self-test ok:   $label"
+        fi
+    }
+
+    # Throughput metric (steps/sec): lower is worse.
+    snapshot "$tmp/tp_seed.json" steps_per_sec base=1000 other=500
+    snapshot "$tmp/tp_drop.json" steps_per_sec base=700  other=500   # −30%
+    snapshot "$tmp/tp_gain.json" steps_per_sec base=1400 other=500   # +40%
+    snapshot "$tmp/tp_near.json" steps_per_sec base=900  other=500   # −10%
+    snapshot "$tmp/tp_new.json"  steps_per_sec base=1000 fresh=42
+    expect "throughput drop beyond threshold fails" 1 \
+        "$tmp/tp_drop.json" "$tmp/tp_seed.json" steps_per_sec lower_is_worse 25
+    expect "throughput gain passes" 0 \
+        "$tmp/tp_gain.json" "$tmp/tp_seed.json" steps_per_sec lower_is_worse 25
+    expect "throughput drop within threshold passes" 0 \
+        "$tmp/tp_near.json" "$tmp/tp_seed.json" steps_per_sec lower_is_worse 25
+    expect "unseeded benchmark is skipped" 0 \
+        "$tmp/tp_new.json" "$tmp/tp_seed.json" steps_per_sec lower_is_worse 25
+    expect "missing seed file is skipped" 0 \
+        "$tmp/tp_new.json" "$tmp/absent.json" steps_per_sec lower_is_worse 25
+
+    # Latency metric (ns/iter): higher is worse — the opposite polarity.
+    snapshot "$tmp/ns_seed.json" real_time_ns op=100
+    snapshot "$tmp/ns_rise.json" real_time_ns op=140   # +40%
+    snapshot "$tmp/ns_fall.json" real_time_ns op=60    # −40%
+    expect "latency rise beyond threshold fails" 1 \
+        "$tmp/ns_rise.json" "$tmp/ns_seed.json" real_time_ns higher_is_worse 25
+    expect "latency fall passes" 0 \
+        "$tmp/ns_fall.json" "$tmp/ns_seed.json" real_time_ns higher_is_worse 25
+
+    # A 40% throughput gain must FAIL under the wrong direction — guards
+    # against ever wiring steps_per_sec through higher_is_worse again.
+    expect "direction polarity is honoured" 1 \
+        "$tmp/tp_gain.json" "$tmp/tp_seed.json" steps_per_sec higher_is_worse 25
+
+    [ "$fails" -eq 0 ] || exit 1
+    echo "bench_gate self-test: all checks passed"
+}
+
+case "${1:-}" in
+    --self-test)
+        self_test
+        exit 0
+        ;;
+    ""|-h|--help)
+        usage
+        ;;
+esac
+
+[ $# -ge 4 ] || usage
+case "$4" in
+    higher_is_worse|lower_is_worse) ;;
+    *) echo "bench_gate.sh: unknown direction '$4'" >&2; usage ;;
+esac
+
+gate "$1" "$2" "$3" "$4" "${5:-25}"

@@ -12,6 +12,13 @@
 #   DET_SEED            seed passed to both runs       (default 7)
 #   DET_EPISODES        stage-2 episodes               (default 2)
 #   DET_SKILL_EPISODES  stage-1 episodes per skill     (default 2)
+#   DET_WORKERS         --num-workers for both runs    (default 1)
+#   DET_ENVS            --num-envs for both runs       (default 0 = workers)
+#
+# With DET_WORKERS > 1 the gate checks the parallel runtime's same-seed
+# self-consistency: episode RNG streams are keyed to (seed, num_envs), so
+# two identically-seeded multi-worker runs must still agree bitwise
+# (docs/PARALLELISM.md). CI runs the gate at 1 and 4 workers.
 #
 # A diff here means a hidden entropy source crept in (an unseeded RNG,
 # iteration over pointer-keyed containers, uninitialized reads feeding
@@ -25,6 +32,8 @@ build_dir=${1:-"$repo_root/build"}
 seed=${DET_SEED:-7}
 episodes=${DET_EPISODES:-2}
 skill_episodes=${DET_SKILL_EPISODES:-2}
+workers=${DET_WORKERS:-1}
+envs=${DET_ENVS:-0}
 
 cmake -B "$build_dir" -S "$repo_root" > /dev/null
 cmake --build "$build_dir" --target hero_train -j"$(nproc 2>/dev/null || echo 1)" \
@@ -42,11 +51,12 @@ run() {
         --skill-episodes "$skill_episodes" \
         --episodes "$episodes" \
         --hl-warmup 8 --hl-batch 8 \
+        --num-workers "$workers" --num-envs "$envs" \
         --telemetry-out "$out_dir/telemetry.jsonl" \
         > "$out_dir/stdout.log"
 }
 
-echo "run 1/2 (seed $seed, $skill_episodes skill episodes, $episodes episodes)..."
+echo "run 1/2 (seed $seed, $skill_episodes skill episodes, $episodes episodes, $workers workers)..."
 run 1
 echo "run 2/2..."
 run 2

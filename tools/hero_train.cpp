@@ -5,6 +5,7 @@
 //              [--learners 3] [--seed 1] [--no-opponent-model]
 //              [--synchronous-termination] [--curves prefix]
 //              [--hl-warmup N] [--hl-batch N]
+//              [--num-workers N] [--num-envs N]
 //              [--metrics-out m.json] [--trace-out t.json]
 //              [--telemetry-out run.jsonl]
 //
@@ -12,11 +13,18 @@
 // batch size (smoke runs shrink them so gradient updates happen within a
 // couple of episodes).
 //
+// `--num-workers N` collects stage-2 episodes on N worker threads (and runs
+// stage-1 skill training on the same pool); `--num-envs` sets how many
+// environment instances a round spans (default: one per worker). Results
+// are keyed to (seed, num_envs) and invariant to the worker count — see
+// docs/PARALLELISM.md for the determinism contract.
+//
 // `--curves prefix` additionally writes <prefix>_reward.svg /
 // <prefix>_collision.svg / <prefix>_success.svg learning-curve plots.
 // The three `--*-out` flags enable the observability layer
 // (docs/OBSERVABILITY.md): a metrics snapshot, a Chrome trace, and the
 // structured per-episode telemetry stream.
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 
@@ -41,6 +49,8 @@ int main(int argc, char** argv) {
   const std::string curves = flags.get_string("curves", "");
   const int hl_warmup = flags.get_int("hl-warmup", -1);
   const int hl_batch = flags.get_int("hl-batch", -1);
+  const int num_workers = flags.get_int("num-workers", 1);
+  const int num_envs = flags.get_int("num-envs", 0);
   const obs::Outputs obs_out = obs::configure(flags);
   flags.check_unknown();
 
@@ -51,6 +61,8 @@ int main(int argc, char** argv) {
   cfg.skill.termination.synchronous = sync_term;
   if (hl_warmup >= 0) cfg.high.warmup_transitions = static_cast<std::size_t>(hl_warmup);
   if (hl_batch > 0) cfg.high.batch = static_cast<std::size_t>(hl_batch);
+  cfg.num_workers = std::max(1, num_workers);
+  cfg.num_envs = std::max(0, num_envs);
   core::HeroTrainer trainer(scenario, cfg, rng);
 
   std::printf("stage 1: training %d skills x %d episodes...\n", 3, skill_episodes);

@@ -19,6 +19,10 @@ Rules (docs/CORRECTNESS.md):
                         sanctioned sink.
   R4  pragma-once       every header under src/ starts its include guard
                         with #pragma once.
+  R5  no-raw-thread     std::thread / std::jthread / std::async are forbidden
+                        outside src/runtime — all concurrency goes through
+                        runtime::ThreadPool so worker counts, RNG streams, and
+                        shutdown stay centralized (docs/PARALLELISM.md).
 
 Exit status is the number of violation kinds found (0 = clean). Run:
 
@@ -52,6 +56,13 @@ ALLOC_PATTERNS = [
     (re.compile(r"\.(push_back|emplace_back|reserve)\s*\("), "container growth"),
 ]
 INTO_DEF = re.compile(r"^\s*(?:[\w:<>&*,\s]+?)\b(\w+_into)\s*\(", re.MULTILINE)
+
+# R5 ----------------------------------------------------------------------
+THREAD_PATTERNS = [
+    (re.compile(r"\bstd::thread\b"), "std::thread"),
+    (re.compile(r"\bstd::jthread\b"), "std::jthread"),
+    (re.compile(r"\bstd::async\b"), "std::async"),
+]
 
 # R3 ----------------------------------------------------------------------
 PRINT_PATTERNS = [
@@ -110,7 +121,7 @@ def main() -> int:
     root: Path = args.root
     src = root / "src"
 
-    violations: dict[str, list[str]] = {"R1": [], "R2": [], "R3": [], "R4": []}
+    violations: dict[str, list[str]] = {"R1": [], "R2": [], "R3": [], "R4": [], "R5": []}
 
     for path in sorted(src.rglob("*")):
         if path.suffix not in {".h", ".cpp"}:
@@ -144,12 +155,18 @@ def main() -> int:
         if path.suffix == ".h" and "#pragma once" not in raw:
             violations["R4"].append(f"{rel}: missing #pragma once")
 
+        if not rel.startswith("src/runtime/"):
+            for pat, what in THREAD_PATTERNS:
+                for m in pat.finditer(code):
+                    violations["R5"].append(f"{rel}:{line_of(code, m.start())}: {what}")
+
     failed = 0
     names = {
         "R1": "no-libc-rand",
         "R2": "no-alloc-in-into",
         "R3": "no-bare-printf",
         "R4": "pragma-once",
+        "R5": "no-raw-thread",
     }
     for rule, items in violations.items():
         if not items:

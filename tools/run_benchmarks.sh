@@ -62,50 +62,19 @@ fi
 
 threshold=${BENCH_REGRESSION_PCT:-25}
 
-# check_snapshot new seed metric_key direction
-#   direction: higher_is_worse (ns/iter) | lower_is_worse (steps/sec)
-check_snapshot() {
-    if [ ! -f "$2" ]; then
-        echo "no seed snapshot $2 — skipping"
-        return 0
-    fi
-    awk -v pct="$threshold" -v key="$3" -v dir="$4" '
-        BEGIN { FS = "\"" }
-        $2 == "name" && $6 == key {
-            v = $7
-            sub(/^: */, "", v)
-            sub(/[,}].*/, "", v)
-            if (NR == FNR) seedval[$4] = v + 0
-            else { newval[$4] = v + 0; order[++n] = $4 }
-        }
-        END {
-            bad = 0
-            for (i = 1; i <= n; ++i) {
-                name = order[i]
-                if (!(name in seedval) || seedval[name] <= 0) {
-                    printf "  %-36s (no seed baseline — skipped)\n", name
-                    continue
-                }
-                ratio = newval[name] / seedval[name]
-                worse = (dir == "higher_is_worse") ? (ratio - 1) * 100 : (1 - ratio) * 100
-                flag = ""
-                if (worse > pct) { flag = "  << REGRESSION"; bad = 1 }
-                printf "  %-36s seed %14.1f  new %14.1f  %+6.1f%%%s\n", \
-                       name, seedval[name], newval[name], (ratio - 1) * 100, flag
-            }
-            exit bad
-        }
-    ' "$2" "$1"
-}
-
+# The comparison itself lives in tools/bench_gate.sh, which takes the metric
+# direction explicitly (higher_is_worse for ns/iter, lower_is_worse for
+# steps/sec) and carries its own polarity self-test.
 status=0
 echo "== regression check vs seed snapshots (threshold ${threshold}%) =="
 echo "BENCH_nn.json vs BENCH_nn.seed.json (ns/iter, higher is worse):"
-check_snapshot "$repo_root/BENCH_nn.json" "$repo_root/BENCH_nn.seed.json" \
-    real_time_ns higher_is_worse || status=1
+"$repo_root/tools/bench_gate.sh" \
+    "$repo_root/BENCH_nn.json" "$repo_root/BENCH_nn.seed.json" \
+    real_time_ns higher_is_worse "$threshold" || status=1
 echo "BENCH_train.json vs BENCH_train.seed.json (steps/sec, lower is worse):"
-check_snapshot "$repo_root/BENCH_train.json" "$repo_root/BENCH_train.seed.json" \
-    steps_per_sec lower_is_worse || status=1
+"$repo_root/tools/bench_gate.sh" \
+    "$repo_root/BENCH_train.json" "$repo_root/BENCH_train.seed.json" \
+    steps_per_sec lower_is_worse "$threshold" || status=1
 if [ "$status" -ne 0 ]; then
     echo "benchmark regression beyond ${threshold}% — failing (BENCH_SKIP_CHECK=1 to override)"
 fi
