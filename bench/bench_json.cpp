@@ -10,8 +10,16 @@
 // Every perf PR re-runs `tools/run_benchmarks.sh` and commits the refreshed
 // snapshots, so the repo carries its own performance trajectory.
 //
+// Single-core container caveat: CI and the reference container expose one
+// core, so every number here — including the BM_BatchStep/E* and
+// BM_BatchedRollout/E* batch-first entries — measures single-thread
+// throughput. Batching wins come from amortized forward passes and update
+// cadence (docs/BATCHING.md), not from parallel hardware; the "/wN" worker
+// variants likewise record dispatch overhead, not speedup.
+//
 // Run:  ./bench_json [--nn-out F] [--train-out F] [--min-time SECONDS]
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -30,6 +38,7 @@
 #include "nn/losses.h"
 #include "nn/mlp.h"
 #include "runtime/rollout.h"
+#include "sim/batch_lane_world.h"
 #include "sim/lane_world.h"
 #include "sim/scenario.h"
 
@@ -299,13 +308,75 @@ void run_train_cases(int episodes, int workers, std::vector<TrainSlice>& out) {
     Rng rng(1);
     core::HeroConfig cfg;
     cfg.high.warmup_transitions = 16;
-    cfg.num_workers = workers;
+    if (workers == 1) {
+      // The single-worker HERO slice collects through the batch-first
+      // rollout engine (docs/BATCHING.md): 16 lockstep envs share each
+      // policy/opponent forward and the gradient clock counts batch steps.
+      cfg.batch_envs = 16;
+    } else {
+      cfg.num_workers = workers;
+    }
     core::HeroTrainer t(scenario, cfg, rng);
     t.train_skills(/*episodes_per_skill=*/2, rng);
     long steps = 0;
     t.train(episodes, rng, step_counter(steps));
     return steps;
   }));
+}
+
+// Batch-first entries (docs/BATCHING.md), reported as env steps/sec so the
+// regression gate compares them with the same higher-is-better polarity as
+// the trainer slices. BM_BatchStep isolates the SoA sim (step_all with
+// constant keep-lane commands, done envs re-seeded in place); BM_BatchedRollout
+// runs one full-width HERO round — selection, skills, and opponent
+// predictions batched across E lockstep episodes.
+void run_batch_cases(std::vector<TrainSlice>& out) {
+  using namespace hero;
+  const sim::Scenario scenario = sim::cooperative_lane_change();
+
+  for (int envs : {1, 16, 64, 256}) {
+    out.push_back(time_train("BM_BatchStep/E" + std::to_string(envs), [&] {
+      sim::BatchLaneWorld world(scenario.config, envs);
+      std::vector<Rng> rngs;
+      rngs.reserve(static_cast<std::size_t>(envs));
+      for (int e = 0; e < envs; ++e) rngs.emplace_back(static_cast<unsigned>(e) + 1);
+      std::vector<Rng*> rng_ptrs;
+      for (int e = 0; e < envs; ++e) {
+        rng_ptrs.push_back(&rngs[static_cast<std::size_t>(e)]);
+        world.reset_env(e, rngs[static_cast<std::size_t>(e)]);
+      }
+      const std::vector<std::uint8_t> active(static_cast<std::size_t>(envs), 1);
+      const std::vector<sim::TwistCmd> cmds(
+          static_cast<std::size_t>(envs) *
+              static_cast<std::size_t>(world.num_learners()),
+          sim::TwistCmd{0.12, 0.0});
+      sim::BatchStepResult res;
+      const long batch_steps = 200000 / envs + 256;
+      for (long s = 0; s < batch_steps; ++s) {
+        for (int e = 0; e < envs; ++e) {
+          if (world.done(e)) world.reset_env(e, rngs[static_cast<std::size_t>(e)]);
+        }
+        world.step_all(cmds.data(), rng_ptrs.data(), active.data(), res);
+      }
+      return batch_steps * envs;
+    }));
+  }
+
+  for (int envs : {16, 64}) {
+    out.push_back(
+        time_train("BM_BatchedRollout/E" + std::to_string(envs), [&] {
+          Rng rng(1);
+          core::HeroConfig cfg;
+          cfg.high.warmup_transitions = 16;
+          cfg.batch_envs = envs;
+          core::HeroTrainer t(scenario, cfg, rng);
+          t.train_skills(/*episodes_per_skill=*/2, rng);
+          long steps = 0;
+          t.train(/*episodes=*/envs, rng,
+                  [&](int, const rl::EpisodeStats& s) { steps += s.steps; });
+          return steps;
+        }));
+  }
 }
 
 }  // namespace
@@ -342,6 +413,7 @@ int main(int argc, char** argv) {
                train_episodes);
   std::vector<TrainSlice> train;
   for (int w = 1; w <= max_workers; w *= 2) run_train_cases(train_episodes, w, train);
+  run_batch_cases(train);
   std::vector<std::pair<std::string, double>> train_entries;
   for (const auto& s : train) train_entries.emplace_back(s.name, s.steps_per_sec);
   write_json(train_out, "train_steps_per_sec", train_entries, "steps_per_sec", {});

@@ -42,6 +42,13 @@ std::size_t baseline_obs_dim(const sim::LaneWorld& world) {
   return world.high_level_obs_dim() + world.low_level_obs_dim();
 }
 
+void baseline_obs_into(const sim::BatchLaneWorld& world, int e, int vehicle,
+                       double* out) {
+  world.high_level_obs_into(e, vehicle, out);
+  world.low_level_obs_into(e, vehicle, world.lane(e, vehicle),
+                           out + world.high_level_obs_dim());
+}
+
 std::vector<double> primitive_lo() { return {0.04, -0.25}; }
 std::vector<double> primitive_hi() { return {0.20, 0.25}; }
 

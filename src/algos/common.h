@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "rl/evaluation.h"
+#include "sim/batch_lane_world.h"
 #include "sim/scenario.h"
 
 namespace hero::algos {
@@ -43,6 +44,13 @@ struct TrainConfig {
   // identical to num_workers == 1 at any worker count
   // (docs/PARALLELISM.md §baselines).
   int num_workers = 1;
+
+  // Batch-first collection (docs/BATCHING.md): > 0 rolls out that many
+  // episodes in lockstep through one vectorized BatchLaneWorld, with policy
+  // evaluation batched across environments and the update/ε clocks counting
+  // synchronized batch steps. Trainers opt in per method (DQN today);
+  // results are keyed to (seed, batch_envs).
+  int batch_envs = 0;
 };
 
 // Per-episode callback: (episode index, training-episode stats).
@@ -60,6 +68,12 @@ void record_episode(const char* method, int episode, const rl::EpisodeStats& sta
 // an information advantage.
 std::vector<double> baseline_obs(const sim::LaneWorld& world, int vehicle);
 std::size_t baseline_obs_dim(const sim::LaneWorld& world);
+
+// Batched analogue: writes the same concatenated observation for vehicle of
+// env `e` straight out of the SoA world's zero-alloc observation cores —
+// the shared hook every baseline's batch_envs path collects through.
+void baseline_obs_into(const sim::BatchLaneWorld& world, int e, int vehicle,
+                       double* out);
 
 // Primitive action bounds shared by the continuous-control baselines
 // (the envelope of the paper's per-skill ranges).

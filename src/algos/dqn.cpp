@@ -162,7 +162,147 @@ void IndependentDqnTrainer::update_round(Rng& rng) {
   });
 }
 
+void IndependentDqnTrainer::train_batched(int episodes, Rng& rng,
+                                          const EpisodeHook& hook) {
+  const int n = world_.num_learners();
+  const int envs = std::max(cfg_.batch_envs, 1);
+  const std::size_t obs_dim = baseline_obs_dim(world_);
+  // One engine draw keys the run's episode streams (lane i of a round over
+  // [first, first+count) draws stream_rng(root, first+i)).
+  const std::uint64_t root = rng.engine()();
+  if (!bworld_) {
+    bworld_ = std::make_unique<sim::BatchLaneWorld>(scenario_.config, envs);
+    bsched_ = std::make_unique<runtime::BatchRoundScheduler>(
+        static_cast<std::size_t>(envs));
+  }
+
+  const std::size_t slots =
+      static_cast<std::size_t>(envs) * static_cast<std::size_t>(n);
+  std::vector<rl::EpisodeStats> stats(static_cast<std::size_t>(envs));
+  std::vector<sim::TwistCmd> cmds(slots);
+  std::vector<std::size_t> actions(slots), greedy(slots);
+  std::vector<std::size_t> live;
+  live.reserve(static_cast<std::size_t>(envs));
+  sim::BatchStepResult out;
+  nn::Matrix obs_now(slots, obs_dim), obs_next(slots, obs_dim), qin;
+  const auto row = [&](std::size_t lane, int k) {
+    return lane * static_cast<std::size_t>(n) + static_cast<std::size_t>(k);
+  };
+
+  int done_eps = 0;
+  while (done_eps < episodes) {
+    OBS_SPAN("dqn/batched_round");
+    const std::size_t round = std::min<std::size_t>(
+        static_cast<std::size_t>(envs), static_cast<std::size_t>(episodes - done_eps));
+    bsched_->begin_round(root, static_cast<std::size_t>(done_eps), round);
+    for (std::size_t lane = 0; lane < round; ++lane) {
+      bworld_->reset_env(static_cast<int>(lane), bsched_->rng(lane));
+      stats[lane] = rl::EpisodeStats{};
+      for (int k = 0; k < n; ++k) {
+        const int vi = world_.learners()[static_cast<std::size_t>(k)];
+        baseline_obs_into(*bworld_, static_cast<int>(lane), vi,
+                          obs_now.row_ptr(row(lane, k)));
+      }
+    }
+
+    while (bsched_->live() > 0) {
+      live.clear();
+      for (std::size_t lane = 0; lane < round; ++lane) {
+        if (bsched_->active(lane)) live.push_back(lane);
+      }
+
+      // Greedy actions: one batched Q forward per agent over every live
+      // lane (the serial path's per-env forward1, fused).
+      for (int k = 0; k < n; ++k) {
+        qin.resize(live.size(), obs_dim);
+        for (std::size_t r = 0; r < live.size(); ++r) {
+          const double* src = obs_now.row_ptr(row(live[r], k));
+          std::copy(src, src + obs_dim, qin.row_ptr(r));
+        }
+        const nn::Matrix& qs = q_[static_cast<std::size_t>(k)].forward(qin);
+        for (std::size_t r = 0; r < live.size(); ++r) {
+          std::size_t best = 0;
+          for (std::size_t a = 1; a < grid_.size(); ++a) {
+            if (qs(r, a) > qs(r, best)) best = a;
+          }
+          greedy[row(live[r], k)] = best;
+        }
+      }
+      // ε draws lane-ascending then agent-ascending from each lane's own
+      // stream — the serial per-env draw order. The ε schedule advances per
+      // synchronized batch step (one batch step ≈ live-lane env steps).
+      const double eps = rl::LinearSchedule(cfg_.eps_start, cfg_.eps_end,
+                                            cfg_.eps_decay_steps)
+                             .value(total_steps_);
+      for (std::size_t lane : live) {
+        Rng& lrng = bsched_->rng(lane);
+        for (int k = 0; k < n; ++k) {
+          const std::size_t idx = row(lane, k);
+          actions[idx] = lrng.chance(eps) ? lrng.index(grid_.size()) : greedy[idx];
+          cmds[idx] = grid_.decode(actions[idx]);
+        }
+      }
+
+      bworld_->step_all(cmds.data(), bsched_->rng_ptrs(), bsched_->active_mask(),
+                        out);
+      ++total_steps_;
+
+      for (std::size_t lane : live) {
+        double sum = 0.0;
+        for (int k = 0; k < n; ++k) {
+          const int vi = world_.learners()[static_cast<std::size_t>(k)];
+          const std::size_t idx = row(lane, k);
+          baseline_obs_into(*bworld_, static_cast<int>(lane), vi,
+                            obs_next.row_ptr(idx));
+          const double r = out.reward[idx];
+          sum += r;
+          const double* o0 = obs_now.row_ptr(idx);
+          const double* o1 = obs_next.row_ptr(idx);
+          Transition t{std::vector<double>(o0, o0 + obs_dim), actions[idx], r,
+                       std::vector<double>(o1, o1 + obs_dim), out.done[lane] != 0};
+          if (cfg_.prioritized) {
+            per_buffers_[static_cast<std::size_t>(k)].add(std::move(t));
+          } else {
+            buffers_[static_cast<std::size_t>(k)].add(std::move(t));
+          }
+        }
+        stats[lane].team_reward += sum / static_cast<double>(n);
+        if (out.collision[lane] != 0) stats[lane].collision = true;
+      }
+
+      // Gradient cadence in batch steps — the batching throughput lever
+      // (docs/BATCHING.md §cadence).
+      if (total_steps_ % cfg_.update_every == 0) update_round(rng);
+
+      for (std::size_t lane : live) {
+        if (out.done[lane] == 0) continue;
+        const int e = static_cast<int>(lane);
+        stats[lane].steps = bworld_->steps(e);
+        stats[lane].success =
+            !stats[lane].collision &&
+            bworld_->lane(e, scenario_.merger_index) == scenario_.merger_target_lane;
+        double speed = 0.0;
+        for (int vi : world_.learners()) speed += bworld_->mean_speed(e, vi);
+        stats[lane].mean_speed = speed / static_cast<double>(n);
+        bsched_->finish(lane);
+      }
+      std::swap(obs_now, obs_next);
+    }
+
+    for (std::size_t lane = 0; lane < round; ++lane) {
+      const int ep = done_eps + static_cast<int>(lane);
+      record_episode("dqn", ep, stats[lane]);
+      if (hook) hook(ep, stats[lane]);
+    }
+    done_eps += static_cast<int>(round);
+  }
+}
+
 void IndependentDqnTrainer::train(int episodes, Rng& rng, const EpisodeHook& hook) {
+  if (cfg_.batch_envs > 0) {
+    train_batched(episodes, rng, hook);
+    return;
+  }
   for (int ep = 0; ep < episodes; ++ep) {
     OBS_SPAN("dqn/episode");
     world_.reset(rng);

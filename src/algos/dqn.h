@@ -15,7 +15,9 @@
 #include "rl/discretizer.h"
 #include "rl/prioritized_replay.h"
 #include "rl/replay_buffer.h"
+#include "runtime/batch_rollout.h"
 #include "runtime/thread_pool.h"
+#include "sim/batch_lane_world.h"
 
 namespace hero::algos {
 
@@ -73,6 +75,11 @@ class IndependentDqnTrainer : public rl::Controller {
   // num_workers > 1 and uniform replay, batches are drawn serially in agent
   // order and the math fans out (bitwise-identical results either way).
   void update_round(Rng& rng);
+  // Batch-first collection (cfg_.batch_envs > 0): rounds of batch_envs
+  // episodes step in lockstep through a BatchLaneWorld, ε-greedy over one
+  // batched Q forward per agent per step, with the update and ε clocks
+  // counting synchronized batch steps (docs/BATCHING.md).
+  void train_batched(int episodes, Rng& rng, const EpisodeHook& hook);
 
   sim::Scenario scenario_;
   DqnConfig cfg_;
@@ -90,6 +97,10 @@ class IndependentDqnTrainer : public rl::Controller {
   std::vector<UpdateScratch> scratch_;  // one per agent
   std::vector<std::vector<const Transition*>> sampled_;  // parallel round staging
   std::unique_ptr<runtime::ThreadPool> pool_;  // null while num_workers <= 1
+
+  // Batch-first collection state (null while batch_envs == 0).
+  std::unique_ptr<sim::BatchLaneWorld> bworld_;
+  std::unique_ptr<runtime::BatchRoundScheduler> bsched_;
 };
 
 }  // namespace hero::algos

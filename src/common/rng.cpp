@@ -5,20 +5,25 @@
 namespace hero {
 
 std::size_t Rng::categorical(const std::vector<double>& weights) {
-  HERO_CHECK(!weights.empty());
+  return categorical(weights.data(), weights.size());
+}
+
+std::size_t Rng::categorical(const double* weights, std::size_t n) {
+  HERO_CHECK(n > 0);
   double total = 0.0;
-  for (double w : weights) {
-    HERO_CHECK_MSG(w >= 0.0, "categorical weight must be non-negative, got " << w);
-    total += w;
+  for (std::size_t i = 0; i < n; ++i) {
+    HERO_CHECK_MSG(weights[i] >= 0.0,
+                   "categorical weight must be non-negative, got " << weights[i]);
+    total += weights[i];
   }
-  if (total <= 0.0) return index(weights.size());  // degenerate: uniform fallback
+  if (total <= 0.0) return index(n);  // degenerate: uniform fallback
   double u = uniform(0.0, total);
   double acc = 0.0;
-  for (std::size_t i = 0; i < weights.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     acc += weights[i];
     if (u < acc) return i;
   }
-  return weights.size() - 1;  // numerical edge: u == total
+  return n - 1;  // numerical edge: u == total
 }
 
 }  // namespace hero

@@ -44,6 +44,9 @@ class Rng {
 
   // Sample an index from an (unnormalized, non-negative) weight vector.
   std::size_t categorical(const std::vector<double>& weights);
+  // Same draw from a raw weight row (batched callers index into a matrix);
+  // the vector overload delegates here, so both consume identical draws.
+  std::size_t categorical(const double* weights, std::size_t n);
 
   // Fisher–Yates shuffle.
   template <typename T>

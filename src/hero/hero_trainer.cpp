@@ -140,7 +140,9 @@ std::vector<sim::TwistCmd> HeroTrainer::act(const sim::LaneWorld& world, Rng& rn
 }
 
 void HeroTrainer::train(int episodes, Rng& rng, const algos::EpisodeHook& hook) {
-  if (cfg_.num_workers <= 1) {
+  if (cfg_.batch_envs > 0) {
+    train_batched(episodes, rng, hook);
+  } else if (cfg_.num_workers <= 1) {
     train_serial(episodes, rng, hook);
   } else {
     train_parallel(episodes, rng, hook);
@@ -529,6 +531,101 @@ void HeroTrainer::train_parallel(int episodes, Rng& rng,
         if (hook) hook(done_eps + static_cast<int>(e), col.stats);
       }
       sync_replicas(slots);
+    }
+    done_eps += static_cast<int>(round);
+  }
+  learning_ = false;
+}
+
+void HeroTrainer::train_batched(int episodes, Rng& rng,
+                                const algos::EpisodeHook& hook) {
+  learning_ = true;
+  const int n = static_cast<int>(agents_.size());
+  const int envs = std::max(cfg_.batch_envs, 1);
+  // One engine draw keys the whole run, matching train_parallel: the
+  // caller's rng advances identically however many episodes follow.
+  const std::uint64_t root = rng.engine()();
+  if (!batched_) {
+    batched_ = std::make_unique<BatchedRollout>(scenario_, cfg_.high,
+                                                cfg_.skill.termination, skills_,
+                                                agents_, envs);
+  }
+  std::vector<AgentUpdateStats> update_stats(static_cast<std::size_t>(n));
+
+  int done_eps = 0;
+  while (done_eps < episodes) {
+    const std::size_t round = std::min<std::size_t>(
+        static_cast<std::size_t>(envs), static_cast<std::size_t>(episodes - done_eps));
+    const bool observing = obs::metrics_enabled() || obs::telemetry_enabled();
+    batched_->run_round(root, static_cast<std::size_t>(done_eps), round, observing);
+
+    {
+      OBS_SPAN("runtime/learn");
+      // Merge in lane order == canonical episode order: replay stores
+      // agent-major FIFO, opponent labels (agent, opponent)-major FIFO —
+      // exactly the order the sharded runtime drains.
+      for (std::size_t e = 0; e < round; ++e) {
+        BatchedEpisode& col = batched_->episode(e);
+        for (int k = 0; k < n; ++k) {
+          auto& hl = agents_[static_cast<std::size_t>(k)]->high_level();
+          for (auto& t : col.high[static_cast<std::size_t>(k)]) {
+            hl.store(std::move(t));
+          }
+          auto& om = agents_[static_cast<std::size_t>(k)]->opponents();
+          for (int j = 0; j < n - 1; ++j) {
+            auto& samples =
+                col.opp[static_cast<std::size_t>(k) * static_cast<std::size_t>(n - 1) +
+                        static_cast<std::size_t>(j)];
+            for (auto& s : samples) {
+              om.observe(j, std::move(s.obs), option_from_index(s.option));
+            }
+          }
+          hl.set_selections(hl.selections() +
+                            col.selections[static_cast<std::size_t>(k)]);
+        }
+        total_steps_ += col.stats.steps;
+        option_switches_ += col.switches;
+      }
+
+      // Gradient cadence in synchronized *batch* steps — the batching
+      // throughput lever (docs/BATCHING.md §cadence): one batch step advanced
+      // every live lane, so at batch_envs = E this runs ~E× fewer update
+      // rounds per environment step than the serial loop, with the remainder
+      // carried across rounds like the worker runtime does.
+      RunningStat critic_loss, actor_entropy, critic_gn, actor_gn, opp_loss;
+      pending_update_steps_ += batched_->round_batch_steps();
+      while (pending_update_steps_ >= cfg_.update_every) {
+        pending_update_steps_ -= cfg_.update_every;
+        for (std::size_t k = 0; k < agents_.size(); ++k) {
+          update_stats[k] = agents_[k]->update(rng);
+        }
+        if (!observing) continue;
+        for (const auto& us : update_stats) {
+          if (us.high.updated) {
+            critic_loss.add(us.high.critic_loss);
+            actor_entropy.add(us.high.actor_entropy);
+            critic_gn.add(us.high.critic_grad_norm);
+            actor_gn.add(us.high.actor_grad_norm);
+          }
+          if (us.opponent_updates > 0) opp_loss.add(us.opponent_loss);
+        }
+      }
+
+      for (std::size_t e = 0; e < round; ++e) {
+        const BatchedEpisode& col = batched_->episode(e);
+        if (observing) {
+          // Update stats describe the whole round; attach them to its last
+          // episode so telemetry counts each update round once.
+          const bool last = e + 1 == round;
+          const RunningStat empty;
+          emit_episode_obs(done_eps + static_cast<int>(e), col.stats,
+                           col.switches, col.opp_total, col.opp_correct,
+                           /*steps_per_sec=*/0.0, last ? critic_loss : empty,
+                           last ? actor_entropy : empty, last ? critic_gn : empty,
+                           last ? actor_gn : empty, last ? opp_loss : empty);
+        }
+        if (hook) hook(done_eps + static_cast<int>(e), col.stats);
+      }
     }
     done_eps += static_cast<int>(round);
   }

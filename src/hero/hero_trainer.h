@@ -15,6 +15,7 @@
 
 #include "algos/common.h"
 #include "common/stats.h"
+#include "hero/batched_rollout.h"
 #include "hero/hero_agent.h"
 #include "runtime/sharded_replay.h"
 #include "runtime/thread_pool.h"
@@ -41,6 +42,13 @@ struct HeroConfig {
   // contract is keyed on this value (it fixes the episode→stream map and the
   // merge cadence).
   int num_envs = 0;
+  // Batch-first stage-2 rollouts (docs/BATCHING.md): > 0 steps that many
+  // episodes in lockstep through one vectorized BatchLaneWorld on a single
+  // thread, with every per-step network evaluation batched across lanes and
+  // gradient updates clocked per *batch* step. Takes precedence over
+  // num_workers. Deterministic for a fixed (seed, batch_envs) pair via the
+  // same per-episode RNG streams as the worker runtime.
+  int batch_envs = 0;
 };
 
 class HeroTrainer : public rl::Controller {
@@ -110,6 +118,8 @@ class HeroTrainer : public rl::Controller {
 
   void train_serial(int episodes, Rng& rng, const algos::EpisodeHook& hook);
   void train_parallel(int episodes, Rng& rng, const algos::EpisodeHook& hook);
+  // Batch-first rollout path (cfg_.batch_envs > 0; docs/BATCHING.md).
+  void train_batched(int episodes, Rng& rng, const algos::EpisodeHook& hook);
   // Runs one episode on a worker replica and stages its transitions into
   // shard `slot`.
   void collect_episode(Rng& rng, std::size_t slot,
@@ -148,6 +158,9 @@ class HeroTrainer : public rl::Controller {
   std::unique_ptr<runtime::ThreadPool> pool_;
   std::vector<std::unique_ptr<HeroTrainer>> replicas_;  // one per worker slot
   long pending_update_steps_ = 0;  // carries the steps/update_every remainder
+
+  // Batch-first rollout engine (unused while batch_envs == 0).
+  std::unique_ptr<BatchedRollout> batched_;
 };
 
 }  // namespace hero::core

@@ -37,21 +37,37 @@ std::vector<double> HighLevelAgent::option_probs(
   return actor_.probs1(in);
 }
 
+void HighLevelAgent::option_probs_rows(const nn::Matrix& in, nn::Matrix& probs) {
+  HERO_CHECK(in.cols() == obs_dim_ + opp_dim_);
+  nn::softmax_into(actor_.net().forward(in), probs);
+}
+
+int HighLevelAgent::select_from_probs(const HighLevelConfig& cfg,
+                                      const double* probs, long selection_count,
+                                      Rng& rng, bool explore) {
+  if (explore) {
+    const double eps = rl::LinearSchedule(cfg.eps_start, cfg.eps_end,
+                                          cfg.eps_decay_selections)
+                           .value(selection_count);
+    if (rng.chance(eps)) return static_cast<int>(rng.index(kNumOptions));
+    return static_cast<int>(rng.categorical(probs, kNumOptions));
+  }
+  int best = 0;
+  for (int o = 1; o < kNumOptions; ++o) {
+    if (probs[o] > probs[best]) best = o;
+  }
+  return best;
+}
+
 int HighLevelAgent::select_option(const std::vector<double>& obs,
                                   const std::vector<double>& opp_block, Rng& rng,
                                   bool explore) {
   ++selections_;
-  if (explore) {
-    const double eps = rl::LinearSchedule(cfg_.eps_start, cfg_.eps_end,
-                                          cfg_.eps_decay_selections)
-                           .value(selections_);
-    if (rng.chance(eps)) return static_cast<int>(rng.index(kNumOptions));
-  }
+  // option_probs is draw-free, so evaluating it before the ε draw leaves the
+  // RNG stream identical to drawing ε first (the batched path precomputes
+  // probabilities for a whole round the same way).
   auto p = option_probs(obs, opp_block);
-  if (!explore) {
-    return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
-  }
-  return static_cast<int>(rng.categorical(p));
+  return select_from_probs(cfg_, p.data(), selections_, rng, explore);
 }
 
 HighLevelUpdateStats HighLevelAgent::update(OpponentModel& opponents, Rng& rng) {

@@ -83,6 +83,18 @@ class HighLevelAgent {
   std::vector<double> option_probs(const std::vector<double>& obs,
                                    const std::vector<double>& opp_block);
 
+  // Batched actor evaluation: row b of `in` is [s_h | opp block]; writes the
+  // row-wise softmax policy into `probs` (batched rollout path).
+  void option_probs_rows(const nn::Matrix& in, nn::Matrix& probs);
+
+  // The ε-greedy-plus-categorical selection draw from a precomputed policy
+  // row of kNumOptions probabilities. `selection_count` is the ε-schedule
+  // position *including* this selection. select_option delegates here, so a
+  // batched caller that evaluates probabilities as one batch=E forward and
+  // then draws per-stream consumes exactly the serial per-stream draws.
+  static int select_from_probs(const HighLevelConfig& cfg, const double* probs,
+                               long selection_count, Rng& rng, bool explore);
+
   void store(OptionTransition t) { buffer_.add(std::move(t)); }
   std::size_t buffered() const { return buffer_.size(); }
   const rl::ReplayBuffer<OptionTransition>& buffer() const { return buffer_; }

@@ -34,26 +34,41 @@ OptionActionSpace option_action_space(Option o) {
 
 bool option_terminated(const OptionExecution& exec, const sim::LaneWorld& world,
                        int vehicle, const TerminationConfig& cfg) {
-  if (world.done()) return true;
-  if (cfg.synchronous) return exec.steps >= cfg.in_lane_duration;
-  if (exec.option == Option::kLaneChange) {
-    return lane_change_outcome(exec, world, vehicle, cfg) !=
-           LaneChangeOutcome::kInProgress;
-  }
-  return exec.steps >= cfg.in_lane_duration;
+  const auto& st = world.vehicle(vehicle).state();
+  return option_terminated(exec, world.track(), st.y, st.heading, world.done(),
+                           cfg);
 }
 
 LaneChangeOutcome lane_change_outcome(const OptionExecution& exec,
                                       const sim::LaneWorld& world, int vehicle,
                                       const TerminationConfig& cfg) {
   const auto& st = world.vehicle(vehicle).state();
-  const double y_err =
-      std::abs(st.y - world.track().lane_center(exec.target_lane));
+  return lane_change_outcome(exec, world.track(), st.y, st.heading, world.done(),
+                             cfg);
+}
+
+bool option_terminated(const OptionExecution& exec, const sim::Track& track,
+                       double y, double heading, bool world_done,
+                       const TerminationConfig& cfg) {
+  if (world_done) return true;
+  if (cfg.synchronous) return exec.steps >= cfg.in_lane_duration;
+  if (exec.option == Option::kLaneChange) {
+    return lane_change_outcome(exec, track, y, heading, world_done, cfg) !=
+           LaneChangeOutcome::kInProgress;
+  }
+  return exec.steps >= cfg.in_lane_duration;
+}
+
+LaneChangeOutcome lane_change_outcome(const OptionExecution& exec,
+                                      const sim::Track& track, double y,
+                                      double heading, bool world_done,
+                                      const TerminationConfig& cfg) {
+  const double y_err = std::abs(y - track.lane_center(exec.target_lane));
   if (y_err < cfg.lane_change_tol_y &&
-      std::abs(st.heading) < cfg.lane_change_tol_heading) {
+      std::abs(heading) < cfg.lane_change_tol_heading) {
     return LaneChangeOutcome::kSuccess;
   }
-  if (exec.steps >= cfg.lane_change_max_steps || world.done()) {
+  if (exec.steps >= cfg.lane_change_max_steps || world_done) {
     return LaneChangeOutcome::kFail;
   }
   return LaneChangeOutcome::kInProgress;

@@ -62,6 +62,18 @@ LaneChangeOutcome lane_change_outcome(const OptionExecution& exec,
                                       const sim::LaneWorld& world, int vehicle,
                                       const TerminationConfig& cfg);
 
+// State-scalar overloads of β_o and the lane-change outcome, shared with
+// the batched rollout path: the LaneWorld versions above delegate here, so
+// batched termination decisions are identical to serial ones by
+// construction. `world_done` is the episode's done flag.
+bool option_terminated(const OptionExecution& exec, const sim::Track& track,
+                       double y, double heading, bool world_done,
+                       const TerminationConfig& cfg);
+LaneChangeOutcome lane_change_outcome(const OptionExecution& exec,
+                                      const sim::Track& track, double y,
+                                      double heading, bool world_done,
+                                      const TerminationConfig& cfg);
+
 // --- intrinsic rewards (paper Sec. IV-C) ---
 
 struct IntrinsicRewardConfig {

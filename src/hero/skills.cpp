@@ -44,25 +44,33 @@ std::vector<double> SkillBank::policy_action(Option o, const std::vector<double>
 sim::TwistCmd SkillBank::to_twist(const OptionExecution& exec,
                                   const sim::LaneWorld& world, int vehicle,
                                   const std::vector<double>& action) const {
+  const auto& st = world.vehicle(vehicle).state();
+  return to_twist_core(exec, world.track(), world.config().dt, st.y, st.heading,
+                       action.data(), action.size());
+}
+
+sim::TwistCmd SkillBank::to_twist_core(const OptionExecution& exec,
+                                       const sim::Track& track, double dt,
+                                       double y, double heading,
+                                       const double* action,
+                                       std::size_t action_n) const {
   if (exec.option == Option::kKeepLane) {
     // Paper Sec. IV-C: keep-lane holds the previous linear speed.
     return {exec.hold_speed, 0.0};
   }
-  HERO_CHECK(action.size() == 2);
+  HERO_CHECK(action_n == 2);
   if (exec.option != Option::kLaneChange) {
     return {action[0], action[1]};  // signed angular command straight through
   }
   // Lane change: the policy commands speed and a steering-rate magnitude;
   // the steering law turns that into a signed rate toward the target lane
   // and straightens out as the lateral error vanishes.
-  const auto& st = world.vehicle(vehicle).state();
-  const double y_err = world.track().lane_center(exec.target_lane) - st.y;
+  const double y_err = track.lane_center(exec.target_lane) - y;
   const double theta_des = std::clamp(cfg_.steer_gain * y_err,
                                       -cfg_.max_change_heading,
                                       cfg_.max_change_heading);
-  const double dt = world.config().dt;
   const double w_mag = action[1];
-  const double w = std::clamp((theta_des - st.heading) / dt, -w_mag, w_mag);
+  const double w = std::clamp((theta_des - heading) / dt, -w_mag, w_mag);
   return {action[0], w};
 }
 

@@ -95,6 +95,33 @@ void SquashedGaussianPolicy::sample_into(const Matrix& obs, Rng& rng,
   }
 }
 
+void SquashedGaussianPolicy::act_rows_into(const Matrix& obs, Rng* const* rngs,
+                                           bool deterministic, Matrix& actions) {
+  const std::size_t k = action_dim();
+  const Matrix& out = trunk_.forward(obs);
+  HERO_CHECK(out.cols() == 2 * k);
+  const std::size_t n = out.rows();
+
+  actions.resize(n, k);
+  // Same per-element expressions as sample_into so a batched draw with
+  // stream R reproduces the serial act1 draw with stream R bitwise.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      const double mean = out(i, j);
+      const double raw_ls = out(i, k + j);
+      const double tls = std::tanh(raw_ls);
+      const double logstd = kLogStdMid + kLogStdHalf * tls;
+      const double std = std::exp(logstd);
+      const double eps = deterministic ? 0.0 : rngs[i]->normal();
+      const double pre = mean + std * eps;
+      const double t = std::tanh(pre);
+      const double center = 0.5 * (hi_[j] + lo_[j]);
+      const double scale = 0.5 * (hi_[j] - lo_[j]);
+      actions(i, j) = center + scale * t;
+    }
+  }
+}
+
 SquashedGaussianPolicy::Sample SquashedGaussianPolicy::sample(const Matrix& obs,
                                                               Rng& rng,
                                                               bool deterministic) {

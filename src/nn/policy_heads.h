@@ -71,6 +71,14 @@ class SquashedGaussianPolicy {
   std::vector<double> act1(const std::vector<double>& obs, Rng& rng,
                            bool deterministic = false);
 
+  // Batched rollout sampling: one trunk forward over all rows, one RNG
+  // stream per row — row i draws its normals from rngs[i] in dimension
+  // order, exactly like act1 with that stream, so per-env action draws are
+  // independent of the batch composition (docs/BATCHING.md). Writes only
+  // the squashed actions (no backward caches, no log-prob).
+  void act_rows_into(const Matrix& obs, Rng* const* rngs, bool deterministic,
+                     Matrix& actions);
+
   // Backprop given dL/d(action) (batch, k) and dL/d(log_prob) (batch).
   // Accumulates trunk parameter gradients; returns dL/d(obs) — a reference
   // into the trunk workspace, invalidated by the next backward.

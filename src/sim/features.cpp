@@ -13,7 +13,26 @@ std::vector<double> LaneCamera::features(const Vehicle& ego,
                                          const std::vector<Vehicle>& all,
                                          std::size_t ego_index, const Track& track,
                                          int reference_lane, Rng* noise_rng) const {
-  const VehicleState& s = ego.state();
+  // Stage the scene as parallel state arrays and run the shared core.
+  std::vector<double> xs(all.size()), ys(all.size()), speeds(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    xs[i] = all[i].state().x;
+    ys[i] = all[i].state().y;
+    speeds[i] = all[i].state().speed;
+  }
+  std::vector<double> f(kLaneCameraDim);
+  features_into(ego.state(), ego.params().max_speed, xs.data(), ys.data(),
+                speeds.data(), all.size(), ego_index, track, reference_lane,
+                noise_rng, f.data());
+  return f;
+}
+
+void LaneCamera::features_into(const VehicleState& s, double ego_max_speed,
+                               const double* xs, const double* ys,
+                               const double* speeds, std::size_t n,
+                               std::size_t ego_index, const Track& track,
+                               int reference_lane, Rng* noise_rng,
+                               double* out) const {
   const double w = track.lane_width();
   const double ref_c = track.lane_center(reference_lane);
   const int ego_lane = track.lane_of(s.y);
@@ -21,29 +40,29 @@ std::vector<double> LaneCamera::features(const Vehicle& ego,
   // Nearest vehicle ahead in the ego's current lane.
   double gap = cfg_.lead_range;
   double lead_rel_speed = 0.0;
-  for (std::size_t i = 0; i < all.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     if (i == ego_index) continue;
-    if (track.lane_of(all[i].state().y) != ego_lane) continue;
-    const double d = track.forward_gap(s.x, all[i].state().x);
+    if (track.lane_of(ys[i]) != ego_lane) continue;
+    const double d = track.forward_gap(s.x, xs[i]);
     if (d < gap) {
       gap = d;
-      lead_rel_speed = all[i].state().speed - s.speed;
+      lead_rel_speed = speeds[i] - s.speed;
     }
   }
 
-  std::vector<double> f(kLaneCameraDim);
-  f[0] = (s.y - ref_c) / w;
-  f[1] = std::sin(s.heading);
-  f[2] = std::cos(s.heading);
-  f[3] = gap / cfg_.lead_range;
-  f[4] = lead_rel_speed / ego.params().max_speed;
+  out[0] = (s.y - ref_c) / w;
+  out[1] = std::sin(s.heading);
+  out[2] = std::cos(s.heading);
+  out[3] = gap / cfg_.lead_range;
+  out[4] = lead_rel_speed / ego_max_speed;
   const int other_lane = reference_lane == 0 ? std::min(1, track.num_lanes() - 1) : 0;
-  f[5] = (track.lane_center(other_lane) - ref_c) / w;
+  out[5] = (track.lane_center(other_lane) - ref_c) / w;
 
   if (noise_rng && cfg_.noise_stddev > 0.0) {
-    for (double& v : f) v += noise_rng->normal(0.0, cfg_.noise_stddev);
+    for (std::size_t i = 0; i < kLaneCameraDim; ++i) {
+      out[i] += noise_rng->normal(0.0, cfg_.noise_stddev);
+    }
   }
-  return f;
 }
 
 }  // namespace hero::sim

@@ -39,6 +39,16 @@ class LaneCamera {
                                std::size_t ego_index, const Track& track,
                                int reference_lane, Rng* noise_rng = nullptr) const;
 
+  // Zero-allocation feature core over raw per-vehicle state arrays (the SoA
+  // views of the batched world). `xs`/`ys`/`speeds` hold all `n` vehicles of
+  // the scene including the ego at `ego_index`; writes kLaneCameraDim
+  // doubles to `out`. features() delegates here so batched features stay
+  // bitwise equal to serial ones.
+  void features_into(const VehicleState& ego, double ego_max_speed,
+                     const double* xs, const double* ys, const double* speeds,
+                     std::size_t n, std::size_t ego_index, const Track& track,
+                     int reference_lane, Rng* noise_rng, double* out) const;
+
   const LaneCameraConfig& config() const { return cfg_; }
 
  private:

@@ -15,7 +15,6 @@ std::vector<double> LidarSensor::scan(const Vehicle& ego,
                                       std::size_t ego_index, const Track& track,
                                       Rng* noise_rng) const {
   const VehicleState& s = ego.state();
-  const Vec2 origin{s.x, s.y};
   std::vector<double> out(static_cast<std::size_t>(cfg_.num_beams), 1.0);
 
   // Pre-compute the other footprints placed relative to the ego via the
@@ -29,13 +28,21 @@ std::vector<double> LidarSensor::scan(const Vehicle& ego,
     boxes.push_back(box);
   }
 
+  scan_into(s.x, s.y, s.heading, boxes.data(), boxes.size(), noise_rng, out.data());
+  return out;
+}
+
+void LidarSensor::scan_into(double x, double y, double heading, const Obb* boxes,
+                            std::size_t num_boxes, Rng* noise_rng,
+                            double* out) const {
+  const Vec2 origin{x, y};
   for (int b = 0; b < cfg_.num_beams; ++b) {
     const double angle =
-        s.heading + 2.0 * M_PI * static_cast<double>(b) / cfg_.num_beams;
+        heading + 2.0 * M_PI * static_cast<double>(b) / cfg_.num_beams;
     const Vec2 dir{std::cos(angle), std::sin(angle)};
     double best = cfg_.max_range;
-    for (const Obb& box : boxes) {
-      if (auto t = ray_obb(origin, dir, box); t && *t < best) best = *t;
+    for (std::size_t i = 0; i < num_boxes; ++i) {
+      if (auto t = ray_obb(origin, dir, boxes[i]); t && *t < best) best = *t;
     }
     if (noise_rng && cfg_.noise_stddev > 0.0) {
       best = std::clamp(best + noise_rng->normal(0.0, cfg_.noise_stddev), 0.0,
@@ -43,7 +50,6 @@ std::vector<double> LidarSensor::scan(const Vehicle& ego,
     }
     out[static_cast<std::size_t>(b)] = best / cfg_.max_range;
   }
-  return out;
 }
 
 }  // namespace hero::sim

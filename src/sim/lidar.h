@@ -28,6 +28,15 @@ class LidarSensor {
                            std::size_t ego_index, const Track& track,
                            Rng* noise_rng = nullptr) const;
 
+  // Zero-allocation scan core: raycasts the beams from pose (x, y, heading)
+  // against `num_boxes` pre-placed footprints (already re-centred relative
+  // to the ego through the track's wrapped metric) and writes num_beams
+  // normalized ranges to `out`. scan() and the batched SoA world both
+  // delegate here so batched scans stay bitwise equal to serial ones.
+  // Noise draws (when enabled) are per beam, independent of the box set.
+  void scan_into(double x, double y, double heading, const Obb* boxes,
+                 std::size_t num_boxes, Rng* noise_rng, double* out) const;
+
   const LidarConfig& config() const { return cfg_; }
 
  private:

@@ -6,21 +6,7 @@
 namespace hero::sim {
 
 void Vehicle::step(const TwistCmd& cmd, double dt, const Track& track) {
-  const double v = std::clamp(cmd.linear, params_.min_speed, params_.max_speed);
-  const double w = std::clamp(cmd.angular, -params_.max_yaw_rate, params_.max_yaw_rate);
-
-  // Mid-point heading integration keeps trajectories rotation-consistent at
-  // the coarse control rate used here.
-  const double h0 = state_.heading;
-  double h1 = std::clamp(wrap_angle(h0 + w * dt), -params_.max_heading,
-                         params_.max_heading);
-  const double hm = 0.5 * (h0 + h1);
-
-  state_.x = track.wrap_x(state_.x + v * std::cos(hm) * dt);
-  state_.y += v * std::sin(hm) * dt;
-  state_.heading = h1;
-  state_.speed = v;
-  state_.yaw_rate = w;
+  state_ = integrate_unicycle(params_, state_, cmd, dt, track);
 }
 
 Obb Vehicle::footprint() const {

@@ -5,6 +5,9 @@
 // space — so a unicycle integrator is the faithful dynamics model.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+
 #include "sim/geometry.h"
 #include "sim/track.h"
 
@@ -31,6 +34,35 @@ struct TwistCmd {
   double linear = 0.0;
   double angular = 0.0;
 };
+
+// One control period of the unicycle integrator: commands clamped to the
+// actuator limits, mid-point heading integration, arc length wrapped through
+// the track. Defined inline in this header because Vehicle::step *and* the
+// SoA BatchLaneWorld kinematics pass both call it — sharing one set of
+// expressions is what keeps batched trajectories bitwise equal to serial
+// ones even when the compiler contracts floating-point expressions
+// (contraction decisions are made per expression, not per call site).
+inline VehicleState integrate_unicycle(const VehicleParams& params,
+                                       const VehicleState& s, const TwistCmd& cmd,
+                                       double dt, const Track& track) {
+  const double v = std::clamp(cmd.linear, params.min_speed, params.max_speed);
+  const double w = std::clamp(cmd.angular, -params.max_yaw_rate, params.max_yaw_rate);
+
+  // Mid-point heading integration keeps trajectories rotation-consistent at
+  // the coarse control rate used here.
+  const double h0 = s.heading;
+  const double h1 =
+      std::clamp(wrap_angle(h0 + w * dt), -params.max_heading, params.max_heading);
+  const double hm = 0.5 * (h0 + h1);
+
+  VehicleState next;
+  next.x = track.wrap_x(s.x + v * std::cos(hm) * dt);
+  next.y = s.y + v * std::sin(hm) * dt;
+  next.heading = h1;
+  next.speed = v;
+  next.yaw_rate = w;
+  return next;
+}
 
 class Vehicle {
  public:

@@ -220,6 +220,25 @@ TEST(IndependentDqn, ParallelUpdatesMatchSerialBitwise) {
             (reward_trace<IndependentDqnTrainer>(parallel, 42, 5)));
 }
 
+TEST(IndependentDqn, BatchedCollectionIsReproducibleAndOrdered) {
+  // The batch-first path is keyed to (seed, batch_envs): same pair → same
+  // trace, and hooks fire in canonical episode order across rounds.
+  DqnConfig cfg = fast_dqn();
+  cfg.batch_envs = 3;
+  EXPECT_EQ((reward_trace<IndependentDqnTrainer>(cfg, 42, 5)),
+            (reward_trace<IndependentDqnTrainer>(cfg, 42, 5)));
+
+  Rng rng(43);
+  IndependentDqnTrainer t(small_scenario(), cfg, rng);
+  std::vector<int> order;
+  t.train(5, rng, [&](int ep, const rl::EpisodeStats& s) {
+    order.push_back(ep);
+    EXPECT_GT(s.steps, 0);
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_GT(t.total_steps(), 0);
+}
+
 TEST(Maddpg, ParallelUpdatesMatchSerialBitwise) {
   MaddpgConfig serial;
   serial.batch = 32;

@@ -239,6 +239,73 @@ TEST(HeroParallel, HooksFireInCanonicalEpisodeOrder) {
   }
 }
 
+TEST(HeroBatched, SameSeedRunsAreBitwiseIdentical) {
+  // The batch-first engine's determinism contract: results are a pure
+  // function of (seed, batch_envs) — docs/BATCHING.md.
+  auto run = [](std::string* params) {
+    Rng rng(31);
+    auto sc = sim::cooperative_lane_change();
+    auto cfg = fast_hero();
+    cfg.batch_envs = 3;
+    core::HeroTrainer trainer(sc, cfg, rng);
+    std::vector<double> rewards;
+    trainer.train(6, rng, [&](int, const rl::EpisodeStats& s) {
+      rewards.push_back(s.team_reward);
+    });
+    *params = learner_params(trainer);
+    return rewards;
+  };
+  std::string p1, p2;
+  const auto r1 = run(&p1);
+  const auto r2 = run(&p2);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(HeroBatched, TrainsAndFillsBuffersAtWidthOne) {
+  // batch_envs = 1 exercises every lane-retirement and merge edge with a
+  // single live lane — the smallest deployment of the batched engine.
+  Rng rng(37);
+  auto sc = sim::cooperative_lane_change();
+  auto cfg = fast_hero();
+  cfg.batch_envs = 1;
+  core::HeroTrainer trainer(sc, cfg, rng);
+  int hooks = 0;
+  trainer.train(5, rng, [&](int ep, const rl::EpisodeStats& s) {
+    EXPECT_EQ(ep, hooks);
+    ++hooks;
+    EXPECT_GT(s.steps, 0);
+    EXPECT_LE(s.steps, sc.config.max_steps);
+  });
+  EXPECT_EQ(hooks, 5);
+  for (int k = 0; k < trainer.num_agents(); ++k) {
+    EXPECT_GT(trainer.agent(k).high_level().buffered(), 0u);
+    EXPECT_GT(trainer.agent(k).high_level().selections(), 0);
+  }
+}
+
+TEST(HeroBatched, HooksFireInCanonicalEpisodeOrder) {
+  // Lane order IS episode order, including the short tail round (7 episodes
+  // over width-3 rounds: 3 + 3 + 1).
+  Rng rng(41);
+  auto sc = sim::cooperative_lane_change();
+  auto cfg = fast_hero();
+  cfg.batch_envs = 3;
+  core::HeroTrainer trainer(sc, cfg, rng);
+  std::vector<int> episodes;
+  trainer.train(7, rng, [&](int ep, const rl::EpisodeStats& s) {
+    episodes.push_back(ep);
+    EXPECT_GT(s.steps, 0);
+  });
+  std::vector<int> want(7);
+  for (int i = 0; i < 7; ++i) want[static_cast<std::size_t>(i)] = i;
+  EXPECT_EQ(episodes, want);
+  for (int k = 0; k < trainer.num_agents(); ++k) {
+    EXPECT_GT(trainer.agent(k).high_level().buffered(), 0u);
+    EXPECT_GT(trainer.agent(k).opponents().samples(0), 0u);
+  }
+}
+
 TEST(HeroPipeline, CheckpointRoundTripReproducesBehaviour) {
   Rng rng(9);
   auto sc = sim::cooperative_lane_change();

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
+#include "sim/batch_lane_world.h"
 #include "sim/features.h"
 #include "sim/lidar.h"
 #include "sim/track.h"
@@ -343,6 +346,190 @@ TEST(LaneCamera, IgnoresOtherLaneVehicles) {
   LaneCamera cam;
   auto f = cam.features(vs[0], vs, 0, track, 0);
   EXPECT_NEAR(f[3], 1.0, 1e-12);
+}
+
+// --- BatchLaneWorld vs LaneWorld equivalence (docs/BATCHING.md) -----------
+//
+// The batched world's contract is *bitwise* equality with the serial world
+// given the same config, state, and RNG stream — every EXPECT_EQ below is an
+// exact double comparison on purpose.
+
+LaneWorldConfig batch_test_config(int learners, bool with_plodder) {
+  LaneWorldConfig cfg;
+  cfg.track = {8.0, 0.35, 2};
+  cfg.dt = 0.5;
+  cfg.max_steps = 12;
+  for (int i = 0; i < learners; ++i) {
+    VehicleSpec s;
+    s.start_lane = i % 2;
+    s.start_x = 1.3 * i;
+    s.start_x_jitter = 0.4;
+    s.start_speed = 0.1;
+    cfg.specs.push_back(s);
+  }
+  if (with_plodder) {
+    VehicleSpec s;
+    s.start_lane = 0;
+    s.start_x = 1.3 * learners + 1.0;
+    s.scripted = true;
+    s.scripted_speed = 0.04;
+    cfg.specs.push_back(s);
+  }
+  return cfg;
+}
+
+// Steps a serial world and env `e` of a batched world in lockstep with
+// bit-identical command and world RNG streams, comparing everything after
+// every step (void so ASSERT_* can bail out).
+void run_lockstep_compare(const LaneWorldConfig& cfg, BatchLaneWorld& bw, int e,
+                          unsigned world_seed, unsigned cmd_seed) {
+  LaneWorld sw(cfg);
+  Rng serial_rng(world_seed), batch_rng(world_seed);
+  Rng serial_cmd(cmd_seed), batch_cmd(cmd_seed);
+  sw.reset(serial_rng);
+  bw.reset_env(e, batch_rng);
+
+  const int n = sw.num_learners();
+  std::vector<TwistCmd> cmds(static_cast<std::size_t>(n));
+  std::vector<TwistCmd> bcmds(static_cast<std::size_t>(bw.num_envs()) *
+                              static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> active(static_cast<std::size_t>(bw.num_envs()), 0);
+  active[static_cast<std::size_t>(e)] = 1;
+  BatchStepResult bout;
+  std::vector<double> bobs(bw.high_level_obs_dim());
+  std::vector<double> bl(bw.low_level_obs_dim());
+  Rng* rngs[64] = {};
+  rngs[e] = &batch_rng;
+
+  int steps = 0;
+  while (!sw.done()) {
+    for (int k = 0; k < n; ++k) {
+      cmds[static_cast<std::size_t>(k)] = {serial_cmd.uniform(0.0, 0.2),
+                                           serial_cmd.uniform(-0.5, 0.5)};
+      bcmds[static_cast<std::size_t>(e * n + k)] = {batch_cmd.uniform(0.0, 0.2),
+                                                    batch_cmd.uniform(-0.5, 0.5)};
+    }
+    auto sout = sw.step(cmds, serial_rng);
+    bw.step_all(bcmds.data(), rngs, active.data(), bout);
+    ++steps;
+
+    ASSERT_EQ(sw.steps(), bw.steps(e));
+    ASSERT_EQ(sw.done(), bw.done(e));
+    ASSERT_EQ(sout.collision, bout.collision[static_cast<std::size_t>(e)] != 0);
+    for (int i = 0; i < sw.num_vehicles(); ++i) {
+      const VehicleState& a = sw.vehicle(i).state();
+      const VehicleState b = bw.state(e, i);
+      ASSERT_EQ(a.x, b.x) << "vehicle " << i << " step " << steps;
+      ASSERT_EQ(a.y, b.y) << "vehicle " << i << " step " << steps;
+      ASSERT_EQ(a.heading, b.heading) << "vehicle " << i << " step " << steps;
+      ASSERT_EQ(a.speed, b.speed) << "vehicle " << i << " step " << steps;
+      ASSERT_EQ(a.yaw_rate, b.yaw_rate) << "vehicle " << i << " step " << steps;
+      ASSERT_EQ(sout.travel[static_cast<std::size_t>(i)],
+                bout.travel[static_cast<std::size_t>(e * sw.num_vehicles() + i)]);
+      ASSERT_EQ(sw.total_travel(i), bw.total_travel(e, i));
+      ASSERT_EQ(sw.mean_speed(i), bw.mean_speed(e, i));
+    }
+    for (int k = 0; k < n; ++k) {
+      ASSERT_EQ(sout.reward[static_cast<std::size_t>(k)],
+                bout.reward[static_cast<std::size_t>(e * n + k)]);
+    }
+    // Observations from the same post-step state must match bitwise too.
+    for (int i = 0; i < sw.num_vehicles(); ++i) {
+      auto sh = sw.high_level_obs(i);
+      bw.high_level_obs_into(e, i, bobs.data());
+      for (std::size_t d = 0; d < sh.size(); ++d) ASSERT_EQ(sh[d], bobs[d]);
+      for (int ref = 0; ref < sw.track().num_lanes(); ++ref) {
+        auto sl = sw.low_level_obs(i, ref);
+        bw.low_level_obs_into(e, i, ref, bl.data());
+        for (std::size_t d = 0; d < sl.size(); ++d) ASSERT_EQ(sl[d], bl[d]);
+      }
+    }
+  }
+  EXPECT_GT(steps, 0);
+  EXPECT_TRUE(bw.done(e));
+  EXPECT_EQ(sw.had_collision(), bw.had_collision(e));
+}
+
+TEST(BatchLaneWorld, SingleEnvMatchesSerialBitwise) {
+  const auto cfg = batch_test_config(3, true);
+  BatchLaneWorld bw(cfg, 1);
+  for (unsigned seed = 0; seed < 8; ++seed) {
+    run_lockstep_compare(cfg, bw, 0, 100 + seed, 900 + seed);
+  }
+}
+
+TEST(BatchLaneWorld, SingleEnvMatchesSerialUnderRealWorldShift) {
+  // Latency rings, actuation noise draws, and per-episode dynamics jitter
+  // all consume RNG in the serial order.
+  const auto cfg = with_real_world_shift(batch_test_config(3, true));
+  BatchLaneWorld bw(cfg, 1);
+  for (unsigned seed = 0; seed < 8; ++seed) {
+    run_lockstep_compare(cfg, bw, 0, 200 + seed, 800 + seed);
+  }
+}
+
+TEST(BatchLaneWorld, SixteenEnvsMatchSixteenSerialRuns) {
+  // Every env of a 16-wide batch must reproduce its serial twin bitwise when
+  // both consume the same counter-based stream — env order in the batch must
+  // not leak between lanes.
+  const auto cfg = with_real_world_shift(batch_test_config(2, true));
+  BatchLaneWorld bw(cfg, 16);
+  for (int e = 0; e < 16; ++e) {
+    run_lockstep_compare(cfg, bw, e, 3000 + static_cast<unsigned>(e),
+                         4000 + static_cast<unsigned>(e));
+  }
+}
+
+TEST(BatchLaneWorld, BroadPhaseCollisionSetMatchesAllPairs) {
+  // Randomized scenes: scatter vehicles (sometimes clustered, sometimes
+  // off-road) and check the sorted-sweep collision set equals the serial
+  // all-pairs OBB result exactly.
+  auto cfg = batch_test_config(6, false);
+  for (auto& sp : cfg.specs) sp.start_x_jitter = 0.0;  // keep streams trivial
+  LaneWorld sw(cfg);
+  BatchLaneWorld bw(cfg, 1);
+  Rng scene(42);
+  const int n = sw.num_learners();
+  std::vector<TwistCmd> cmds(static_cast<std::size_t>(n));
+  std::vector<TwistCmd> bcmds(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> active{1};
+  BatchStepResult bout;
+  int collisions_seen = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    Rng r1(7), r2(7);
+    sw.reset(r1);
+    bw.reset_env(0, r2);
+    for (int i = 0; i < sw.num_vehicles(); ++i) {
+      VehicleState st;
+      // Cluster positions so overlaps actually happen; occasionally push a
+      // vehicle off-road to exercise the off-road branch.
+      st.x = scene.uniform(0.0, trial % 3 == 0 ? 1.5 : 8.0);
+      st.y = scene.uniform(-0.4, 0.75);
+      st.heading = scene.uniform(-0.8, 0.8);
+      st.speed = scene.uniform(0.0, 0.2);
+      sw.mutable_vehicle(i).mutable_state() = st;
+      bw.set_state(0, i, st);
+    }
+    for (int k = 0; k < n; ++k) {
+      const TwistCmd c{scene.uniform(0.0, 0.2), scene.uniform(-0.5, 0.5)};
+      cmds[static_cast<std::size_t>(k)] = c;
+      bcmds[static_cast<std::size_t>(k)] = c;
+    }
+    Rng w1(9), w2(9);
+    Rng* rngs[1] = {&w2};
+    auto sout = sw.step(cmds, w1);
+    bw.step_all(bcmds.data(), rngs, active.data(), bout);
+    if (sout.collision) ++collisions_seen;
+    ASSERT_EQ(sout.collision, bout.collision[0] != 0) << "trial " << trial;
+    std::vector<int> bhit;
+    for (int i = 0; i < sw.num_vehicles(); ++i) {
+      if (bw.hit(0, i)) bhit.push_back(i);
+    }
+    ASSERT_EQ(sout.collided, bhit) << "trial " << trial;
+  }
+  // The scene generator must actually produce both outcomes.
+  EXPECT_GT(collisions_seen, 10);
+  EXPECT_LT(collisions_seen, 300);
 }
 
 }  // namespace

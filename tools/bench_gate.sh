@@ -47,6 +47,7 @@ gate() {
         }
         END {
             bad = 0
+            nreg = 0
             for (i = 1; i <= n; ++i) {
                 name = order[i]
                 if (!(name in seedval) || seedval[name] <= 0) {
@@ -56,9 +57,20 @@ gate() {
                 ratio = newval[name] / seedval[name]
                 worse = (dir == "higher_is_worse") ? (ratio - 1) * 100 : (1 - ratio) * 100
                 flag = ""
-                if (worse > pct) { flag = "  << REGRESSION"; bad = 1 }
+                if (worse > pct) { flag = "  << REGRESSION"; bad = 1; reg[++nreg] = name }
                 printf "  %-36s seed %14.1f  new %14.1f  %+6.1f%%%s\n", \
                        name, seedval[name], newval[name], (ratio - 1) * 100, flag
+            }
+            if (bad) {
+                # Failure recap: only the regressed entries, old -> new, so CI
+                # logs surface the offenders without re-reading the table.
+                printf "\n  regression recap (%s, threshold %.0f%%):\n", dir, pct
+                for (i = 1; i <= nreg; ++i) {
+                    name = reg[i]
+                    printf "    %s: %.1f -> %.1f (%+.1f%%)\n", \
+                           name, seedval[name], newval[name], \
+                           (newval[name] / seedval[name] - 1) * 100
+                }
             }
             exit bad
         }
@@ -130,6 +142,25 @@ self_test() {
     # against ever wiring steps_per_sec through higher_is_worse again.
     expect "direction polarity is honoured" 1 \
         "$tmp/tp_gain.json" "$tmp/tp_seed.json" steps_per_sec higher_is_worse 25
+
+    # A failing gate must end with a recap that names each regressed entry
+    # with its old -> new values; a passing gate must not print one.
+    out=$(gate "$tmp/tp_drop.json" "$tmp/tp_seed.json" steps_per_sec lower_is_worse 25 2>&1) || true
+    case "$out" in
+        *"regression recap"*"base: 1000.0 -> 700.0"*)
+            echo "self-test ok:   failure recap lists regressed entries" ;;
+        *)
+            echo "self-test FAIL: failure recap missing or malformed" >&2
+            fails=$((fails + 1)) ;;
+    esac
+    out=$(gate "$tmp/tp_gain.json" "$tmp/tp_seed.json" steps_per_sec lower_is_worse 25 2>&1) || true
+    case "$out" in
+        *"regression recap"*)
+            echo "self-test FAIL: recap printed on a passing gate" >&2
+            fails=$((fails + 1)) ;;
+        *)
+            echo "self-test ok:   no recap on a passing gate" ;;
+    esac
 
     [ "$fails" -eq 0 ] || exit 1
     echo "bench_gate self-test: all checks passed"

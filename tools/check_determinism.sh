@@ -14,11 +14,17 @@
 #   DET_SKILL_EPISODES  stage-1 episodes per skill     (default 2)
 #   DET_WORKERS         --num-workers for both runs    (default 1)
 #   DET_ENVS            --num-envs for both runs       (default 0 = workers)
+#   DET_BATCH_ENVS      --batch-envs for both runs     (default 0 = off)
 #
 # With DET_WORKERS > 1 the gate checks the parallel runtime's same-seed
 # self-consistency: episode RNG streams are keyed to (seed, num_envs), so
 # two identically-seeded multi-worker runs must still agree bitwise
 # (docs/PARALLELISM.md). CI runs the gate at 1 and 4 workers.
+#
+# With DET_BATCH_ENVS > 0 the batch-first rollout engine collects stage 2
+# (docs/BATCHING.md): results are keyed to (seed, batch_envs), so two
+# identically-seeded runs at the same width must agree bitwise. CI runs
+# the gate at widths 1 and 16.
 #
 # A diff here means a hidden entropy source crept in (an unseeded RNG,
 # iteration over pointer-keyed containers, uninitialized reads feeding
@@ -34,6 +40,7 @@ episodes=${DET_EPISODES:-2}
 skill_episodes=${DET_SKILL_EPISODES:-2}
 workers=${DET_WORKERS:-1}
 envs=${DET_ENVS:-0}
+batch_envs=${DET_BATCH_ENVS:-0}
 
 cmake -B "$build_dir" -S "$repo_root" > /dev/null
 cmake --build "$build_dir" --target hero_train -j"$(nproc 2>/dev/null || echo 1)" \
@@ -52,11 +59,12 @@ run() {
         --episodes "$episodes" \
         --hl-warmup 8 --hl-batch 8 \
         --num-workers "$workers" --num-envs "$envs" \
+        --batch-envs "$batch_envs" \
         --telemetry-out "$out_dir/telemetry.jsonl" \
         > "$out_dir/stdout.log"
 }
 
-echo "run 1/2 (seed $seed, $skill_episodes skill episodes, $episodes episodes, $workers workers)..."
+echo "run 1/2 (seed $seed, $skill_episodes skill episodes, $episodes episodes, $workers workers, batch $batch_envs)..."
 run 1
 echo "run 2/2..."
 run 2

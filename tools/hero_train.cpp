@@ -5,7 +5,7 @@
 //              [--learners 3] [--seed 1] [--no-opponent-model]
 //              [--synchronous-termination] [--curves prefix]
 //              [--hl-warmup N] [--hl-batch N]
-//              [--num-workers N] [--num-envs N]
+//              [--num-workers N] [--num-envs N] [--batch-envs N]
 //              [--metrics-out m.json] [--trace-out t.json]
 //              [--telemetry-out run.jsonl]
 //
@@ -18,6 +18,11 @@
 // environment instances a round spans (default: one per worker). Results
 // are keyed to (seed, num_envs) and invariant to the worker count — see
 // docs/PARALLELISM.md for the determinism contract.
+//
+// `--batch-envs N` switches stage 2 to the single-threaded batch-first
+// rollout engine instead: N episodes step in lockstep through a vectorized
+// world with batched network evaluation (docs/BATCHING.md). Takes
+// precedence over --num-workers; results are keyed to (seed, batch_envs).
 //
 // `--curves prefix` additionally writes <prefix>_reward.svg /
 // <prefix>_collision.svg / <prefix>_success.svg learning-curve plots.
@@ -51,6 +56,7 @@ int main(int argc, char** argv) {
   const int hl_batch = flags.get_int("hl-batch", -1);
   const int num_workers = flags.get_int("num-workers", 1);
   const int num_envs = flags.get_int("num-envs", 0);
+  const int batch_envs = flags.get_int("batch-envs", 0);
   const obs::Outputs obs_out = obs::configure(flags);
   flags.check_unknown();
 
@@ -63,6 +69,7 @@ int main(int argc, char** argv) {
   if (hl_batch > 0) cfg.high.batch = static_cast<std::size_t>(hl_batch);
   cfg.num_workers = std::max(1, num_workers);
   cfg.num_envs = std::max(0, num_envs);
+  cfg.batch_envs = std::max(0, batch_envs);
   core::HeroTrainer trainer(scenario, cfg, rng);
 
   std::printf("stage 1: training %d skills x %d episodes...\n", 3, skill_episodes);

@@ -23,6 +23,12 @@ Rules (docs/CORRECTNESS.md):
                         outside src/runtime — all concurrency goes through
                         runtime::ThreadPool so worker counts, RNG streams, and
                         shutdown stay centralized (docs/PARALLELISM.md).
+  R6  no-growth-in-batch-step
+                        BatchLaneWorld::step* bodies are the batch-first sim
+                        hot path (docs/BATCHING.md); per-element container
+                        growth (push_back/emplace_back) is forbidden there —
+                        all step scratch is sized at construction, mirroring
+                        R2's no-alloc contract for *_into kernels.
 
 Exit status is the number of violation kinds found (0 = clean). Run:
 
@@ -56,6 +62,12 @@ ALLOC_PATTERNS = [
     (re.compile(r"\.(push_back|emplace_back|reserve)\s*\("), "container growth"),
 ]
 INTO_DEF = re.compile(r"^\s*(?:[\w:<>&*,\s]+?)\b(\w+_into)\s*\(", re.MULTILINE)
+
+# R6 ----------------------------------------------------------------------
+GROWTH_PATTERNS = [
+    (re.compile(r"\.(push_back|emplace_back)\s*\("), "per-element growth"),
+]
+BATCH_STEP_DEF = re.compile(r"\bBatchLaneWorld::(step\w*)\s*\(")
 
 # R5 ----------------------------------------------------------------------
 THREAD_PATTERNS = [
@@ -92,9 +104,9 @@ def line_of(text: str, offset: int) -> int:
     return text.count("\n", 0, offset) + 1
 
 
-def into_function_bodies(text: str):
-    """Yields (name, start_offset, body_text) for each *_into definition."""
-    for m in INTO_DEF.finditer(text):
+def function_bodies(text: str, def_re: re.Pattern[str]):
+    """Yields (name, start_offset, body_text) per definition; group 1 = name."""
+    for m in def_re.finditer(text):
         # Find the opening brace of the definition (skip declarations ending ';').
         i = m.end()
         depth = 0
@@ -114,6 +126,11 @@ def into_function_bodies(text: str):
         yield m.group(1), start, text[start:i]
 
 
+def into_function_bodies(text: str):
+    """Yields (name, start_offset, body_text) for each *_into definition."""
+    yield from function_bodies(text, INTO_DEF)
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--root", type=Path, default=Path(__file__).resolve().parent.parent)
@@ -121,7 +138,9 @@ def main() -> int:
     root: Path = args.root
     src = root / "src"
 
-    violations: dict[str, list[str]] = {"R1": [], "R2": [], "R3": [], "R4": [], "R5": []}
+    violations: dict[str, list[str]] = {
+        "R1": [], "R2": [], "R3": [], "R4": [], "R5": [], "R6": []
+    }
 
     for path in sorted(src.rglob("*")):
         if path.suffix not in {".h", ".cpp"}:
@@ -160,6 +179,14 @@ def main() -> int:
                 for m in pat.finditer(code):
                     violations["R5"].append(f"{rel}:{line_of(code, m.start())}: {what}")
 
+        for name, start, body in function_bodies(code, BATCH_STEP_DEF):
+            for pat, what in GROWTH_PATTERNS:
+                for m in pat.finditer(body):
+                    violations["R6"].append(
+                        f"{rel}:{line_of(code, start + m.start())}: "
+                        f"{what} inside BatchLaneWorld::{name}()"
+                    )
+
     failed = 0
     names = {
         "R1": "no-libc-rand",
@@ -167,6 +194,7 @@ def main() -> int:
         "R3": "no-bare-printf",
         "R4": "pragma-once",
         "R5": "no-raw-thread",
+        "R6": "no-growth-in-batch-step",
     }
     for rule, items in violations.items():
         if not items:
