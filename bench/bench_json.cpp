@@ -37,6 +37,7 @@
 #include "hero/hero_trainer.h"
 #include "nn/losses.h"
 #include "nn/mlp.h"
+#include "obs/phase.h"
 #include "runtime/rollout.h"
 #include "sim/batch_lane_world.h"
 #include "sim/lane_world.h"
@@ -125,6 +126,23 @@ std::vector<BenchResult> run_nn_cases(double min_time) {
           net.zero_grad();
           net.backward(loss.grad);
         }));
+  }
+
+  {
+    // Phase-attribution scope cost (obs/phase.h). "off" is what every
+    // uninstrumented run pays at each OBS_PHASE site — one relaxed
+    // atomic-bool load, asserted to stay in the noise by
+    // tools/run_benchmarks.sh. "on" adds two clock reads and two relaxed
+    // atomic adds (the --metrics-out price).
+    out.push_back(time_case("BM_PhaseScope/off", min_time, [&] {
+      OBS_PHASE("bench_phase");
+    }));
+    obs::set_phases_enabled(true);
+    out.push_back(time_case("BM_PhaseScope/on", min_time, [&] {
+      OBS_PHASE("bench_phase");
+    }));
+    obs::set_phases_enabled(false);
+    obs::PhaseRegistry::instance().reset();
   }
 
   {

@@ -71,6 +71,7 @@ std::vector<sim::TwistCmd> ComaTrainer::act(const sim::LaneWorld& world, Rng& rn
 void ComaTrainer::update_from_episode(const std::vector<StepRecord>& episode,
                                       Rng& rng) {
   OBS_SPAN("coma/update");
+  OBS_PHASE("update");
   (void)rng;
   if (episode.empty()) return;
   const std::size_t T = episode.size();
@@ -145,6 +146,7 @@ void ComaTrainer::update_from_episode(const std::vector<StepRecord>& episode,
 void ComaTrainer::train(int episodes, Rng& rng, const EpisodeHook& hook) {
   for (int ep = 0; ep < episodes; ++ep) {
     OBS_SPAN("coma/episode");
+    OBS_PHASE("episode");
     world_.reset(rng);
     rl::EpisodeStats stats;
     std::vector<StepRecord> episode;

@@ -29,6 +29,17 @@ void record_episode(const char* method, int episode, const rl::EpisodeStats& sta
                                         .field("success", stats.success)
                                         .field("mean_speed", stats.mean_speed));
   }
+  if (obs::health_enabled()) {
+    // Baselines report reward/steps only; rules needing update or throughput
+    // fields stay dormant, but episodes still count toward the verdict and
+    // the rolling-snapshot cadence.
+    obs::EpisodeHealth h;
+    h.episode = episode;
+    h.reward = stats.team_reward;
+    h.steps = stats.steps;
+    obs::AlertEngine::instance().observe_episode(h);
+    obs::note_episode();
+  }
 }
 
 std::vector<double> baseline_obs(const sim::LaneWorld& world, int vehicle) {

@@ -136,6 +136,7 @@ double IndependentDqnTrainer::update_agent(int agent, Rng& rng) {
 }
 
 void IndependentDqnTrainer::update_round(Rng& rng) {
+  OBS_PHASE("update");
   const int n = world_.num_learners();
   // Prioritized replay stays serial: the β anneal and priority rewrites are
   // keyed to the global update order.
@@ -192,6 +193,7 @@ void IndependentDqnTrainer::train_batched(int episodes, Rng& rng,
   int done_eps = 0;
   while (done_eps < episodes) {
     OBS_SPAN("dqn/batched_round");
+    OBS_PHASE("batched_round");
     const std::size_t round = std::min<std::size_t>(
         static_cast<std::size_t>(envs), static_cast<std::size_t>(episodes - done_eps));
     bsched_->begin_round(root, static_cast<std::size_t>(done_eps), round);
@@ -305,6 +307,7 @@ void IndependentDqnTrainer::train(int episodes, Rng& rng, const EpisodeHook& hoo
   }
   for (int ep = 0; ep < episodes; ++ep) {
     OBS_SPAN("dqn/episode");
+    OBS_PHASE("episode");
     world_.reset(rng);
     rl::EpisodeStats stats;
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "nn/losses.h"
+#include "obs/phase.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -42,13 +43,17 @@ SacUpdateStats SacAgent::observe(std::vector<double> obs, std::vector<double> ac
 SacUpdateStats SacAgent::update(Rng& rng) {
   if (!buffer_.ready(std::max(cfg_.batch, cfg_.warmup_steps))) return {};
   OBS_SPAN("sac/update");
+  OBS_PHASE("update");
   if (obs::metrics_enabled()) {
     obs::Registry::instance().counter("sac.updates").inc();
   }
   SacUpdateStats stats;
   stats.updated = true;
 
-  auto batch = buffer_.sample(cfg_.batch, rng);
+  const auto batch = [&] {
+    OBS_PHASE("replay");
+    return buffer_.sample(cfg_.batch, rng);
+  }();
   const std::size_t B = batch.size();
   const std::size_t k = actor_.action_dim();
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/phase.h"
 #include "obs/trace.h"
 
 namespace hero::core {
@@ -64,6 +65,7 @@ void BatchedRollout::begin_lane(std::size_t lane) {
 void BatchedRollout::run_round(std::uint64_t root, std::size_t first,
                                std::size_t count, bool observing) {
   OBS_SPAN("runtime/batch_rollout");
+  OBS_PHASE("rollout");
   HERO_CHECK(count <= static_cast<std::size_t>(E_));
   sched_.begin_round(root, first, count);
   round_batch_steps_ = 0;
@@ -146,56 +148,59 @@ void BatchedRollout::step_once(bool observing) {
       static_cast<std::size_t>(std::max(n_ - 1, 0)) * kNumOptions;
   const std::size_t lanes = sched_.round_size();
 
-  // (1) High-level observations for every live (lane, agent): one row serves
-  // as the previous step's opponent label, this step's termination/selection
-  // input, and the pending transition's next_obs.
-  for (std::size_t lane = 0; lane < lanes; ++lane) {
-    if (!sched_.active(lane)) continue;
-    for (int k = 0; k < n_; ++k) {
-      const int vi = world_.learners()[static_cast<std::size_t>(k)];
-      world_.high_level_obs_into(static_cast<int>(lane), vi,
-                                 hl_obs_.row_ptr(la_index(lane, k)));
+  {
+    OBS_PHASE("obs_build");
+    // (1) High-level observations for every live (lane, agent): one row
+    // serves as the previous step's opponent label, this step's
+    // termination/selection input, and the pending transition's next_obs.
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      if (!sched_.active(lane)) continue;
+      for (int k = 0; k < n_; ++k) {
+        const int vi = world_.learners()[static_cast<std::size_t>(k)];
+        world_.high_level_obs_into(static_cast<int>(lane), vi,
+                                   hl_obs_.row_ptr(la_index(lane, k)));
+      }
     }
-  }
 
-  // (2) Opponent labels for the step just taken (options on the board are
-  // still the ones held during it — selection below happens after).
-  for (std::size_t lane = 0; lane < lanes; ++lane) {
-    if (!sched_.active(lane) || !started_[lane]) continue;
-    for (int k = 0; k < n_; ++k) {
-      stage_opp_labels(lane, k, hl_obs_.row_ptr(la_index(lane, k)), observing);
+    // (2) Opponent labels for the step just taken (options on the board are
+    // still the ones held during it — selection below happens after).
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      if (!sched_.active(lane) || !started_[lane]) continue;
+      for (int k = 0; k < n_; ++k) {
+        stage_opp_labels(lane, k, hl_obs_.row_ptr(la_index(lane, k)), observing);
+      }
     }
-  }
 
-  // (3) β_o termination per (lane, agent): finalize the pending semi-MDP
-  // transition (next_obs = current row, done = false) and flag for
-  // re-selection. Unstarted lanes flag every agent (initial selection).
-  for (std::size_t lane = 0; lane < lanes; ++lane) {
-    if (!sched_.active(lane)) continue;
-    for (int k = 0; k < n_; ++k) {
-      const std::size_t idx = la_index(lane, k);
-      LaneAgent& la = lane_agents_[idx];
-      if (!started_[lane]) {
+    // (3) β_o termination per (lane, agent): finalize the pending semi-MDP
+    // transition (next_obs = current row, done = false) and flag for
+    // re-selection. Unstarted lanes flag every agent (initial selection).
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      if (!sched_.active(lane)) continue;
+      for (int k = 0; k < n_; ++k) {
+        const std::size_t idx = la_index(lane, k);
+        LaneAgent& la = lane_agents_[idx];
+        if (!started_[lane]) {
+          needs_select_[idx] = 1;
+          continue;
+        }
+        const int vi = world_.learners()[static_cast<std::size_t>(k)];
+        const auto st = world_.state(static_cast<int>(lane), vi);
+        if (!option_terminated(la.exec, world_.track(), st.y, st.heading,
+                               /*world_done=*/false, term_)) {
+          needs_select_[idx] = 0;
+          continue;
+        }
+        if (la.has_pending) {
+          const double* row = hl_obs_.row_ptr(idx);
+          episodes_[lane].high[static_cast<std::size_t>(k)].push_back(
+              {std::move(la.pend_obs), std::move(la.pend_opp_actual),
+               la.pend_option, la.pend_reward, la.pend_discount,
+               std::vector<double>(row, row + hl_dim), /*done=*/false});
+          la.has_pending = false;
+        }
+        ++episodes_[lane].switches;
         needs_select_[idx] = 1;
-        continue;
       }
-      const int vi = world_.learners()[static_cast<std::size_t>(k)];
-      const auto st = world_.state(static_cast<int>(lane), vi);
-      if (!option_terminated(la.exec, world_.track(), st.y, st.heading,
-                             /*world_done=*/false, term_)) {
-        needs_select_[idx] = 0;
-        continue;
-      }
-      if (la.has_pending) {
-        const double* row = hl_obs_.row_ptr(idx);
-        episodes_[lane].high[static_cast<std::size_t>(k)].push_back(
-            {std::move(la.pend_obs), std::move(la.pend_opp_actual), la.pend_option,
-             la.pend_reward, la.pend_discount,
-             std::vector<double>(row, row + hl_dim), /*done=*/false});
-        la.has_pending = false;
-      }
-      ++episodes_[lane].switches;
-      needs_select_[idx] = 1;
     }
   }
 
@@ -205,6 +210,8 @@ void BatchedRollout::step_once(bool observing) {
   // stream. Processing k ascending keeps the one-hot opponent blocks on the
   // serial convention (agents < k already updated this step, agents > k
   // still on their previous option).
+  {
+  OBS_PHASE("select");
   for (int k = 0; k < n_; ++k) {
     sel_lanes_.clear();
     for (std::size_t lane = 0; lane < lanes; ++lane) {
@@ -282,11 +289,14 @@ void BatchedRollout::step_once(bool observing) {
   for (std::size_t lane = 0; lane < lanes; ++lane) {
     if (sched_.active(lane)) started_[lane] = 1;
   }
+  }  // OBS_PHASE("select")
 
   // (5) Skill commands. Keep-lane is closed-form; the learned options run
   // option-major so each SAC policy does one batched forward over every lane
   // currently holding it, with the squashing draws routed to the owning
   // lane's stream (act_rows_into).
+  {
+  OBS_PHASE("skills");
   for (std::size_t lane = 0; lane < lanes; ++lane) {
     if (!sched_.active(lane)) continue;
     for (int k = 0; k < n_; ++k) {
@@ -336,12 +346,15 @@ void BatchedRollout::step_once(bool observing) {
           sk_act_.row_ptr(r), sk_act_.cols());
     }
   }
+  }  // OBS_PHASE("skills")
 
-  // (6) One synchronized world step across every live lane.
+  // (6) One synchronized world step across every live lane (the sim_step
+  // phase is recorded inside step_all).
   world_.step_all(cmds_.data(), sched_.rng_ptrs(), sched_.active_mask(),
                   step_out_);
   ++round_batch_steps_;
 
+  OBS_PHASE("accumulate");
   // (7) Reward accumulation: team mean into the episode stats, per-agent
   // discounted accumulation into the pending semi-MDP transitions.
   for (std::size_t lane = 0; lane < lanes; ++lane) {

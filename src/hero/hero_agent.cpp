@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/phase.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 
@@ -130,9 +131,11 @@ void HeroAgent::sync_policy_from(HeroAgent& src) {
 
 AgentUpdateStats HeroAgent::update(Rng& rng) {
   OBS_SPAN("stage2/update");
+  OBS_PHASE("update");
   AgentUpdateStats stats;
   {
     OBS_SPAN("stage2/update/opponent");
+    OBS_PHASE("opponent_update");
     const auto losses = opponents_->update_all(rng);
     for (std::size_t j = 0; j < losses.size(); ++j) {
       if (!opponents_->ready(static_cast<int>(j))) continue;

@@ -1,7 +1,6 @@
 #include "hero/hero_trainer.h"
 
 #include <algorithm>
-#include <chrono>
 #include <string>
 
 #include "common/stats.h"
@@ -45,6 +44,7 @@ runtime::ThreadPool& HeroTrainer::ensure_pool(std::size_t threads) {
 
 std::map<Option, std::vector<double>> HeroTrainer::train_skills(
     int episodes_per_skill, Rng& rng, const SkillHook& hook) {
+  OBS_PHASE("stage1");
   if (cfg_.parallel_skills || cfg_.num_workers > 1) {
     // One task per learned skill; a pool at least as wide as the skill count
     // preserves the historical thread-per-skill concurrency.
@@ -106,6 +106,7 @@ void HeroTrainer::begin_episode(const sim::LaneWorld& world) {
 
 std::vector<sim::TwistCmd> HeroTrainer::act(const sim::LaneWorld& world, Rng& rng,
                                             bool explore) {
+  OBS_PHASE("act");
   const int n = static_cast<int>(agents_.size());
   HERO_CHECK_MSG(world.num_learners() == n,
                  "world has " << world.num_learners() << " learners, trainer has " << n);
@@ -140,6 +141,7 @@ std::vector<sim::TwistCmd> HeroTrainer::act(const sim::LaneWorld& world, Rng& rn
 }
 
 void HeroTrainer::train(int episodes, Rng& rng, const algos::EpisodeHook& hook) {
+  OBS_PHASE("stage2");
   if (cfg_.batch_envs > 0) {
     train_batched(episodes, rng, hook);
   } else if (cfg_.num_workers <= 1) {
@@ -207,6 +209,26 @@ void HeroTrainer::emit_episode_obs(int episode, const rl::EpisodeStats& stats,
     if (opp_loss.count() > 0) e.field("opponent_loss", opp_loss.mean());
     obs::Telemetry::instance().emit(e);
   }
+  if (obs::health_enabled()) {
+    obs::EpisodeHealth h;
+    h.episode = episode;
+    h.reward = stats.team_reward;
+    h.steps = stats.steps;
+    h.steps_per_sec = steps_per_sec;
+    h.have_updates = critic_loss.count() > 0;
+    h.updated_this_episode = critic_loss.count() > 0;
+    if (h.have_updates) {
+      h.critic_loss = critic_loss.mean();
+      h.critic_grad_norm = critic_gn.mean();
+      h.actor_grad_norm = actor_gn.mean();
+    }
+    h.have_replay = true;  // stage 2 always learns through the HL replay
+    h.opponent_predictions = opp_preds;
+    h.opponent_accuracy = opp_acc;
+    h.option_switch_rate = switch_rate;
+    obs::AlertEngine::instance().observe_episode(h);
+    obs::note_episode();
+  }
 }
 
 void HeroTrainer::train_serial(int episodes, Rng& rng,
@@ -217,7 +239,7 @@ void HeroTrainer::train_serial(int episodes, Rng& rng,
   for (int ep = 0; ep < episodes; ++ep) {
     OBS_SPAN("stage2/episode");
     const bool observing = obs::metrics_enabled() || obs::telemetry_enabled();
-    const auto ep_start = std::chrono::steady_clock::now();
+    const double ep_start_us = obs::now_us();
     const long switches_before = option_switches_;
     if (observing) {
       for (auto& a : agents_) a->reset_opp_score();
@@ -235,12 +257,15 @@ void HeroTrainer::train_serial(int episodes, Rng& rng,
       if (result.collision) stats.collision = true;
       ++total_steps_;
 
-      for (int k = 0; k < n; ++k) {
-        const int vi = world_.learners()[static_cast<std::size_t>(k)];
-        agents_[static_cast<std::size_t>(k)]->accumulate(
-            result.reward[static_cast<std::size_t>(k)]);
-        agents_[static_cast<std::size_t>(k)]->observe_opponents(
-            world_.high_level_obs(vi), others_options(k));
+      {
+        OBS_PHASE("obs_build");
+        for (int k = 0; k < n; ++k) {
+          const int vi = world_.learners()[static_cast<std::size_t>(k)];
+          agents_[static_cast<std::size_t>(k)]->accumulate(
+              result.reward[static_cast<std::size_t>(k)]);
+          agents_[static_cast<std::size_t>(k)]->observe_opponents(
+              world_.high_level_obs(vi), others_options(k));
+        }
       }
 
       if (total_steps_ % cfg_.update_every == 0) {
@@ -272,9 +297,7 @@ void HeroTrainer::train_serial(int episodes, Rng& rng,
     stats.mean_speed = speed / static_cast<double>(world_.num_learners());
 
     if (observing) {
-      const double wall_s =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - ep_start)
-              .count();
+      const double wall_s = (obs::now_us() - ep_start_us) * 1e-6;
       const double steps_per_sec =
           wall_s > 0.0 ? static_cast<double>(stats.steps) / wall_s : 0.0;
       long opp_preds = 0, opp_hits = 0;
@@ -330,7 +353,8 @@ void HeroTrainer::collect_episode(Rng& rng, std::size_t slot,
                                   runtime::ShardedReplay<StagedHigh>& high_staging,
                                   runtime::ShardedReplay<StagedOpp>& opp_staging,
                                   CollectedEpisode& out) {
-  const auto t0 = std::chrono::steady_clock::now();
+  OBS_PHASE("rollout_collect");  // worker-thread root in the merged phase tree
+  const double t0_us = obs::now_us();
   learning_ = true;  // store semi-MDP transitions in the replica buffers
   const int n = static_cast<int>(agents_.size());
   const long switches_before = option_switches_;
@@ -356,6 +380,7 @@ void HeroTrainer::collect_episode(Rng& rng, std::size_t slot,
     stats.team_reward += mean_of(result.reward);
     if (result.collision) stats.collision = true;
     ++total_steps_;
+    OBS_PHASE("obs_build");
     for (int k = 0; k < n; ++k) {
       const int vi = world_.learners()[static_cast<std::size_t>(k)];
       agents_[static_cast<std::size_t>(k)]->accumulate(
@@ -414,7 +439,7 @@ void HeroTrainer::collect_episode(Rng& rng, std::size_t slot,
   out.stats = stats;
   out.switches = option_switches_ - switches_before;
   runtime::RolloutRunner::record_worker_rate(slot, stats.steps,
-                                             runtime::seconds_since(t0));
+                                             runtime::seconds_since(t0_us));
 }
 
 void HeroTrainer::train_parallel(int episodes, Rng& rng,
@@ -459,6 +484,7 @@ void HeroTrainer::train_parallel(int episodes, Rng& rng,
     const std::size_t slots = std::min(pool.size(), round);
     {
       OBS_SPAN("runtime/rollout");
+      OBS_PHASE("rollout");
       runner.run_round(static_cast<std::size_t>(done_eps), round,
                        [&](std::size_t ep, std::size_t slot, Rng& ep_rng) {
                          replicas_[slot]->collect_episode(
@@ -468,6 +494,7 @@ void HeroTrainer::train_parallel(int episodes, Rng& rng,
     }
     {
       OBS_SPAN("runtime/learn");
+      OBS_PHASE("learn");
       for (std::size_t e = 0; e < round; ++e) {
         const CollectedEpisode& col = results[e];
         const std::size_t slot = e % slots;
@@ -561,30 +588,34 @@ void HeroTrainer::train_batched(int episodes, Rng& rng,
 
     {
       OBS_SPAN("runtime/learn");
+      OBS_PHASE("learn");
       // Merge in lane order == canonical episode order: replay stores
       // agent-major FIFO, opponent labels (agent, opponent)-major FIFO —
       // exactly the order the sharded runtime drains.
-      for (std::size_t e = 0; e < round; ++e) {
-        BatchedEpisode& col = batched_->episode(e);
-        for (int k = 0; k < n; ++k) {
-          auto& hl = agents_[static_cast<std::size_t>(k)]->high_level();
-          for (auto& t : col.high[static_cast<std::size_t>(k)]) {
-            hl.store(std::move(t));
-          }
-          auto& om = agents_[static_cast<std::size_t>(k)]->opponents();
-          for (int j = 0; j < n - 1; ++j) {
-            auto& samples =
-                col.opp[static_cast<std::size_t>(k) * static_cast<std::size_t>(n - 1) +
-                        static_cast<std::size_t>(j)];
-            for (auto& s : samples) {
-              om.observe(j, std::move(s.obs), option_from_index(s.option));
+      {
+        OBS_PHASE("merge");
+        for (std::size_t e = 0; e < round; ++e) {
+          BatchedEpisode& col = batched_->episode(e);
+          for (int k = 0; k < n; ++k) {
+            auto& hl = agents_[static_cast<std::size_t>(k)]->high_level();
+            for (auto& t : col.high[static_cast<std::size_t>(k)]) {
+              hl.store(std::move(t));
             }
+            auto& om = agents_[static_cast<std::size_t>(k)]->opponents();
+            for (int j = 0; j < n - 1; ++j) {
+              auto& samples =
+                  col.opp[static_cast<std::size_t>(k) * static_cast<std::size_t>(n - 1) +
+                          static_cast<std::size_t>(j)];
+              for (auto& s : samples) {
+                om.observe(j, std::move(s.obs), option_from_index(s.option));
+              }
+            }
+            hl.set_selections(hl.selections() +
+                              col.selections[static_cast<std::size_t>(k)]);
           }
-          hl.set_selections(hl.selections() +
-                            col.selections[static_cast<std::size_t>(k)]);
+          total_steps_ += col.stats.steps;
+          option_switches_ += col.switches;
         }
-        total_steps_ += col.stats.steps;
-        option_switches_ += col.switches;
       }
 
       // Gradient cadence in synchronized *batch* steps — the batching

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "nn/losses.h"
+#include "obs/phase.h"
 #include "obs/trace.h"
 #include "rl/exploration.h"
 
@@ -75,7 +76,10 @@ HighLevelUpdateStats HighLevelAgent::update(OpponentModel& opponents, Rng& rng) 
   HighLevelUpdateStats stats;
   stats.updated = true;
 
-  auto batch = buffer_.sample(cfg_.batch, rng);
+  const auto batch = [&] {
+    OBS_PHASE("replay");
+    return buffer_.sample(cfg_.batch, rng);
+  }();
   const std::size_t B = batch.size();
 
   // Fills blocks_ (B × opp_dim) with the opponent blocks for one batch-wide

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "nn/losses.h"
+#include "obs/phase.h"
 
 namespace hero::core {
 
@@ -59,6 +60,7 @@ std::vector<double> OpponentModel::predict_all(const std::vector<double>& obs) {
 }
 
 void OpponentModel::predict_all_rows(const nn::Matrix& obs_rows, nn::Matrix& out) {
+  OBS_PHASE("opponent_predict");
   const std::size_t B = obs_rows.rows();
   out.resize(B, std::max<std::size_t>(feature_dim(), 1));
   for (int j = 0; j < num_opponents(); ++j) {

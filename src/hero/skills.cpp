@@ -95,6 +95,7 @@ std::vector<double> SkillBank::train_skill(
 
   for (int ep = 0; ep < episodes; ++ep) {
     OBS_SPAN("stage1/episode");
+    OBS_PHASE("skill_episode");
     world.reset(rng);
     // Start-state randomization: lateral offset and heading jitter force the
     // skills to learn recovery, not just straight-line driving.

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/phase.h"
 #include "obs/metrics.h"
 
 namespace hero::nn {
@@ -64,6 +65,7 @@ Mlp& Mlp::operator=(const Mlp& other) {
 }
 
 const Matrix& Mlp::forward(const Matrix& x) {
+  OBS_PHASE("nn_forward");
   HERO_CHECK(!layers_.empty());
   HERO_DCHECK_MSG(x.cols() == in_dim(),
                   "Mlp::forward: input dim " << x.cols() << " != " << in_dim());
@@ -85,6 +87,7 @@ std::vector<double> Mlp::forward1(const std::vector<double>& x) {
 }
 
 const Matrix& Mlp::backward(const Matrix& grad_out) {
+  OBS_PHASE("nn_backward");
   HERO_CHECK(!layers_.empty());
   count_backward(grad_out.rows());
   HERO_CHECK_MSG(acts_.size() == layers_.size() + 1,

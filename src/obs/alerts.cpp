@@ -1,0 +1,235 @@
+#include "obs/alerts.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+
+namespace hero::obs {
+
+namespace {
+
+double mean_of(const std::deque<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double max_of(const std::deque<double>& xs) {
+  double m = 0.0;
+  for (double x : xs) m = std::max(m, x);
+  return m;
+}
+
+void push_window(std::deque<double>& xs, double v, std::size_t cap) {
+  xs.push_back(v);
+  while (xs.size() > cap) xs.pop_front();
+}
+
+std::string format_msg(const char* fmt, double a, double b) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), fmt, a, b);
+  return std::string(buf);
+}
+
+}  // namespace
+
+AlertEngine& AlertEngine::instance() {
+  static AlertEngine* engine = new AlertEngine();  // leaked: outlive threads
+  return *engine;
+}
+
+void AlertEngine::reset(const AlertConfig& cfg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cfg_ = cfg;
+  alerts_.clear();
+  last_fired_.clear();
+  episodes_ = 0;
+  updates_seen_ = 0;
+  grad_hist_.clear();
+  rate_hist_.clear();
+  opp_hist_.clear();
+  thrash_run_ = 0;
+}
+
+bool AlertEngine::in_cooldown(const std::string& rule, long long episode) const {
+  for (const auto& [name, at] : last_fired_) {
+    if (name == rule) return episode - at < cfg_.cooldown_episodes;
+  }
+  return false;
+}
+
+void AlertEngine::fire(const char* rule, const EpisodeHealth& h, double value,
+                       double threshold, std::string message, bool wallclock) {
+  if (in_cooldown(rule, h.episode)) return;
+  bool found = false;
+  for (auto& [name, at] : last_fired_) {
+    if (name == rule) {
+      at = h.episode;
+      found = true;
+      break;
+    }
+  }
+  if (!found) last_fired_.emplace_back(rule, h.episode);
+
+  Alert a;
+  a.rule = rule;
+  a.episode = h.episode;
+  a.value = value;
+  a.threshold = threshold;
+  a.message = std::move(message);
+  a.wallclock = wallclock;
+  alerts_.push_back(a);
+
+  if (metrics_enabled()) {
+    Registry::instance().counter("obs.alerts.total").inc();
+    Registry::instance().counter(std::string("obs.alerts.") + rule).inc();
+  }
+  if (telemetry_enabled()) {
+    Telemetry::instance().emit(TelemetryEvent("alert")
+                                   .field("rule", rule)
+                                   .field("episode", a.episode)
+                                   .field("value", a.value)
+                                   .field("threshold", a.threshold)
+                                   .field("message", a.message)
+                                   .field("wallclock", a.wallclock));
+  }
+}
+
+void AlertEngine::observe_episode(const EpisodeHealth& h) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++episodes_;
+  if (h.updated_this_episode) ++updates_seen_;
+
+  if (h.have_updates && h.updated_this_episode) {
+    if (!std::isfinite(h.critic_loss)) {
+      fire("nan_loss", h, h.critic_loss, 0.0,
+           "critic loss is non-finite — learner state is corrupt", false);
+    }
+    const bool grad_bad =
+        !std::isfinite(h.critic_grad_norm) || !std::isfinite(h.actor_grad_norm);
+    if (grad_bad) {
+      const double v =
+          !std::isfinite(h.critic_grad_norm) ? h.critic_grad_norm : h.actor_grad_norm;
+      fire("non_finite_grad", h, v, 0.0,
+           "gradient norm is non-finite — update skipped or poisoned", false);
+    } else {
+      const double gn = std::max(h.critic_grad_norm, h.actor_grad_norm);
+      if (grad_hist_.size() >= cfg_.grad_min_samples) {
+        const double trailing = mean_of(grad_hist_);
+        const double limit = cfg_.grad_explode_factor * trailing;
+        if (trailing > 0.0 && gn > limit) {
+          fire("exploding_grad", h, gn, limit,
+               format_msg("grad norm %.3g exceeds %.3g (trailing-mean gate)", gn,
+                          limit),
+               false);
+        }
+      }
+      push_window(grad_hist_, gn, cfg_.grad_window);
+    }
+  }
+
+  if (h.steps_per_sec > 0.0 && std::isfinite(h.steps_per_sec)) {
+    if (rate_hist_.size() + 1 >= cfg_.throughput_min_episodes) {
+      const double trailing = mean_of(rate_hist_);
+      const double floor = cfg_.throughput_collapse_frac * trailing;
+      if (trailing > 0.0 && h.steps_per_sec < floor) {
+        fire("throughput_collapse", h, h.steps_per_sec, floor,
+             format_msg("throughput %.1f steps/s below %.1f (trailing-window "
+                        "floor)",
+                        h.steps_per_sec, floor),
+             /*wallclock=*/true);
+      }
+    }
+    push_window(rate_hist_, h.steps_per_sec, cfg_.throughput_window);
+  }
+
+  if (h.have_replay && updates_seen_ == 0 &&
+      episodes_ >= cfg_.replay_starvation_episodes) {
+    fire("replay_starvation", h, static_cast<double>(episodes_),
+         static_cast<double>(cfg_.replay_starvation_episodes),
+         "no learner update yet — replay path appears starved", false);
+  }
+
+  if (h.opponent_predictions > 0) {
+    const double acc = h.opponent_accuracy;
+    if (opp_hist_.size() + 1 >= cfg_.opp_min_episodes) {
+      const double peak = max_of(opp_hist_);
+      const double floor = cfg_.opp_collapse_frac * peak;
+      if (peak >= cfg_.opp_min_peak && acc < floor) {
+        fire("opponent_collapse", h, acc, floor,
+             format_msg("opponent accuracy %.3f below %.3f (half of trailing "
+                        "peak)",
+                        acc, floor),
+             false);
+      }
+    }
+    push_window(opp_hist_, acc, cfg_.opp_window);
+  }
+
+  if (h.option_switch_rate >= 0.0) {
+    if (h.option_switch_rate >= cfg_.thrash_switch_rate) {
+      ++thrash_run_;
+      if (thrash_run_ >= cfg_.thrash_consecutive) {
+        fire("option_thrash", h, h.option_switch_rate, cfg_.thrash_switch_rate,
+             format_msg("option switch rate %.2f >= %.2f for a sustained run",
+                        h.option_switch_rate, cfg_.thrash_switch_rate),
+             false);
+        thrash_run_ = 0;
+      }
+    } else {
+      thrash_run_ = 0;
+    }
+  }
+}
+
+std::vector<Alert> AlertEngine::alerts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return alerts_;
+}
+
+long long AlertEngine::episodes_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return episodes_;
+}
+
+bool AlertEngine::healthy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return alerts_.empty();
+}
+
+std::string AlertEngine::health_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(256);
+  out += "{\"verdict\": \"";
+  out += alerts_.empty() ? "healthy" : "sick";
+  out += "\", \"episodes\": ";
+  out += std::to_string(episodes_);
+  out += ", \"alerts\": [";
+  bool first = true;
+  for (const auto& a : alerts_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"rule\": \"";
+    json_escape_into(a.rule.c_str(), out);
+    out += "\", \"episode\": ";
+    out += std::to_string(a.episode);
+    out += ", \"value\": ";
+    out += json_number(a.value);
+    out += ", \"threshold\": ";
+    out += json_number(a.threshold);
+    out += ", \"message\": \"";
+    json_escape_into(a.message.c_str(), out);
+    out += "\", \"wallclock\": ";
+    out += a.wallclock ? "true" : "false";
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace hero::obs

@@ -1,0 +1,134 @@
+// Anomaly detection for training runs: declarative rules over per-episode
+// health samples, structured `alert` telemetry events, and an end-of-run
+// verdict embedded in the metrics snapshot.
+//
+// Trainers feed one EpisodeHealth per finished episode (the same place they
+// emit episode telemetry); fields a trainer cannot produce stay at their
+// "unknown" defaults and the rules that need them never fire. Rules
+// (docs/OBSERVABILITY.md has the full table):
+//
+//   nan_loss             critic loss is NaN/inf
+//   non_finite_grad      actor or critic grad norm is NaN/inf
+//   exploding_grad       finite grad norm > factor x trailing-window mean
+//   throughput_collapse  steps/sec < frac x trailing-window mean (wall-clock
+//                        derived — stripped by the determinism gate)
+//   replay_starvation    no learner update by episode N despite a replay path
+//   opponent_collapse    opponent-model accuracy < frac x trailing max
+//   option_thrash        sustained option-switch rate above threshold
+//
+// Each rule has a per-rule cooldown so one sick episode fires exactly one
+// alert, not one per subsequent episode. Fired alerts emit an `alert`
+// telemetry event, bump `obs.alerts.total` / `obs.alerts.<rule>`, and flip
+// the end-of-run verdict to "sick"; tools/hero_monitor exits non-zero on
+// unacknowledged alerts.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hero::obs {
+
+// One per-episode health sample. Defaults mean "unknown" — rules needing a
+// field skip episodes where it is absent.
+struct EpisodeHealth {
+  long long episode = 0;
+  double reward = 0.0;
+  long long steps = 0;
+  double steps_per_sec = 0.0;  // <=0: unknown (throughput rule skips)
+
+  bool have_updates = false;  // loss/grad fields below are meaningful
+  bool updated_this_episode = false;
+  double critic_loss = 0.0;
+  double critic_grad_norm = 0.0;
+  double actor_grad_norm = 0.0;
+
+  bool have_replay = false;  // trainer stages into a replay path
+
+  long long opponent_predictions = 0;  // 0: no opponent model this episode
+  double opponent_accuracy = 0.0;
+
+  double option_switch_rate = -1.0;  // <0: unknown (thrash rule skips)
+};
+
+struct AlertConfig {
+  // Re-fire suppression: a rule stays quiet for this many episodes after
+  // firing.
+  long long cooldown_episodes = 16;
+
+  // exploding_grad: norm > factor x trailing mean of the last `window`
+  // finite norms, requiring at least `min_samples` history.
+  double grad_explode_factor = 50.0;
+  std::size_t grad_window = 32;
+  std::size_t grad_min_samples = 8;
+
+  // throughput_collapse: rate < frac x trailing mean, only after
+  // `min_episodes` rated episodes (keeps 2-4 episode smoke runs quiet).
+  double throughput_collapse_frac = 0.25;
+  std::size_t throughput_window = 16;
+  std::size_t throughput_min_episodes = 24;
+
+  // replay_starvation: zero updates observed by this episode count.
+  long long replay_starvation_episodes = 64;
+
+  // opponent_collapse: accuracy < frac x trailing-window max, after
+  // `min_episodes` episodes with predictions and a meaningful peak.
+  double opp_collapse_frac = 0.5;
+  std::size_t opp_window = 32;
+  std::size_t opp_min_episodes = 24;
+  double opp_min_peak = 0.3;
+
+  // option_thrash: switch rate >= threshold for `consecutive` episodes.
+  double thrash_switch_rate = 0.6;
+  std::size_t thrash_consecutive = 8;
+};
+
+struct Alert {
+  std::string rule;
+  long long episode = 0;
+  double value = 0.0;      // the observed quantity that tripped the rule
+  double threshold = 0.0;  // what it was compared against
+  std::string message;
+  bool wallclock = false;  // derived from wall-clock (not seed-deterministic)
+};
+
+// Process-global, thread-safe. Does nothing until fed; callers gate on
+// health_enabled() (alerts ride on metrics or telemetry being on).
+class AlertEngine {
+ public:
+  static AlertEngine& instance();
+
+  // Clears all state and installs `cfg`. Tests use this for isolation.
+  void reset(const AlertConfig& cfg = AlertConfig());
+
+  void observe_episode(const EpisodeHealth& h);
+
+  std::vector<Alert> alerts() const;
+  long long episodes_seen() const;
+  bool healthy() const;
+
+  // {"verdict": "healthy"|"sick", "episodes": N, "alerts": [...]} — embedded
+  // under "health" in the metrics snapshot.
+  std::string health_json() const;
+
+ private:
+  AlertEngine() = default;
+  void fire(const char* rule, const EpisodeHealth& h, double value,
+            double threshold, std::string message, bool wallclock);
+  bool in_cooldown(const std::string& rule, long long episode) const;
+
+  mutable std::mutex mu_;
+  AlertConfig cfg_;
+  std::vector<Alert> alerts_;
+  std::vector<std::pair<std::string, long long>> last_fired_;  // rule -> episode
+  long long episodes_ = 0;
+  long long updates_seen_ = 0;
+  std::deque<double> grad_hist_;
+  std::deque<double> rate_hist_;
+  std::deque<double> opp_hist_;
+  std::size_t thrash_run_ = 0;
+};
+
+}  // namespace hero::obs

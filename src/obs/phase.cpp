@@ -1,0 +1,172 @@
+#include "obs/phase.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <map>
+
+#include "obs/metrics.h"
+
+namespace hero::obs {
+
+namespace detail {
+
+std::atomic<bool> g_phases_enabled{false};
+
+std::uint64_t phase_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+// Each thread holds a shared_ptr so the registry's copy keeps the tree (and
+// its accumulated totals) alive after the thread exits — snapshots taken
+// after pool shutdown still see worker phases.
+thread_local std::shared_ptr<PhaseThreadTree> t_tree;
+
+PhaseThreadTree& local_tree() {
+  if (!t_tree) {
+    t_tree = std::make_shared<PhaseThreadTree>();
+    PhaseRegistry::instance().register_tree(t_tree);
+  }
+  return *t_tree;
+}
+}  // namespace
+
+PhaseNode* phase_enter(const char* name) {
+  PhaseThreadTree& tree = local_tree();
+  PhaseNode* cur = tree.current;
+  // Lock-free child lookup: only the owner thread ever appends children, so
+  // iterating the vector here cannot race with a concurrent writer. Pointer
+  // identity catches the common case (same OBS_PHASE site); strcmp catches
+  // distinct literals with equal text.
+  for (const auto& child : cur->children) {
+    if (child->name == name || std::strcmp(child->name, name) == 0) {
+      tree.current = child.get();
+      return child.get();
+    }
+  }
+  PhaseNode* node;
+  {
+    std::lock_guard<std::mutex> lock(tree.mu);
+    auto fresh = std::make_unique<PhaseNode>();
+    fresh->name = name;
+    fresh->parent = cur;
+    node = fresh.get();
+    cur->children.push_back(std::move(fresh));
+  }
+  tree.current = node;
+  return node;
+}
+
+void phase_exit(PhaseNode* node, std::uint64_t dur_ns) {
+  node->count.fetch_add(1, std::memory_order_relaxed);
+  node->total_ns.fetch_add(dur_ns, std::memory_order_relaxed);
+  local_tree().current = node->parent;
+}
+
+}  // namespace detail
+
+void set_phases_enabled(bool on) {
+  detail::g_phases_enabled.store(on, std::memory_order_relaxed);
+}
+
+PhaseRegistry& PhaseRegistry::instance() {
+  static PhaseRegistry* reg = new PhaseRegistry();  // leaked: outlive threads
+  return *reg;
+}
+
+void PhaseRegistry::register_tree(std::shared_ptr<detail::PhaseThreadTree> tree) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trees_.push_back(std::move(tree));
+}
+
+namespace {
+
+void merge_node(const detail::PhaseNode& src, std::vector<PhaseStat>& out) {
+  for (const auto& child : src.children) {
+    const std::uint64_t count = child->count.load(std::memory_order_relaxed);
+    const std::uint64_t ns = child->total_ns.load(std::memory_order_relaxed);
+    PhaseStat* stat = nullptr;
+    for (auto& existing : out) {
+      if (existing.name == child->name) {
+        stat = &existing;
+        break;
+      }
+    }
+    if (!stat) {
+      out.emplace_back();
+      stat = &out.back();
+      stat->name = child->name;
+    }
+    stat->count += count;
+    stat->total_us += static_cast<double>(ns) * 1e-3;
+    merge_node(*child, stat->children);
+  }
+}
+
+void sort_stats(std::vector<PhaseStat>& stats) {
+  std::sort(stats.begin(), stats.end(),
+            [](const PhaseStat& a, const PhaseStat& b) { return a.name < b.name; });
+  for (auto& s : stats) sort_stats(s.children);
+}
+
+void stats_json_into(const std::vector<PhaseStat>& stats, std::string& out) {
+  out += '{';
+  bool first = true;
+  for (const auto& s : stats) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    json_escape_into(s.name.c_str(), out);
+    out += "\": {\"count\": ";
+    out += std::to_string(s.count);
+    out += ", \"total_us\": ";
+    out += json_number(s.total_us);
+    if (!s.children.empty()) {
+      out += ", \"children\": ";
+      stats_json_into(s.children, out);
+    }
+    out += '}';
+  }
+  out += '}';
+}
+
+void reset_node(detail::PhaseNode& node) {
+  node.count.store(0, std::memory_order_relaxed);
+  node.total_ns.store(0, std::memory_order_relaxed);
+  for (auto& child : node.children) reset_node(*child);
+}
+
+}  // namespace
+
+std::vector<PhaseStat> PhaseRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PhaseStat> merged;
+  for (const auto& tree : trees_) {
+    std::lock_guard<std::mutex> tree_lock(tree->mu);
+    merge_node(tree->root, merged);
+  }
+  sort_stats(merged);
+  return merged;
+}
+
+std::string PhaseRegistry::json() const {
+  const auto stats = snapshot();
+  std::string out;
+  out.reserve(1024);
+  stats_json_into(stats, out);
+  return out;
+}
+
+void PhaseRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& tree : trees_) {
+    std::lock_guard<std::mutex> tree_lock(tree->mu);
+    reset_node(tree->root);
+  }
+}
+
+}  // namespace hero::obs

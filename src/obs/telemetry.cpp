@@ -72,6 +72,11 @@ void Telemetry::emit(const TelemetryEvent& e) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!out_.is_open()) return;
   out_ << e.line_ << ", \"seq\": " << seq_++ << "}\n";
+  if (!out_) {
+    write_errors_.fetch_add(1, std::memory_order_relaxed);
+    out_.clear();  // keep trying — later writes may succeed (e.g. disk freed)
+    return;
+  }
   lines_.fetch_add(1, std::memory_order_relaxed);
 }
 

@@ -75,11 +75,19 @@ class Telemetry {
     return lines_.load(std::memory_order_relaxed);
   }
 
+  // Lines that failed to reach the sink (stream error on write). Exported as
+  // obs.telemetry.write_errors in the metrics snapshot; a nonzero value means
+  // the JSONL stream is silently incomplete.
+  std::uint64_t write_errors() const {
+    return write_errors_.load(std::memory_order_relaxed);
+  }
+
  private:
   Telemetry() = default;
 
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> lines_{0};
+  std::atomic<std::uint64_t> write_errors_{0};
   std::mutex mu_;
   std::ofstream out_;
   std::uint64_t seq_ = 0;

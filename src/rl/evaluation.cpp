@@ -8,6 +8,7 @@ namespace hero::rl {
 EpisodeStats run_episode(sim::LaneWorld& world, Controller& controller, Rng& rng,
                          bool explore, int merger_index, int merger_target_lane) {
   OBS_SPAN("eval/episode");
+  OBS_PHASE("eval_episode");
   world.reset(rng);
   controller.begin_episode(world);
 
@@ -47,6 +48,7 @@ EvalSummary evaluate(sim::LaneWorld& world, Controller& controller, Rng& rng,
                                           .field("success", ep.success)
                                           .field("mean_speed", ep.mean_speed));
     }
+    obs::note_episode();
   }
   if (episodes > 0) {
     s.mean_reward /= episodes;

@@ -19,12 +19,12 @@
 // byte-comparable across same-seed runs.
 #pragma once
 
-#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/rng_stream.h"
 #include "runtime/thread_pool.h"
 
@@ -67,8 +67,10 @@ class RolloutRunner {
 };
 
 // Monotonic wall-clock helper shared by the rollout/learn span bookkeeping.
-inline double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+// Start marks come from obs::now_us() — the one sanctioned monotonic clock
+// outside src/obs (lint rule R7, docs/CORRECTNESS.md).
+inline double seconds_since(double start_us) {
+  return (obs::now_us() - start_us) * 1e-6;
 }
 
 }  // namespace hero::runtime

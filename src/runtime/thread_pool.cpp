@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/check.h"
+#include "obs/phase.h"
 #include "obs/metrics.h"
 
 namespace hero::runtime {
@@ -57,6 +58,7 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
+      OBS_PHASE("pool_idle");  // time this worker spent parked waiting for work
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ and drained

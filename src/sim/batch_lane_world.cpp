@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/phase.h"
 #include "obs/metrics.h"
 
 namespace hero::sim {
@@ -85,6 +86,7 @@ void BatchLaneWorld::reset_env(int e, Rng& rng) {
 
 void BatchLaneWorld::step_all(const TwistCmd* cmds, Rng* const* rngs,
                               const std::uint8_t* active, BatchStepResult& out) {
+  OBS_PHASE("sim_step");
   const std::size_t n = learners_.size();
   // assign() reuses capacity, so after the first step this is zero-alloc.
   out.reward.assign(static_cast<std::size_t>(E_) * n, 0.0);

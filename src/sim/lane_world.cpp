@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/phase.h"
 #include "obs/metrics.h"
 
 namespace hero::sim {
@@ -66,6 +67,7 @@ TwistCmd LaneWorld::perturbed(int vehicle, TwistCmd cmd, Rng& rng) const {
 }
 
 StepResult LaneWorld::step(const std::vector<TwistCmd>& cmds, Rng& rng) {
+  OBS_PHASE("sim_step");
   HERO_CHECK_MSG(!done_, "step() called on a finished episode; call reset()");
   HERO_CHECK_MSG(cmds.size() == learners_.size(),
                  "expected " << learners_.size() << " commands, got " << cmds.size());

@@ -85,6 +85,19 @@ with open(src) as f:
         if not raw:
             continue
         event = json.loads(raw)
+        # Alerts flagged wallclock (e.g. throughput_collapse) depend on
+        # machine speed, not the seed; the run_end verdict/alert count can
+        # inherit that dependence, so both are excluded from the diff.
+        if event.get("event") == "alert" and event.get("wallclock"):
+            continue
+        if event.get("event") == "run_end":
+            event.pop("verdict", None)
+            event.pop("alerts", None)
+        # The manifest digest hashes the full command line; the two runs
+        # here differ only in --out / --telemetry-out paths, so it must
+        # not participate in the diff.
+        if event.get("event") == "run_start":
+            event.pop("config_digest", None)
         event.pop("t_s", None)
         event.pop("seq", None)
         event.pop("steps_per_sec", None)

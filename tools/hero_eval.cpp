@@ -34,6 +34,19 @@ int main(int argc, char** argv) {
   auto scenario = sim::cooperative_lane_change(learners);
   core::HeroConfig cfg;
   core::HeroTrainer trainer(scenario, cfg, rng);
+
+  {
+    std::string canonical;
+    for (int i = 1; i < argc; ++i) {
+      canonical += argv[i];
+      canonical += ' ';
+    }
+    obs::RunManifest manifest = obs::default_manifest("hero_eval");
+    manifest.seed = static_cast<long long>(seed);
+    manifest.config_digest = obs::config_digest(canonical);
+    obs::set_run_manifest(manifest);
+  }
+
   trainer.load(ckpt);
   std::printf("loaded checkpoint from %s/\n", ckpt.c_str());
 

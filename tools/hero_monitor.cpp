@@ -1,0 +1,298 @@
+// hero_monitor — run-health console for hero_train / hero_eval artifacts.
+//
+//   hero_monitor --metrics m.json [--telemetry run.jsonl]
+//                [--once] [--interval-ms 1000] [--ack rule1,rule2]
+//
+// Reads the (atomically-rewritten) metrics snapshot and/or tails the
+// telemetry JSONL stream and renders a one-screen health report: manifest,
+// episode progress, throughput, gradient norms, the merged phase-time tree
+// with per-phase share, and any alerts the run's AlertEngine raised
+// (docs/OBSERVABILITY.md, "Run health").
+//
+// `--once` renders a single report and exits — the CI mode. Without it the
+// monitor re-renders every --interval-ms until the telemetry stream carries
+// a "run_end" event (or forever when only --metrics is given; Ctrl-C).
+//
+// Exit status:
+//   0  healthy (no alerts, or every alert rule listed in --ack)
+//   1  at least one unacknowledged alert (each offending rule is printed)
+//   2  I/O or parse error (missing file, torn/invalid JSON after retry)
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "obs/json.h"
+
+using hero::obs::JsonValue;
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+std::set<std::string> split_csv(const std::string& csv) {
+  std::set<std::string> out;
+  std::string cur;
+  for (char c : csv) {
+    if (c == ',') {
+      if (!cur.empty()) out.insert(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.insert(cur);
+  return out;
+}
+
+// Latest state distilled from the artifacts; refreshed each render.
+struct RunView {
+  bool have_snapshot = false;
+  JsonValue snapshot;
+
+  // From telemetry (when given): the last stage2/episode style event, the
+  // run_start manifest, alert events, and whether run_end was seen.
+  bool have_last_episode = false;
+  JsonValue last_episode;
+  std::vector<JsonValue> alerts;  // telemetry alert events
+  bool run_ended = false;
+  JsonValue run_end;
+  long long telemetry_lines = 0;
+};
+
+bool load_snapshot(const std::string& path, RunView& view, std::string& err) {
+  std::string text;
+  if (!read_file(path, text)) {
+    err = "cannot read " + path;
+    return false;
+  }
+  // The writer replaces the file atomically (tmp + rename), so a parse
+  // failure means a genuinely corrupt document, not a torn write. Still
+  // retry once in case we raced the very first creation.
+  if (!JsonValue::parse(text, view.snapshot, &err)) {
+    usleep(50 * 1000);
+    if (!read_file(path, text) || !JsonValue::parse(text, view.snapshot, &err)) {
+      err = path + ": " + err;
+      return false;
+    }
+  }
+  view.have_snapshot = true;
+  return true;
+}
+
+bool load_telemetry(const std::string& path, RunView& view, std::string& err) {
+  std::ifstream in(path);
+  if (!in) {
+    err = "cannot read " + path;
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    JsonValue ev;
+    // A live writer may have flushed a partial final line; skip quietly.
+    if (!JsonValue::parse(line, ev, nullptr)) continue;
+    ++view.telemetry_lines;
+    const std::string name = ev.get_string("event", "");
+    if (name == "alert") {
+      view.alerts.push_back(ev);
+    } else if (name == "run_end") {
+      view.run_ended = true;
+      view.run_end = ev;
+    } else if (ev.find("reward") != nullptr && ev.find("episode") != nullptr) {
+      view.last_episode = ev;
+      view.have_last_episode = true;
+    }
+  }
+  return true;
+}
+
+double subtree_total_us(const JsonValue& node) {
+  return node.get_number("total_us", 0.0);
+}
+
+void print_phase_node(const std::string& name, const JsonValue& node, int depth,
+                      double parent_us) {
+  const double us = subtree_total_us(node);
+  const double count = node.get_number("count", 0.0);
+  const double share = parent_us > 0.0 ? 100.0 * us / parent_us : 100.0;
+  std::printf("  %*s%-*s %10.1f ms  %6.1f%%  x%.0f\n", depth * 2, "",
+              24 - depth * 2, name.c_str(), us / 1000.0, share, count);
+  const JsonValue* children = node.find("children");
+  if (!children || !children->is_object()) return;
+  for (const auto& [cname, cnode] : children->members) {
+    print_phase_node(cname, cnode, depth + 1, us);
+  }
+}
+
+// Fraction of a root phase's time attributed to its (direct) children —
+// the "accounted" share the ISSUE's >=90% acceptance criterion refers to.
+double child_coverage(const JsonValue& node) {
+  const double us = subtree_total_us(node);
+  const JsonValue* children = node.find("children");
+  if (us <= 0.0 || !children || !children->is_object()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [cname, cnode] : children->members) {
+    (void)cname;
+    sum += subtree_total_us(cnode);
+  }
+  return sum / us;
+}
+
+void render(const RunView& view) {
+  std::printf("==== hero_monitor ====\n");
+  if (view.have_snapshot) {
+    const JsonValue* man = view.snapshot.find("manifest");
+    if (man) {
+      std::printf("run: %s  sha %s  seed %lld  workers %d  batch_envs %d  cfg %s\n",
+                  man->get_string("tool", "?").c_str(),
+                  man->get_string("git_sha", "?").c_str(),
+                  static_cast<long long>(man->get_number("seed", 0)),
+                  static_cast<int>(man->get_number("num_workers", 1)),
+                  static_cast<int>(man->get_number("batch_envs", 0)),
+                  man->get_string("config_digest", "-").c_str());
+    }
+    const JsonValue* counters = view.snapshot.find("counters");
+    if (counters) {
+      const double eps = counters->get_number("hero.stage2.episodes", 0.0);
+      const double steps = counters->get_number("hero.stage2.steps", 0.0);
+      if (eps > 0.0) std::printf("stage2: %.0f episodes, %.0f steps\n", eps, steps);
+    }
+    const JsonValue* gauges = view.snapshot.find("gauges");
+    if (gauges) {
+      const JsonValue* acc = gauges->find("hero.stage2.opponent_accuracy");
+      if (acc) std::printf("opponent accuracy: %.3f\n", acc->number_or(0.0));
+      const double dropped = gauges->get_number("obs.trace.dropped", 0.0);
+      const double werr = gauges->get_number("obs.telemetry.write_errors", 0.0);
+      if (dropped > 0.0) {
+        std::printf("WARNING: %.0f trace events dropped (ring full)\n", dropped);
+      }
+      if (werr > 0.0) {
+        std::printf("WARNING: %.0f telemetry write failures\n", werr);
+      }
+    }
+  }
+  if (view.have_last_episode) {
+    const JsonValue& e = view.last_episode;
+    std::printf("last episode %lld: reward %.2f",
+                static_cast<long long>(e.get_number("episode", -1)),
+                e.get_number("reward", 0.0));
+    if (e.find("steps_per_sec")) {
+      std::printf("  %.0f steps/s", e.get_number("steps_per_sec", 0.0));
+    }
+    if (e.find("critic_grad_norm")) {
+      std::printf("  |g_c| %.3f  |g_a| %.3f", e.get_number("critic_grad_norm", 0.0),
+                  e.get_number("actor_grad_norm", 0.0));
+    }
+    std::printf("\n");
+  }
+  if (view.have_snapshot) {
+    const JsonValue* phases = view.snapshot.find("phases");
+    if (phases && phases->is_object() && !phases->members.empty()) {
+      std::printf("phase breakdown:\n");
+      for (const auto& [name, node] : phases->members) {
+        print_phase_node(name, node, 0, 0.0);
+        const double cov = child_coverage(node);
+        if (cov > 0.0) {
+          std::printf("  %-24s accounted by children: %.1f%%\n", name.c_str(),
+                      100.0 * cov);
+        }
+      }
+    }
+  }
+  if (view.run_ended) {
+    std::printf("run ended: verdict=%s episodes=%lld alerts=%lld\n",
+                view.run_end.get_string("verdict", "?").c_str(),
+                static_cast<long long>(view.run_end.get_number("episodes", 0)),
+                static_cast<long long>(view.run_end.get_number("alerts", 0)));
+  }
+}
+
+// Union of alert rules from the snapshot's health block and the telemetry
+// stream; prints each alert once.
+std::set<std::string> collect_alert_rules(const RunView& view) {
+  std::set<std::string> rules;
+  auto show = [&](const JsonValue& a) {
+    const std::string rule = a.get_string("rule", "?");
+    if (rules.insert(rule).second) {
+      std::printf("ALERT [%s] ep %lld: %s\n", rule.c_str(),
+                  static_cast<long long>(a.get_number("episode", -1)),
+                  a.get_string("message", "").c_str());
+    }
+  };
+  if (view.have_snapshot) {
+    const JsonValue* health = view.snapshot.find("health");
+    if (health) {
+      const JsonValue* alerts = health->find("alerts");
+      if (alerts && alerts->is_array()) {
+        for (const auto& a : alerts->items) show(a);
+      }
+    }
+  }
+  for (const auto& a : view.alerts) show(a);
+  return rules;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hero::Flags flags(argc, argv);
+  const std::string metrics = flags.get_string("metrics", "");
+  const std::string telemetry = flags.get_string("telemetry", "");
+  const bool once = flags.get_bool("once", false);
+  const int interval_ms = flags.get_int("interval-ms", 1000);
+  const std::set<std::string> acked = split_csv(flags.get_string("ack", ""));
+  flags.check_unknown();
+
+  if (metrics.empty() && telemetry.empty()) {
+    std::fprintf(stderr,
+                 "hero_monitor: need --metrics <snapshot.json> and/or "
+                 "--telemetry <run.jsonl>\n");
+    return 2;
+  }
+
+  for (;;) {
+    RunView view;
+    std::string err;
+    if (!metrics.empty() && !load_snapshot(metrics, view, err)) {
+      std::fprintf(stderr, "hero_monitor: %s\n", err.c_str());
+      return 2;
+    }
+    if (!telemetry.empty() && !load_telemetry(telemetry, view, err)) {
+      std::fprintf(stderr, "hero_monitor: %s\n", err.c_str());
+      return 2;
+    }
+
+    render(view);
+    const std::set<std::string> rules = collect_alert_rules(view);
+
+    if (once || view.run_ended) {
+      std::vector<std::string> unacked;
+      for (const auto& r : rules) {
+        if (!acked.count(r)) unacked.push_back(r);
+      }
+      if (!unacked.empty()) {
+        for (const auto& r : unacked) {
+          std::printf("unacknowledged alert: %s\n", r.c_str());
+        }
+        std::printf("verdict: sick\n");
+        return 1;
+      }
+      std::printf("verdict: healthy\n");
+      return 0;
+    }
+    usleep(static_cast<useconds_t>(interval_ms) * 1000);
+  }
+}

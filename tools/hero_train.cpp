@@ -72,6 +72,21 @@ int main(int argc, char** argv) {
   cfg.batch_envs = std::max(0, batch_envs);
   core::HeroTrainer trainer(scenario, cfg, rng);
 
+  {
+    std::string canonical;
+    for (int i = 1; i < argc; ++i) {
+      canonical += argv[i];
+      canonical += ' ';
+    }
+    obs::RunManifest manifest = obs::default_manifest("hero_train");
+    manifest.seed = static_cast<long long>(seed);
+    manifest.num_workers = cfg.num_workers;
+    manifest.num_envs = cfg.num_envs;
+    manifest.batch_envs = cfg.batch_envs;
+    manifest.config_digest = obs::config_digest(canonical);
+    obs::set_run_manifest(manifest);
+  }
+
   std::printf("stage 1: training %d skills x %d episodes...\n", 3, skill_episodes);
   trainer.train_skills(skill_episodes, rng, [&](core::Option o, int ep, double r) {
     if ((ep + 1) % std::max(1, skill_episodes / 4) == 0) {

@@ -29,6 +29,13 @@ Rules (docs/CORRECTNESS.md):
                         growth (push_back/emplace_back) is forbidden there —
                         all step scratch is sized at construction, mirroring
                         R2's no-alloc contract for *_into kernels.
+  R7  no-raw-clock      std::chrono::steady_clock (and the other std::chrono
+                        clocks) are forbidden outside src/obs — trainer and
+                        rollout code times itself through obs::now_us() /
+                        OBS_PHASE so phase attribution sees every clock read
+                        and the determinism gate knows which fields are
+                        wall-clock derived. src/common/logging.cpp (which
+                        obs itself depends on) keeps its own timestamp clock.
 
 Exit status is the number of violation kinds found (0 = clean). Run:
 
@@ -68,6 +75,13 @@ GROWTH_PATTERNS = [
     (re.compile(r"\.(push_back|emplace_back)\s*\("), "per-element growth"),
 ]
 BATCH_STEP_DEF = re.compile(r"\bBatchLaneWorld::(step\w*)\s*\(")
+
+# R7 ----------------------------------------------------------------------
+CLOCK_PATTERNS = [
+    (re.compile(r"\bstd::chrono::(steady_clock|high_resolution_clock|system_clock)\b"),
+     "std::chrono clock"),
+]
+CLOCK_ALLOWED_PREFIXES = ("src/obs/", "src/common/")
 
 # R5 ----------------------------------------------------------------------
 THREAD_PATTERNS = [
@@ -139,7 +153,7 @@ def main() -> int:
     src = root / "src"
 
     violations: dict[str, list[str]] = {
-        "R1": [], "R2": [], "R3": [], "R4": [], "R5": [], "R6": []
+        "R1": [], "R2": [], "R3": [], "R4": [], "R5": [], "R6": [], "R7": []
     }
 
     for path in sorted(src.rglob("*")):
@@ -187,6 +201,11 @@ def main() -> int:
                         f"{what} inside BatchLaneWorld::{name}()"
                     )
 
+        if not rel.startswith(CLOCK_ALLOWED_PREFIXES):
+            for pat, what in CLOCK_PATTERNS:
+                for m in pat.finditer(code):
+                    violations["R7"].append(f"{rel}:{line_of(code, m.start())}: {what}")
+
     failed = 0
     names = {
         "R1": "no-libc-rand",
@@ -195,6 +214,7 @@ def main() -> int:
         "R4": "pragma-once",
         "R5": "no-raw-thread",
         "R6": "no-growth-in-batch-step",
+        "R7": "no-raw-clock",
     }
     for rule, items in violations.items():
         if not items:

@@ -75,6 +75,25 @@ echo "BENCH_train.json vs BENCH_train.seed.json (steps/sec, lower is worse):"
 "$repo_root/tools/bench_gate.sh" \
     "$repo_root/BENCH_train.json" "$repo_root/BENCH_train.seed.json" \
     steps_per_sec lower_is_worse "$threshold" || status=1
+# Flags-off instrumentation overhead: the whole bench run executes with the
+# obs layer disabled (no --metrics-out), so the gate above already proves the
+# dormant OBS_PHASE sites left the nn/train numbers inside the regression
+# threshold. Additionally pin the per-site cost itself: a disabled scope is
+# one relaxed atomic load and must stay in the noise floor.
+python3 - "$repo_root/BENCH_nn.json" <<'PYEOF' || status=1
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+entries = {e["name"]: e["real_time_ns"] for e in doc["benchmarks"]}
+ns = entries.get("BM_PhaseScope/off")
+if ns is None:
+    sys.exit("BM_PhaseScope/off missing from BENCH_nn.json")
+LIMIT_NS = 50.0  # generous for QEMU/shared runners; native cost is ~1-2 ns
+if ns > LIMIT_NS:
+    sys.exit(f"disabled OBS_PHASE scope costs {ns:.1f} ns/iter (limit {LIMIT_NS})")
+print(f"ok: disabled OBS_PHASE scope {ns:.2f} ns/iter (limit {LIMIT_NS})")
+PYEOF
+
 if [ "$status" -ne 0 ]; then
     echo "benchmark regression beyond ${threshold}% — failing (BENCH_SKIP_CHECK=1 to override)"
 fi
