@@ -56,6 +56,38 @@ void ComaTrainer::critic_input_into(const StepRecord& rec, int agent,
   }
 }
 
+void ComaTrainer::act_rows_into(const rl::ObsBatch& batch, Rng* const* rngs,
+                                bool explore, sim::TwistCmd* cmds_out) {
+  batched_act(batch, rngs, explore, cmds_out);
+}
+
+void ComaTrainer::batched_act(const rl::ObsBatch& batch, Rng* const* rngs,
+                              bool explore, sim::TwistCmd* cmds_out) {
+  OBS_PHASE("act_rows");
+  const int n = batch.num_learners();
+  HERO_CHECK_MSG(n == n_, "batch has " << n << " learners, trainer has " << n_);
+  act_slots_.clear();
+  for (std::size_t s = 0; s < batch.count(); ++s) {
+    if (batch.slot(s).active) act_slots_.push_back(s);
+  }
+  if (act_slots_.empty()) return;
+  for (int k = 0; k < n; ++k) {
+    gather_baseline_rows(batch, k, act_slots_, act_obs_);
+    nn::softmax_into(actors_[static_cast<std::size_t>(k)].net().forward(act_obs_),
+                     act_probs_);
+    for (std::size_t r = 0; r < act_slots_.size(); ++r) {
+      const std::size_t s = act_slots_[r];
+      const double* p = act_probs_.row_ptr(r);
+      const std::size_t a =
+          explore ? rngs[s]->categorical(p, act_probs_.cols())
+                  : static_cast<std::size_t>(
+                        std::max_element(p, p + act_probs_.cols()) - p);
+      cmds_out[s * static_cast<std::size_t>(n) + static_cast<std::size_t>(k)] =
+          grid_.decode(a);
+    }
+  }
+}
+
 std::vector<sim::TwistCmd> ComaTrainer::act(const sim::LaneWorld& world, Rng& rng,
                                             bool explore) {
   std::vector<sim::TwistCmd> cmds;

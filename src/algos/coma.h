@@ -30,10 +30,20 @@ class ComaTrainer : public rl::Controller {
 
   std::vector<sim::TwistCmd> act(const sim::LaneWorld& world, Rng& rng,
                                  bool explore) override;
+  // Batch-first deployment: one actor forward per agent over all active
+  // slots; explore-mode categorical draws come from each slot's own stream
+  // in the scalar act()'s order, so commands are bitwise-identical to
+  // looping act() per slot in both modes (test_serve.cpp).
+  void act_rows_into(const rl::ObsBatch& batch, Rng* const* rngs, bool explore,
+                     sim::TwistCmd* cmds_out) override;
 
   sim::LaneWorld& world() { return world_; }
 
  private:
+  // act_rows_into body (the _into method stays allocation-free; scratch
+  // grows here on batch-shape changes only).
+  void batched_act(const rl::ObsBatch& batch, Rng* const* rngs, bool explore,
+                   sim::TwistCmd* cmds_out);
   // One time-step of on-policy experience for the whole team.
   struct StepRecord {
     std::vector<std::vector<double>> obs;  // per agent (local)
@@ -67,6 +77,8 @@ class ComaTrainer : public rl::Controller {
 
   // Update scratch, reused across episodes (resized in place).
   nn::Matrix critic_in_m_, obs_m_, dlogits_, probs_, logp_, closs_grad_;
+  std::vector<std::size_t> act_slots_;   // act_rows scratch: active slot list
+  nn::Matrix act_obs_, act_probs_;       // act_rows scratch
   std::vector<double> returns_;
   std::vector<std::size_t> taken_;
   std::unique_ptr<runtime::ThreadPool> pool_;  // null while num_workers <= 1

@@ -1,5 +1,6 @@
 #include "algos/common.h"
 
+#include <algorithm>
 #include <string>
 
 #include "obs/obs.h"
@@ -58,6 +59,21 @@ void baseline_obs_into(const sim::BatchLaneWorld& world, int e, int vehicle,
   world.high_level_obs_into(e, vehicle, out);
   world.low_level_obs_into(e, vehicle, world.lane(e, vehicle),
                            out + world.high_level_obs_dim());
+}
+
+void gather_baseline_rows(const rl::ObsBatch& batch, int agent,
+                          const std::vector<std::size_t>& slots, nn::Matrix& out) {
+  const std::size_t hl = batch.hl_dim();
+  const std::size_t ll = batch.ll_dim();
+  out.resize(slots.size(), hl + ll);
+  for (std::size_t r = 0; r < slots.size(); ++r) {
+    const std::size_t s = slots[r];
+    double* row = out.row_ptr(r);
+    const double* hsrc = batch.hl_row(s, agent);
+    std::copy(hsrc, hsrc + hl, row);
+    const double* lsrc = batch.ll_row(s, agent, batch.scalars(s, agent).lane);
+    std::copy(lsrc, lsrc + ll, row + hl);
+  }
 }
 
 std::vector<double> primitive_lo() { return {0.04, -0.25}; }

@@ -75,6 +75,13 @@ std::size_t baseline_obs_dim(const sim::LaneWorld& world);
 void baseline_obs_into(const sim::BatchLaneWorld& world, int e, int vehicle,
                        double* out);
 
+// Deployment-batch analogue: row r of `out` becomes agent `k`'s baseline
+// observation [hl | ll(current lane)] for slot slots[r] of the batch — the
+// row gather behind every baseline's act_rows_into override. `out` is
+// resized in place (slots.size() × baseline obs dim).
+void gather_baseline_rows(const rl::ObsBatch& batch, int agent,
+                          const std::vector<std::size_t>& slots, nn::Matrix& out);
+
 // Primitive action bounds shared by the continuous-control baselines
 // (the envelope of the paper's per-skill ranges).
 std::vector<double> primitive_lo();

@@ -31,6 +31,48 @@ IndependentDqnTrainer::IndependentDqnTrainer(const sim::Scenario& scenario,
   }
 }
 
+void IndependentDqnTrainer::act_rows_into(const rl::ObsBatch& batch,
+                                          Rng* const* rngs, bool explore,
+                                          sim::TwistCmd* cmds_out) {
+  batched_act(batch, rngs, explore, cmds_out);
+}
+
+void IndependentDqnTrainer::batched_act(const rl::ObsBatch& batch,
+                                        Rng* const* rngs, bool explore,
+                                        sim::TwistCmd* cmds_out) {
+  OBS_PHASE("act_rows");
+  const int n = batch.num_learners();
+  HERO_CHECK_MSG(n == world_.num_learners(),
+                 "batch has " << n << " learners, trainer has "
+                              << world_.num_learners());
+  act_slots_.clear();
+  for (std::size_t s = 0; s < batch.count(); ++s) {
+    if (batch.slot(s).active) act_slots_.push_back(s);
+  }
+  if (act_slots_.empty()) return;
+  const double eps = explore ? rl::LinearSchedule(cfg_.eps_start, cfg_.eps_end,
+                                                  cfg_.eps_decay_steps)
+                                   .value(total_steps_)
+                             : 0.0;
+  for (int k = 0; k < n; ++k) {
+    gather_baseline_rows(batch, k, act_slots_, act_obs_);
+    const nn::Matrix& qs = q_[static_cast<std::size_t>(k)].forward(act_obs_);
+    for (std::size_t r = 0; r < act_slots_.size(); ++r) {
+      const std::size_t s = act_slots_[r];
+      std::size_t a;
+      if (explore && rngs[s]->chance(eps)) {
+        a = rngs[s]->index(grid_.size());
+      } else {
+        const double* row = qs.row_ptr(r);
+        a = static_cast<std::size_t>(
+            std::max_element(row, row + qs.cols()) - row);
+      }
+      cmds_out[s * static_cast<std::size_t>(n) + static_cast<std::size_t>(k)] =
+          grid_.decode(a);
+    }
+  }
+}
+
 std::size_t IndependentDqnTrainer::select_action(int agent,
                                                  const std::vector<double>& obs,
                                                  Rng& rng, bool explore) {

@@ -41,6 +41,12 @@ class IndependentDqnTrainer : public rl::Controller {
   // rl::Controller: greedy when explore == false.
   std::vector<sim::TwistCmd> act(const sim::LaneWorld& world, Rng& rng,
                                  bool explore) override;
+  // Batch-first deployment: one Q forward per agent over all active slots
+  // instead of one per (slot, agent). Per-slot ε draws come from that slot's
+  // own stream in the scalar act()'s order, so commands are bitwise-identical
+  // to looping act() per slot in both modes (test_serve.cpp).
+  void act_rows_into(const rl::ObsBatch& batch, Rng* const* rngs, bool explore,
+                     sim::TwistCmd* cmds_out) override;
 
   sim::LaneWorld& world() { return world_; }
   const sim::Scenario& scenario() const { return scenario_; }
@@ -65,6 +71,10 @@ class IndependentDqnTrainer : public rl::Controller {
 
   std::size_t select_action(int agent, const std::vector<double>& obs, Rng& rng,
                             bool explore);
+  // act_rows_into body (the _into method stays allocation-free; scratch
+  // grows here on batch-shape changes only).
+  void batched_act(const rl::ObsBatch& batch, Rng* const* rngs, bool explore,
+                   sim::TwistCmd* cmds_out);
   double update_agent(int agent, Rng& rng);
   // The gradient step on agent's Q-net for an already-sampled batch — no RNG,
   // touches only agent-indexed state, so it can run on a pool worker.
@@ -95,6 +105,8 @@ class IndependentDqnTrainer : public rl::Controller {
   long updates_ = 0;
 
   std::vector<UpdateScratch> scratch_;  // one per agent
+  std::vector<std::size_t> act_slots_;  // act_rows scratch: active slot list
+  nn::Matrix act_obs_;                  // act_rows scratch: gathered obs rows
   std::vector<std::vector<const Transition*>> sampled_;  // parallel round staging
   std::unique_ptr<runtime::ThreadPool> pool_;  // null while num_workers <= 1
 

@@ -43,6 +43,46 @@ std::vector<double> MaacTrainer::actor_obs(const std::vector<double>& obs,
   return in;
 }
 
+void MaacTrainer::act_rows_into(const rl::ObsBatch& batch, Rng* const* rngs,
+                                bool explore, sim::TwistCmd* cmds_out) {
+  batched_act(batch, rngs, explore, cmds_out);
+}
+
+void MaacTrainer::batched_act(const rl::ObsBatch& batch, Rng* const* rngs,
+                              bool explore, sim::TwistCmd* cmds_out) {
+  OBS_PHASE("act_rows");
+  const int n = batch.num_learners();
+  HERO_CHECK_MSG(n == n_, "batch has " << n << " learners, trainer has " << n_);
+  act_slots_.clear();
+  for (std::size_t s = 0; s < batch.count(); ++s) {
+    if (batch.slot(s).active) act_slots_.push_back(s);
+  }
+  if (act_slots_.empty()) return;
+  const std::size_t obs_dim = batch.hl_dim() + batch.ll_dim();
+  for (int k = 0; k < n; ++k) {
+    gather_baseline_rows(batch, k, act_slots_, act_gather_);
+    act_in_rows_.resize(act_slots_.size(), obs_dim + static_cast<std::size_t>(n_));
+    for (std::size_t r = 0; r < act_slots_.size(); ++r) {
+      double* row = act_in_rows_.row_ptr(r);
+      const double* src = act_gather_.row_ptr(r);
+      std::copy(src, src + obs_dim, row);
+      for (int j = 0; j < n_; ++j) row[obs_dim + static_cast<std::size_t>(j)] =
+          j == k ? 1.0 : 0.0;
+    }
+    nn::softmax_into(actor_.net().forward(act_in_rows_), act_probs_);
+    for (std::size_t r = 0; r < act_slots_.size(); ++r) {
+      const std::size_t s = act_slots_[r];
+      const double* p = act_probs_.row_ptr(r);
+      const std::size_t a =
+          explore ? rngs[s]->categorical(p, act_probs_.cols())
+                  : static_cast<std::size_t>(
+                        std::max_element(p, p + act_probs_.cols()) - p);
+      cmds_out[s * static_cast<std::size_t>(n) + static_cast<std::size_t>(k)] =
+          grid_.decode(a);
+    }
+  }
+}
+
 std::size_t MaacTrainer::sample_action(int agent, const std::vector<double>& obs,
                                        Rng& rng, bool greedy) {
   return actor_.act(actor_obs(obs, agent), rng, greedy);

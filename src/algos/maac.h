@@ -34,10 +34,21 @@ class MaacTrainer : public rl::Controller {
 
   std::vector<sim::TwistCmd> act(const sim::LaneWorld& world, Rng& rng,
                                  bool explore) override;
+  // Batch-first deployment: one shared-actor forward per agent over all
+  // active slots (the agent-id one-hot differs per agent, so rows batch
+  // across slots, not agents); explore-mode draws come from each slot's own
+  // stream in the scalar act()'s order, so commands are bitwise-identical to
+  // looping act() per slot in both modes (test_serve.cpp).
+  void act_rows_into(const rl::ObsBatch& batch, Rng* const* rngs, bool explore,
+                     sim::TwistCmd* cmds_out) override;
 
   sim::LaneWorld& world() { return world_; }
 
  private:
+  // act_rows_into body (the _into method stays allocation-free; scratch
+  // grows here on batch-shape changes only).
+  void batched_act(const rl::ObsBatch& batch, Rng* const* rngs, bool explore,
+                   sim::TwistCmd* cmds_out);
   struct Transition {
     std::vector<std::vector<double>> obs;
     std::vector<std::size_t> actions;
@@ -81,6 +92,8 @@ class MaacTrainer : public rl::Controller {
   nn::Matrix probs_, logp_, dlogits_;
   nn::Matrix crit_grad_;           // dL/dQ for the critic update
   AttentionCritic::Pass pass_, tgt_pass_;
+  std::vector<std::size_t> act_slots_;   // act_rows scratch: active slot list
+  nn::Matrix act_gather_, act_in_rows_, act_probs_;  // act_rows scratch
   std::vector<double> y_;
   std::vector<std::size_t> taken_;
   std::unique_ptr<runtime::ThreadPool> pool_;  // null while num_workers <= 1

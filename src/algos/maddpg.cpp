@@ -43,6 +43,43 @@ void MaddpgTrainer::for_agents(const std::function<void(std::size_t)>& fn) {
   }
 }
 
+void MaddpgTrainer::act_rows_into(const rl::ObsBatch& batch, Rng* const* rngs,
+                                  bool explore, sim::TwistCmd* cmds_out) {
+  batched_act(batch, rngs, explore, cmds_out);
+}
+
+void MaddpgTrainer::batched_act(const rl::ObsBatch& batch, Rng* const* rngs,
+                                bool explore, sim::TwistCmd* cmds_out) {
+  OBS_PHASE("act_rows");
+  const int n = batch.num_learners();
+  HERO_CHECK_MSG(n == n_, "batch has " << n << " learners, trainer has " << n_);
+  act_slots_.clear();
+  for (std::size_t s = 0; s < batch.count(); ++s) {
+    if (batch.slot(s).active) act_slots_.push_back(s);
+  }
+  if (act_slots_.empty()) return;
+  const std::vector<double> lo = primitive_lo();
+  const std::vector<double> hi = primitive_hi();
+  for (int k = 0; k < n; ++k) {
+    gather_baseline_rows(batch, k, act_slots_, act_obs_);
+    // The forward buffer belongs to actor k and is fully consumed before the
+    // next agent's forward.
+    const nn::Matrix& a = actors_[static_cast<std::size_t>(k)].forward(act_obs_);
+    for (std::size_t r = 0; r < act_slots_.size(); ++r) {
+      const std::size_t s = act_slots_[r];
+      const double* row = a.row_ptr(r);
+      double lin = row[0];
+      double ang = row[1];
+      if (explore) {
+        lin = std::clamp(lin + rngs[s]->normal(0.0, cfg_.act_noise), lo[0], hi[0]);
+        ang = std::clamp(ang + rngs[s]->normal(0.0, cfg_.act_noise), lo[1], hi[1]);
+      }
+      cmds_out[s * static_cast<std::size_t>(n) + static_cast<std::size_t>(k)] = {
+          lin, ang};
+    }
+  }
+}
+
 std::vector<double> MaddpgTrainer::actor_action(int agent,
                                                 const std::vector<double>& obs,
                                                 Rng& rng, bool explore) {

@@ -26,10 +26,20 @@ class MaddpgTrainer : public rl::Controller {
 
   std::vector<sim::TwistCmd> act(const sim::LaneWorld& world, Rng& rng,
                                  bool explore) override;
+  // Batch-first deployment: one actor forward per agent over all active
+  // slots; exploration noise comes from each slot's own stream in the scalar
+  // act()'s order, so commands are bitwise-identical to looping act() per
+  // slot in both modes (test_serve.cpp).
+  void act_rows_into(const rl::ObsBatch& batch, Rng* const* rngs, bool explore,
+                     sim::TwistCmd* cmds_out) override;
 
   sim::LaneWorld& world() { return world_; }
 
  private:
+  // act_rows_into body (the _into method stays allocation-free; scratch
+  // grows here on batch-shape changes only).
+  void batched_act(const rl::ObsBatch& batch, Rng* const* rngs, bool explore,
+                   sim::TwistCmd* cmds_out);
   struct Transition {
     std::vector<std::vector<double>> obs;      // per agent
     std::vector<std::vector<double>> actions;  // per agent
@@ -75,6 +85,8 @@ class MaddpgTrainer : public rl::Controller {
   nn::Matrix joint_obs_, joint_next_obs_, joint_act_, joint_next_act_;
   nn::Matrix next_in_, cur_in_;
   std::vector<AgentScratch> scratch_;  // one per agent
+  std::vector<std::size_t> act_slots_;  // act_rows scratch: active slot list
+  nn::Matrix act_obs_;                  // act_rows scratch: gathered obs rows
   std::unique_ptr<runtime::ThreadPool> pool_;  // null while num_workers <= 1
 };
 

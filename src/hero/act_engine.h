@@ -1,0 +1,79 @@
+// HeroActEngine: the fused batch-first deployment pass of the HERO policy
+// (docs/SERVING.md).
+//
+// One act_rows() call advances every active slot of an rl::ObsBatch by one
+// control tick with exactly three batched network stages — the same fused
+// structure the training-side BatchedRollout uses (docs/BATCHING.md), minus
+// all experience staging:
+//
+//   1. β_o termination per (slot, agent) from the ego scalars;
+//   2. option selection, agent-major: for agent k, every slot re-selecting
+//      shares one opponent-model predict_all_rows and one actor
+//      option_probs_rows forward; the ε/categorical draws (explore only)
+//      then come from each slot's own stream, so the chosen options are
+//      independent of which other slots happened to share the batch;
+//   3. skill actions, option-major: one SquashedGaussianPolicy act_rows_into
+//      per learned option over every (slot, agent) currently holding it,
+//      then the pure steering-law core (SkillBank::to_twist_core).
+//
+// Greedy mode (explore == false) draws nothing anywhere — argmax option
+// selection plus deterministic skill means — which is what makes a served
+// batch bitwise-equal to serving each request alone (ServeEquivalence tests).
+//
+// The engine owns only scratch; the model (skill bank + agents) and the
+// per-slot session state are passed per call, so a checkpoint hot-reload can
+// swap the model under the engine without touching in-flight sessions.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hero/hero_agent.h"
+#include "rl/obs_batch.h"
+
+namespace hero::core {
+
+// Per-slot deployment state: the semi-MDP option bookkeeping of one episode
+// (the serving analogue of BatchedRollout::LaneAgent). Owned by the caller —
+// HeroTrainer keys them by slot for batched evaluation, the policy server
+// keys them by client session.
+struct HeroSession {
+  struct AgentState {
+    OptionExecution exec;
+    long selections = 0;  // local ε-schedule position (explore mode)
+  };
+  bool started = false;
+  std::vector<AgentState> agents;
+  std::vector<int> options;  // option currently held per agent
+
+  // Drops all option state; the next act_rows() performs the initial
+  // selection for every agent (begin-episode semantics).
+  void reset() {
+    started = false;
+    agents.clear();
+    options.clear();
+  }
+};
+
+class HeroActEngine {
+ public:
+  // One fused deployment tick over batch.count() slots. sessions[s] and
+  // rngs[s] belong to slot s; inactive slots are skipped. Commands land
+  // slot-major in cmds_out (slot s, agent k → s·n + k), exactly like
+  // Controller::act_rows_into.
+  void act_rows(SkillBank& skills, std::vector<std::unique_ptr<HeroAgent>>& agents,
+                const HighLevelConfig& high, const TerminationConfig& term,
+                const rl::ObsBatch& batch, HeroSession* const* sessions,
+                Rng* const* rngs, bool explore, sim::TwistCmd* cmds_out);
+
+ private:
+  // Scratch, resized in place and reused across calls.
+  std::vector<std::uint8_t> needs_select_;        // (slot·n)
+  std::vector<std::size_t> sel_slots_;            // slots selecting for one agent
+  nn::Matrix sel_obs_, sel_blocks_, sel_in_, sel_probs_;
+  std::vector<std::pair<std::size_t, int>> sk_rows_;  // (slot, k) per option
+  nn::Matrix sk_obs_, sk_act_;
+  std::vector<Rng*> sk_rngs_;
+};
+
+}  // namespace hero::core

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/stats.h"
+#include "hero/checkpoint.h"
 #include "nn/serialize.h"
 #include "obs/obs.h"
 #include "runtime/rollout.h"
@@ -68,6 +69,7 @@ std::map<Option, std::vector<double>> HeroTrainer::train_skills(
 }
 
 void HeroTrainer::save(const std::string& dir) {
+  write_manifest(dir, manifest_of(*this));
   skills_.save(dir);
   for (std::size_t k = 0; k < agents_.size(); ++k) {
     const std::string base = dir + "/agent" + std::to_string(k);
@@ -82,6 +84,10 @@ void HeroTrainer::save(const std::string& dir) {
 }
 
 void HeroTrainer::load(const std::string& dir) {
+  CheckpointManifest on_disk;
+  if (read_manifest(dir, &on_disk)) {
+    validate_manifest(on_disk, manifest_of(*this), dir);
+  }
   skills_.load(dir);
   for (std::size_t k = 0; k < agents_.size(); ++k) {
     const std::string base = dir + "/agent" + std::to_string(k);
@@ -138,6 +144,26 @@ std::vector<sim::TwistCmd> HeroTrainer::act(const sim::LaneWorld& world, Rng& rn
     ++exec.steps;  // one world.step() follows each act() by contract
   }
   return cmds;
+}
+
+void HeroTrainer::act_rows_into(const rl::ObsBatch& batch, Rng* const* rngs,
+                                bool explore, sim::TwistCmd* cmds_out) {
+  batched_act(batch, rngs, explore, cmds_out);
+}
+
+void HeroTrainer::batched_act(const rl::ObsBatch& batch, Rng* const* rngs,
+                              bool explore, sim::TwistCmd* cmds_out) {
+  if (!act_engine_) act_engine_ = std::make_unique<HeroActEngine>();
+  // Sessions are keyed by slot index and survive across calls; growing the
+  // batch appends fresh (unstarted) sessions without disturbing existing
+  // slots.
+  if (act_sessions_.size() < batch.count()) act_sessions_.resize(batch.count());
+  act_session_ptrs_.resize(batch.count());
+  for (std::size_t s = 0; s < batch.count(); ++s) {
+    act_session_ptrs_[s] = &act_sessions_[s];
+  }
+  act_engine_->act_rows(skills_, agents_, cfg_.high, cfg_.skill.termination,
+                        batch, act_session_ptrs_.data(), rngs, explore, cmds_out);
 }
 
 void HeroTrainer::train(int episodes, Rng& rng, const algos::EpisodeHook& hook) {

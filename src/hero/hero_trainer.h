@@ -15,6 +15,7 @@
 
 #include "algos/common.h"
 #include "common/stats.h"
+#include "hero/act_engine.h"
 #include "hero/batched_rollout.h"
 #include "hero/hero_agent.h"
 #include "runtime/sharded_replay.h"
@@ -70,18 +71,35 @@ class HeroTrainer : public rl::Controller {
   void begin_episode(const sim::LaneWorld& world) override;
   std::vector<sim::TwistCmd> act(const sim::LaneWorld& world, Rng& rng,
                                  bool explore) override;
+  // Batch-first deployment: one fused HeroActEngine pass over all active
+  // slots (three batched network stages total instead of 3·B·n single-row
+  // forwards). Slot s's semi-MDP state lives in an internal per-slot
+  // HeroSession keyed by slot index, reset via the batch's reset flags — the
+  // Controller contract's "slot index is session identity". Greedy commands
+  // are bitwise-identical to the scalar act() path (see test_serve.cpp);
+  // explore mode is deterministic too but keys its draw order on the fused
+  // schedule, like the batch_envs training path.
+  void act_rows_into(const rl::ObsBatch& batch, Rng* const* rngs, bool explore,
+                     sim::TwistCmd* cmds_out) override;
 
   // --- checkpointing ---
   // Persists the full model (skill bank, per-agent high-level actor/critic,
-  // opponent predictors) into `dir`; load() restores into an identically
-  // configured trainer. Note: opponent predictors below their min-samples
-  // threshold still report the uniform prior after load (by design — the
-  // threshold guards deployment on untrained predictors).
+  // opponent predictors) into `dir`, plus the versioned `checkpoint.json`
+  // manifest (hero/checkpoint.h); load() restores into an identically
+  // configured trainer and throws std::runtime_error when the manifest
+  // declares an incompatible format or architecture (manifest-less legacy
+  // directories still load). Note: opponent predictors below their
+  // min-samples threshold still report the uniform prior after load (by
+  // design — the threshold guards deployment on untrained predictors).
   void save(const std::string& dir);
   void load(const std::string& dir);
 
   SkillBank& skills() { return skills_; }
   HeroAgent& agent(int k) { return *agents_[static_cast<std::size_t>(k)]; }
+  // The full agent roster — what HeroActEngine consumers (the policy server)
+  // pass per call so a model swap never invalidates engine state.
+  std::vector<std::unique_ptr<HeroAgent>>& agents() { return agents_; }
+  const HeroConfig& config() const { return cfg_; }
   int num_agents() const { return static_cast<int>(agents_.size()); }
   sim::LaneWorld& world() { return world_; }
   const sim::Scenario& scenario() const { return scenario_; }
@@ -92,6 +110,11 @@ class HeroTrainer : public rl::Controller {
   // the observable option history the paper assumes. Returns a reference to
   // a reused scratch vector, overwritten by the next call.
   const std::vector<int>& others_options(int k) const;
+
+  // act_rows_into body (the _into method must stay allocation-free; the
+  // engine and session pool grow here, on first use / batch growth only).
+  void batched_act(const rl::ObsBatch& batch, Rng* const* rngs, bool explore,
+                   sim::TwistCmd* cmds_out);
 
   // --- parallel stage 2 (cfg_.num_workers > 1; docs/PARALLELISM.md) ---
   // A transition collected by a worker replica, staged for the learner.
@@ -161,6 +184,12 @@ class HeroTrainer : public rl::Controller {
 
   // Batch-first rollout engine (unused while batch_envs == 0).
   std::unique_ptr<BatchedRollout> batched_;
+
+  // Batch-first deployment engine + per-slot sessions (lazy; see
+  // act_rows_into).
+  std::unique_ptr<HeroActEngine> act_engine_;
+  std::vector<HeroSession> act_sessions_;
+  std::vector<HeroSession*> act_session_ptrs_;
 };
 
 }  // namespace hero::core

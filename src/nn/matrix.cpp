@@ -159,27 +159,45 @@ void mm_transB_body(const double* a, std::size_t m, std::size_t k, const double*
 // o (m×n) = a (m×k) · w (k×n) + bias (1×n): each output row is seeded with
 // the broadcast bias, then accumulated in place — fusing the two passes
 // halves the traffic over `o`.
+//
+// The k loop is OUTER and the sample loop inner, so each 4-row strip of `w`
+// is loaded once and folded into every sample row while it is L1-hot: `w` is
+// streamed exactly once per call no matter how many rows are batched — the
+// difference between batch-oblivious and genuinely batched inference once
+// the weights outgrow cache (docs/SERVING.md §Throughput). The extra traffic
+// this moves onto `o` (re-swept once per k-block) stays L1-resident for any
+// realistic batch. Every row's accumulation order is identical to the m=1
+// path (k-blocks of 4 in order with the same pairwise sums, then a
+// sequential tail), so results are bitwise independent of both the batch
+// size and a row's position within it — the batched-equals-serial guarantees
+// elsewhere in the repo rely on this.
 HERO_KERNEL_INLINE
 void mm_affine_body(const double* a, std::size_t m, std::size_t k, const double* w,
                std::size_t n, const double* bias, double* o) {
   for (std::size_t i = 0; i < m; ++i) {
-    const double* arow = a + i * k;
     double* orow = o + i * n;
     for (std::size_t j = 0; j < n; ++j) orow[j] = bias[j];
-    std::size_t c = 0;
-    for (; c + 4 <= k; c += 4) {
+  }
+  std::size_t c = 0;
+  for (; c + 4 <= k; c += 4) {
+    const double* w0 = w + c * n;
+    const double* w1 = w0 + n;
+    const double* w2 = w1 + n;
+    const double* w3 = w2 + n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double* arow = a + i * k;
+      double* orow = o + i * n;
       const double a0 = arow[c], a1 = arow[c + 1], a2 = arow[c + 2], a3 = arow[c + 3];
-      const double* w0 = w + c * n;
-      const double* w1 = w0 + n;
-      const double* w2 = w1 + n;
-      const double* w3 = w2 + n;
       for (std::size_t j = 0; j < n; ++j) {
         orow[j] += (a0 * w0[j] + a1 * w1[j]) + (a2 * w2[j] + a3 * w3[j]);
       }
     }
-    for (; c < k; ++c) {
-      const double ac = arow[c];
-      const double* wrow = w + c * n;
+  }
+  for (; c < k; ++c) {
+    const double* wrow = w + c * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double ac = a[i * k + c];
+      double* orow = o + i * n;
       for (std::size_t j = 0; j < n; ++j) orow[j] += ac * wrow[j];
     }
   }
@@ -289,10 +307,62 @@ HERO_TARGET_AVX2 void mm_transB_avx2(const double* a, std::size_t m, std::size_t
     }
   }
 }
+// Hand-vectorized: the auto-vectorizer cannot prove `o` never aliases `w`,
+// so the shared body compiles to scalar FP even under the avx2 target. The
+// inner loop is elementwise over j (no reduction), and every row runs the
+// exact same instruction sequence, so results remain bitwise independent of
+// the batch size and a row's position within it.
 HERO_TARGET_AVX2 void mm_affine_avx2(const double* a, std::size_t m, std::size_t k,
                                      const double* w, std::size_t n,
                                      const double* bias, double* o) {
-  mm_affine_body(a, m, k, w, n, bias, o);
+  for (std::size_t i = 0; i < m; ++i) {
+    double* orow = o + i * n;
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) _mm256_storeu_pd(orow + j, _mm256_loadu_pd(bias + j));
+    for (; j < n; ++j) orow[j] = bias[j];
+  }
+  std::size_t c = 0;
+  for (; c + 4 <= k; c += 4) {
+    const double* w0 = w + c * n;
+    const double* w1 = w0 + n;
+    const double* w2 = w1 + n;
+    const double* w3 = w2 + n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double* arow = a + i * k;
+      double* orow = o + i * n;
+      const __m256d a0 = _mm256_set1_pd(arow[c]);
+      const __m256d a1 = _mm256_set1_pd(arow[c + 1]);
+      const __m256d a2 = _mm256_set1_pd(arow[c + 2]);
+      const __m256d a3 = _mm256_set1_pd(arow[c + 3]);
+      std::size_t j = 0;
+      for (; j + 4 <= n; j += 4) {
+        const __m256d t01 = _mm256_fmadd_pd(a1, _mm256_loadu_pd(w1 + j),
+                                            _mm256_mul_pd(a0, _mm256_loadu_pd(w0 + j)));
+        const __m256d t23 = _mm256_fmadd_pd(a3, _mm256_loadu_pd(w3 + j),
+                                            _mm256_mul_pd(a2, _mm256_loadu_pd(w2 + j)));
+        const __m256d acc = _mm256_add_pd(_mm256_loadu_pd(orow + j),
+                                          _mm256_add_pd(t01, t23));
+        _mm256_storeu_pd(orow + j, acc);
+      }
+      for (; j < n; ++j) {
+        orow[j] += (arow[c] * w0[j] + arow[c + 1] * w1[j]) +
+                   (arow[c + 2] * w2[j] + arow[c + 3] * w3[j]);
+      }
+    }
+  }
+  for (; c < k; ++c) {
+    const double* wrow = w + c * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const __m256d ac = _mm256_set1_pd(a[i * k + c]);
+      double* orow = o + i * n;
+      std::size_t j = 0;
+      for (; j + 4 <= n; j += 4) {
+        _mm256_storeu_pd(orow + j, _mm256_fmadd_pd(ac, _mm256_loadu_pd(wrow + j),
+                                                   _mm256_loadu_pd(orow + j)));
+      }
+      for (; j < n; ++j) orow[j] += a[i * k + c] * wrow[j];
+    }
+  }
 }
 #undef HERO_TARGET_AVX2
 

@@ -168,6 +168,19 @@ std::size_t Mlp::out_dim() const {
   return layers_.back()->out_dim();
 }
 
+std::vector<std::size_t> Mlp::layer_dims() const {
+  std::vector<std::size_t> dims;
+  if (layers_.empty()) return dims;
+  dims.push_back(layers_.front()->in_dim());
+  for (const auto& l : layers_) {
+    const Layer& layer = *l;
+    // Only parameterized (Linear) layers change the width; activations are
+    // width-preserving and would just duplicate entries.
+    if (!layer.params().empty()) dims.push_back(layer.out_dim());
+  }
+  return dims;
+}
+
 std::size_t Mlp::num_params() const {
   std::size_t n = 0;
   for (const auto& l : layers_) {

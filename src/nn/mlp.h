@@ -67,6 +67,9 @@ class Mlp {
   std::size_t in_dim() const;
   std::size_t out_dim() const;
   std::size_t num_params() const;
+  // Linear-layer widths in order: {in, hidden..., out}. The architecture
+  // fingerprint recorded in checkpoint manifests (hero/checkpoint.h).
+  std::vector<std::size_t> layer_dims() const;
   bool empty() const { return layers_.empty(); }
 
  private:

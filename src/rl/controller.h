@@ -2,11 +2,24 @@
 // implements: map the current world state to one twist command per learning
 // vehicle. A single evaluation harness (rl/evaluation.h) then scores any
 // method identically — this is what the Fig. 7/11 and Table II benches use.
+//
+// Two entry points:
+//
+//   * act() — the scalar path: one live world, one command vector. The
+//     historical interface; training loops and single-episode evaluation
+//     keep using it unchanged.
+//   * act_rows_into() — the batch-first path: many environment slots in one
+//     ObsBatch, one fused pass. This is what batched evaluation
+//     (rl::evaluate_batch) and the policy server (src/serve) consume; HERO
+//     and all four baselines override it with genuinely batched network
+//     evaluation, so cross-slot batching costs one forward per network
+//     instead of one per slot.
 #pragma once
 
 #include <vector>
 
 #include "common/rng.h"
+#include "rl/obs_batch.h"
 #include "sim/lane_world.h"
 
 namespace hero::rl {
@@ -23,6 +36,35 @@ class Controller {
   // stochastic (training) vs greedy (evaluation) action selection.
   virtual std::vector<sim::TwistCmd> act(const sim::LaneWorld& world, Rng& rng,
                                          bool explore) = 0;
+
+  // Batch-first action selection over `batch.count()` environment slots.
+  //
+  // Contract:
+  //   * `cmds_out` holds batch.count() · batch.num_learners() commands,
+  //     slot-major: slot s's learner k lands at s·n + k. Inactive slots
+  //     (slot(s).active == false) are skipped and their commands left
+  //     untouched.
+  //   * `rngs[s]` is slot s's draw stream; with explore == false no
+  //     controller in this repo draws from it (greedy selection is
+  //     draw-free), which is what makes served answers bitwise-reproducible
+  //     under any batching (docs/SERVING.md).
+  //   * Slot indices are session identities: controllers that carry
+  //     per-episode state (HERO's option executions) key it by slot, and
+  //     slot(s).reset marks the start of a fresh episode for that slot.
+  //
+  // The default implementation loops the scalar act() through the per-slot
+  // world pointers (set_slot_from_world producers only) — correct for
+  // stateless controllers at any width and for any controller at width 1;
+  // stateful controllers override it with a real per-slot path.
+  virtual void act_rows_into(const ObsBatch& batch, Rng* const* rngs, bool explore,
+                             sim::TwistCmd* cmds_out);
+
+ private:
+  // The scalar-looping fallback behind the default act_rows_into (kept out
+  // of the *_into body: this path allocates by design — it is a
+  // compatibility shim, not a hot path).
+  void act_rows_fallback(const ObsBatch& batch, Rng* const* rngs, bool explore,
+                         sim::TwistCmd* cmds_out);
 };
 
 }  // namespace hero::rl

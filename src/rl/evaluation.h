@@ -4,6 +4,8 @@
 // collision rate, lane-merge success rate, and mean speed.
 #pragma once
 
+#include <cstdint>
+
 #include "rl/controller.h"
 #include "sim/scenario.h"
 
@@ -33,5 +35,18 @@ EpisodeStats run_episode(sim::LaneWorld& world, Controller& controller, Rng& rng
 // Greedy evaluation over `episodes` fresh episodes.
 EvalSummary evaluate(sim::LaneWorld& world, Controller& controller, Rng& rng,
                      int episodes, int merger_index, int merger_target_lane);
+
+// Batch-first greedy evaluation through Controller::act_rows_into: up to
+// `batch` episodes advance in lockstep over independent worlds, so every
+// per-step network evaluation of a batched controller runs once per tick
+// instead of once per episode. Episode e draws all of its randomness from
+// the counter-based stream stream_rng(root_seed, e) and greedy selection is
+// draw-free, so the per-episode results are invariant to the batch width —
+// evaluate_batch(.., batch=1, ..) and batch=16 score identical episodes
+// (docs/SERVING.md, "Batched evaluation").
+EvalSummary evaluate_batch(const sim::LaneWorldConfig& world_cfg,
+                           Controller& controller, std::uint64_t root_seed,
+                           int episodes, int batch, int merger_index,
+                           int merger_target_lane);
 
 }  // namespace hero::rl

@@ -1,0 +1,78 @@
+// Micro-batching scheduler for the policy server (docs/SERVING.md §Batching).
+//
+// Pure decision logic — no clocks, no I/O: the caller passes `now_us`
+// (obs::now_us() in the server, synthetic time in tests), the batcher
+// answers two questions:
+//
+//   * should the pending requests flush NOW?  (batch full, or the oldest
+//     request has waited max_wait_us)
+//   * if not, how long until they must?       (the poll timeout)
+//
+// The classic latency/throughput dial: max_wait_us = 0 degenerates to
+// serve-immediately (minimum latency, batch = whatever arrived in one poll
+// round), large max_wait_us approaches fixed-size batching (maximum
+// throughput). Requests flush strictly in arrival order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace hero::serve {
+
+struct BatcherConfig {
+  std::size_t max_batch = 16;    // flush as soon as this many are pending
+  long long max_wait_us = 1000;  // ...or when the oldest has waited this long
+};
+
+class MicroBatcher {
+ public:
+  explicit MicroBatcher(const BatcherConfig& cfg = {}) : cfg_(cfg) {
+    HERO_CHECK(cfg_.max_batch > 0);
+    HERO_CHECK(cfg_.max_wait_us >= 0);
+  }
+
+  const BatcherConfig& config() const { return cfg_; }
+
+  // Registers request `tag` (an opaque caller handle) arriving at `now_us`.
+  void enqueue(std::uint64_t tag, long long now_us) {
+    pending_.push_back({tag, now_us});
+  }
+
+  std::size_t pending() const { return pending_.size(); }
+
+  bool should_flush(long long now_us) const {
+    if (pending_.empty()) return false;
+    if (pending_.size() >= cfg_.max_batch) return true;
+    return now_us - pending_.front().arrival_us >= cfg_.max_wait_us;
+  }
+
+  // Microseconds until the oldest pending request hits its deadline (0 when
+  // already due); -1 when nothing is pending (no deadline — block freely).
+  long long wait_budget_us(long long now_us) const {
+    if (pending_.empty()) return -1;
+    const long long due = pending_.front().arrival_us + cfg_.max_wait_us;
+    return due > now_us ? due - now_us : 0;
+  }
+
+  // Drains up to max_batch tags in arrival order into `out` (cleared first).
+  void take(std::vector<std::uint64_t>& out) {
+    out.clear();
+    const std::size_t n = pending_.size() < cfg_.max_batch ? pending_.size()
+                                                           : cfg_.max_batch;
+    for (std::size_t i = 0; i < n; ++i) out.push_back(pending_[i].tag);
+    pending_.erase(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+
+ private:
+  struct Pending {
+    std::uint64_t tag;
+    long long arrival_us;
+  };
+  BatcherConfig cfg_;
+  std::vector<Pending> pending_;
+};
+
+}  // namespace hero::serve

@@ -1,0 +1,150 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace hero::serve {
+
+ServeClient::ServeClient(const std::string& socket_path) {
+  if (socket_path.empty() || socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    throw std::runtime_error("invalid serve socket path: \"" + socket_path + "\"");
+  }
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("socket(): ") + std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("connect(" + socket_path + "): " + err);
+  }
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void ServeClient::send_all() {
+  std::size_t off = 0;
+  while (off < out_.size()) {
+    const ssize_t wrote = ::write(fd_, out_.data() + off, out_.size() - off);
+    if (wrote > 0) {
+      off += static_cast<std::size_t>(wrote);
+      continue;
+    }
+    if (wrote < 0 && errno == EINTR) continue;
+    throw std::runtime_error(std::string("serve client write(): ") +
+                             std::strerror(errno));
+  }
+  out_.clear();
+}
+
+bool ServeClient::read_frame(MsgType* type, std::vector<std::uint8_t>* payload) {
+  while (true) {
+    if (reader_.next(type, payload)) return true;
+    if (reader_.bad()) {
+      throw std::runtime_error("serve client: malformed frame from server");
+    }
+    read_buf_.resize(64 * 1024);
+    const ssize_t got = ::read(fd_, read_buf_.data(), read_buf_.size());
+    if (got > 0) {
+      reader_.feed(read_buf_.data(), static_cast<std::size_t>(got));
+      continue;
+    }
+    if (got == 0) return false;  // server closed
+    if (errno == EINTR) continue;
+    throw std::runtime_error(std::string("serve client read(): ") +
+                             std::strerror(errno));
+  }
+}
+
+void ServeClient::throw_server_error(const std::vector<std::uint8_t>& payload) {
+  ErrorMsg err;
+  if (decode_error(payload.data(), payload.size(), &err)) {
+    throw std::runtime_error("serve server error: " + err.message);
+  }
+  throw std::runtime_error("serve server error (unparseable)");
+}
+
+HelloAck ServeClient::hello(const Hello& h) {
+  encode_hello(h, out_);
+  send_all();
+  MsgType type;
+  if (!read_frame(&type, &payload_)) {
+    throw std::runtime_error("serve server closed during Hello");
+  }
+  if (type == MsgType::kError) throw_server_error(payload_);
+  HelloAck ack;
+  if (type != MsgType::kHelloAck ||
+      !decode_hello_ack(payload_.data(), payload_.size(), &ack)) {
+    throw std::runtime_error("serve client: unexpected reply to Hello");
+  }
+  learners_ = h.learners;
+  return ack;
+}
+
+ActResponse ServeClient::act(const ActRequest& req) {
+  send_act(req);
+  ActResponse resp = recv_act();
+  if (resp.request_id != req.request_id) {
+    throw std::runtime_error("serve client: response id mismatch");
+  }
+  return resp;
+}
+
+void ServeClient::send_act(const ActRequest& req) {
+  encode_act(req, out_);
+  send_all();
+}
+
+void ServeClient::queue_act(const ActRequest& req) { encode_act(req, out_); }
+
+void ServeClient::flush() { send_all(); }
+
+ActResponse ServeClient::recv_act() {
+  MsgType type;
+  if (!read_frame(&type, &payload_)) {
+    throw std::runtime_error("serve server closed mid-request");
+  }
+  if (type == MsgType::kError) throw_server_error(payload_);
+  ActResponse resp;
+  if (type != MsgType::kActResponse ||
+      !decode_act_response(payload_.data(), payload_.size(), learners_, &resp)) {
+    throw std::runtime_error("serve client: unexpected reply to ActRequest");
+  }
+  return resp;
+}
+
+ReloadAck ServeClient::reload(const std::string& dir) {
+  Reload r;
+  r.dir = dir;
+  encode_reload(r, out_);
+  send_all();
+  MsgType type;
+  if (!read_frame(&type, &payload_)) {
+    throw std::runtime_error("serve server closed during Reload");
+  }
+  if (type == MsgType::kError) throw_server_error(payload_);
+  ReloadAck ack;
+  if (type != MsgType::kReloadAck ||
+      !decode_reload_ack(payload_.data(), payload_.size(), &ack)) {
+    throw std::runtime_error("serve client: unexpected reply to Reload");
+  }
+  return ack;
+}
+
+void ServeClient::shutdown_server() {
+  encode_shutdown(out_);
+  send_all();
+}
+
+}  // namespace hero::serve

@@ -1,0 +1,66 @@
+// ServeClient: a blocking unix-socket client for the hero_serve protocol —
+// what hero_loadgen's simulated vehicles and the serving tests speak
+// (docs/SERVING.md). One connection = one session; the client itself is
+// single-threaded (loadgen achieves concurrency by giving each simulated
+// client its own connection on a runtime::ThreadPool worker).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace hero::serve {
+
+class ServeClient {
+ public:
+  // Connects to the server's unix socket; throws std::runtime_error on
+  // failure.
+  explicit ServeClient(const std::string& socket_path);
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  // Opens the session. Throws std::runtime_error when the server rejects the
+  // Hello (dimension mismatch) or the connection breaks.
+  HelloAck hello(const Hello& h);
+
+  // One blocking act round-trip. The request's learner/feature vectors must
+  // match the dims negotiated in hello().
+  ActResponse act(const ActRequest& req);
+
+  // Pipelined operation: send_act queues a request without waiting;
+  // recv_act blocks for the next response. The server answers each
+  // connection's requests in order, so responses come back FIFO — callers
+  // match them to requests by request_id. A window of in-flight requests is
+  // how loadgen keeps cross-request batches full (docs/SERVING.md).
+  void send_act(const ActRequest& req);
+  ActResponse recv_act();
+
+  // Burst variant: queue_act only encodes into the output buffer; flush()
+  // writes every queued frame with one syscall. A window burst costs one
+  // write() instead of one per request — the client-side mirror of the
+  // server's per-connection write coalescing.
+  void queue_act(const ActRequest& req);
+  void flush();
+
+  // Admin: hot-swap the server's checkpoint / stop the server.
+  ReloadAck reload(const std::string& dir);
+  void shutdown_server();
+
+ private:
+  // Sends everything buffered in out_, then blocks for one frame.
+  void send_all();
+  bool read_frame(MsgType* type, std::vector<std::uint8_t>* payload);
+  [[noreturn]] void throw_server_error(const std::vector<std::uint8_t>& payload);
+
+  int fd_ = -1;
+  std::uint32_t learners_ = 0;
+  FrameReader reader_;
+  std::vector<std::uint8_t> out_;
+  std::vector<std::uint8_t> payload_;
+  std::vector<std::uint8_t> read_buf_;
+};
+
+}  // namespace hero::serve

@@ -1,0 +1,140 @@
+// hero_serve wire protocol (docs/SERVING.md §Protocol).
+//
+// Length-prefixed binary frames over a stream transport (unix-domain socket
+// in this repo):
+//
+//   [u32 length][u8 type][payload ...]
+//
+// `length` counts the type byte plus the payload, little-endian, capped at
+// kMaxFrameBytes. All integers are little-endian fixed-width; doubles travel
+// as their IEEE-754 bit patterns — the protocol is exact, which is what lets
+// the serving-equivalence tests compare served commands bitwise against
+// in-process inference.
+//
+// Session flow:
+//   client → Hello        (dims + RNG seed + explore mode)
+//   server → HelloAck     (session id) or Error (dim mismatch; then close)
+//   client → ActRequest*  (observations; `reset` starts a fresh episode)
+//   server → ActResponse  (one command per learner + the options held)
+//   client → Reload       (admin: swap in a new checkpoint directory)
+//   server → ReloadAck    (ok flag + message; in-flight sessions unaffected)
+//   client → Shutdown     (admin: server drains and exits its run loop)
+//
+// Encoding appends to a caller-owned byte vector (reused across frames, so a
+// steady-state client/server allocates nothing per frame); decoding is
+// tolerant of torn frames via FrameReader and rejects malformed payloads by
+// returning false, never by reading out of bounds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hero::serve {
+
+// Frames larger than this are a protocol violation (covers any sane batch of
+// lane observations by orders of magnitude).
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 24;
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kAct = 3,
+  kActResponse = 4,
+  kReload = 5,
+  kReloadAck = 6,
+  kShutdown = 7,
+  kError = 8,
+};
+
+struct Hello {
+  std::uint32_t learners = 0;
+  std::uint32_t hl_dim = 0;
+  std::uint32_t ll_dim = 0;
+  std::uint32_t num_lanes = 0;
+  std::uint8_t explore = 0;   // 0 = greedy (deterministic), 1 = stochastic
+  std::uint64_t seed = 0;     // session draw stream (explore mode only)
+};
+
+struct HelloAck {
+  std::uint32_t session_id = 0;
+};
+
+struct ActRequest {
+  std::uint64_t request_id = 0;
+  std::uint8_t reset = 0;  // 1 = begin a fresh episode before acting
+  // Per learner (size = learners):
+  std::vector<double> y, heading, speed;
+  std::vector<std::int32_t> lane;
+  // Row-major feature blocks: hl is learners × hl_dim; ll is
+  // learners × num_lanes × ll_dim (one row per candidate reference lane).
+  std::vector<double> hl;
+  std::vector<double> ll;
+};
+
+struct ActResponse {
+  std::uint64_t request_id = 0;
+  // Per learner:
+  std::vector<double> linear, angular;
+  std::vector<std::int32_t> option;  // option held after this tick
+};
+
+struct Reload {
+  std::string dir;
+};
+
+struct ReloadAck {
+  std::uint8_t ok = 0;
+  std::string message;
+};
+
+struct ErrorMsg {
+  std::string message;
+};
+
+// --- encoding (appends one complete frame to `out`) ---
+void encode_hello(const Hello& m, std::vector<std::uint8_t>& out);
+void encode_hello_ack(const HelloAck& m, std::vector<std::uint8_t>& out);
+void encode_act(const ActRequest& m, std::vector<std::uint8_t>& out);
+void encode_act_response(const ActResponse& m, std::vector<std::uint8_t>& out);
+void encode_reload(const Reload& m, std::vector<std::uint8_t>& out);
+void encode_reload_ack(const ReloadAck& m, std::vector<std::uint8_t>& out);
+void encode_shutdown(std::vector<std::uint8_t>& out);
+void encode_error(const ErrorMsg& m, std::vector<std::uint8_t>& out);
+
+// --- decoding (payload excludes the type byte; false on malformed) ---
+// The ActRequest overload needs the session dims to know the expected row
+// counts; its vectors are resized in place so a reused request struct
+// allocates nothing at steady state.
+bool decode_hello(const std::uint8_t* p, std::size_t n, Hello* out);
+bool decode_hello_ack(const std::uint8_t* p, std::size_t n, HelloAck* out);
+bool decode_act(const std::uint8_t* p, std::size_t n, std::uint32_t learners,
+                std::uint32_t hl_dim, std::uint32_t ll_dim,
+                std::uint32_t num_lanes, ActRequest* out);
+bool decode_act_response(const std::uint8_t* p, std::size_t n,
+                         std::uint32_t learners, ActResponse* out);
+bool decode_reload(const std::uint8_t* p, std::size_t n, Reload* out);
+bool decode_reload_ack(const std::uint8_t* p, std::size_t n, ReloadAck* out);
+bool decode_error(const std::uint8_t* p, std::size_t n, ErrorMsg* out);
+
+// Incremental deframer: feed() arbitrary byte chunks as they arrive, then
+// drain complete frames with next(). Frames whose declared length exceeds
+// kMaxFrameBytes poison the reader (bad() turns true; the connection should
+// be dropped).
+class FrameReader {
+ public:
+  void feed(const std::uint8_t* data, std::size_t n);
+
+  // Copies the next complete frame's type + payload out (payload reused
+  // across calls). Returns false when no complete frame is buffered.
+  bool next(MsgType* type, std::vector<std::uint8_t>* payload);
+
+  bool bad() const { return bad_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t off_ = 0;  // consumed prefix of buf_
+  bool bad_ = false;
+};
+
+}  // namespace hero::serve

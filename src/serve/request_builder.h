@@ -1,0 +1,19 @@
+// Fills an ActRequest from a live sim::LaneWorld — the client-side feature
+// extraction mirroring ObsBatch::set_slot_from_world on the server side.
+// Used by hero_loadgen's simulated vehicles and by the serving-equivalence
+// tests, so both feed the server byte-identical features to what in-process
+// evaluation computes.
+#pragma once
+
+#include "serve/protocol.h"
+#include "sim/lane_world.h"
+
+namespace hero::serve {
+
+// Overwrites every field of `req` except request_id. `reset` flags the start
+// of a fresh episode. Vectors are resized in place (steady-state reuse
+// allocates nothing once the dims stabilize).
+void fill_request_from_world(const sim::LaneWorld& world, bool reset,
+                             ActRequest* req);
+
+}  // namespace hero::serve

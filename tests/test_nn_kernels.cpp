@@ -109,6 +109,41 @@ TEST(FusedKernels, AffineIntoMatchesMatmulPlusBias) {
   expect_near(out, ref);
 }
 
+TEST(FusedKernels, AffineIntoIsRowPositionInvariant) {
+  // The serving stack's bitwise batched-equals-sequential guarantee
+  // (docs/SERVING.md) rests on this kernel property: a row's result must not
+  // depend on the batch size or on where the row sits in the batch. Exact
+  // bit equality, no tolerance — any change to mm_affine's accumulation
+  // order or blocking that breaks this is a serving-correctness bug even if
+  // it is numerically tiny.
+  Rng rng(23);
+  // Odd k and n exercise both the blocked loops and their scalar tails.
+  const std::size_t k = 37, n = 13;
+  Matrix big = random_matrix(16, k, rng);
+  Matrix w = random_matrix(k, n, rng);
+  Matrix bias = random_matrix(1, n, rng);
+  Matrix big_out;
+  big.affine_into(w, bias, big_out);
+
+  for (std::size_t rows : {std::size_t{1}, std::size_t{2}, std::size_t{5}}) {
+    for (std::size_t start = 0; start + rows <= big.rows(); start += rows) {
+      Matrix sub(rows, k);
+      for (std::size_t i = 0; i < rows; ++i) {
+        for (std::size_t j = 0; j < k; ++j) sub(i, j) = big(start + i, j);
+      }
+      Matrix sub_out;
+      sub.affine_into(w, bias, sub_out);
+      for (std::size_t i = 0; i < rows; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          EXPECT_EQ(sub_out(i, j), big_out(start + i, j))
+              << "rows=" << rows << " start=" << start << " (" << i << ", "
+              << j << ")";
+        }
+      }
+    }
+  }
+}
+
 TEST(FusedKernels, HcatIntoMatchesHcat) {
   Rng rng(19);
   Matrix a = random_matrix(4, 3, rng);

@@ -9,8 +9,10 @@
 // `--svg` renders the first evaluation episode's trajectories. The three
 // `--*-out` flags enable the observability layer (docs/OBSERVABILITY.md).
 #include <cstdio>
+#include <exception>
 
 #include "common/flags.h"
+#include "hero/checkpoint.h"
 #include "hero/hero_trainer.h"
 #include "obs/obs.h"
 #include "rl/evaluation.h"
@@ -33,6 +35,17 @@ int main(int argc, char** argv) {
   Rng rng(seed);
   auto scenario = sim::cooperative_lane_change(learners);
   core::HeroConfig cfg;
+  try {
+    // Checkpoints are self-describing: adopt the manifest's network widths
+    // so --hidden checkpoints evaluate without extra geometry flags.
+    core::CheckpointManifest peek;
+    if (core::read_manifest(ckpt, &peek)) {
+      core::apply_manifest_geometry(peek, &cfg);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hero_eval: %s\n", e.what());
+    return 1;
+  }
   core::HeroTrainer trainer(scenario, cfg, rng);
 
   {
@@ -47,7 +60,18 @@ int main(int argc, char** argv) {
     obs::set_run_manifest(manifest);
   }
 
-  trainer.load(ckpt);
+  bool legacy = false;
+  try {
+    core::load_checkpoint(trainer, ckpt, &legacy);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hero_eval: %s\n", e.what());
+    return 1;
+  }
+  if (legacy) {
+    std::printf("warning: %s/ has no checkpoint.json manifest (legacy "
+                "checkpoint, loaded unvalidated)\n",
+                ckpt.c_str());
+  }
   std::printf("loaded checkpoint from %s/\n", ckpt.c_str());
 
   auto world_cfg =

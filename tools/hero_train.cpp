@@ -57,6 +57,7 @@ int main(int argc, char** argv) {
   const int num_workers = flags.get_int("num-workers", 1);
   const int num_envs = flags.get_int("num-envs", 0);
   const int batch_envs = flags.get_int("batch-envs", 0);
+  const int hidden = flags.get_int("hidden", 0);
   const obs::Outputs obs_out = obs::configure(flags);
   flags.check_unknown();
 
@@ -70,6 +71,15 @@ int main(int argc, char** argv) {
   cfg.num_workers = std::max(1, num_workers);
   cfg.num_envs = std::max(0, num_envs);
   cfg.batch_envs = std::max(0, batch_envs);
+  if (hidden > 0) {
+    // Serving-scale networks (docs/SERVING.md): one knob widens every net.
+    // The checkpoint manifest records the widths, so downstream tools adapt
+    // without repeating this flag.
+    const auto h = static_cast<std::size_t>(hidden);
+    cfg.high.hidden = {h, h};
+    cfg.skill.sac.hidden = {h, h};
+    cfg.opponent.hidden = {h};
+  }
   core::HeroTrainer trainer(scenario, cfg, rng);
 
   {

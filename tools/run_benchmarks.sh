@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Builds the bench_json harness, regenerates the perf-trajectory snapshots
-# (BENCH_nn.json, BENCH_train.json) at the repo root, then diffs them
-# against the committed *.seed.json baselines and fails on regressions.
+# (BENCH_nn.json, BENCH_train.json, BENCH_serve.json) at the repo root, then
+# diffs them against the committed *.seed.json baselines and fails on
+# regressions.
 #
 #   tools/run_benchmarks.sh [build_dir]
 #
@@ -55,6 +56,73 @@ cmake --build "$build_dir" --target bench_json -j"$(nproc 2>/dev/null || echo 1)
 echo "wrote $repo_root/BENCH_nn.json"
 echo "wrote $repo_root/BENCH_train.json"
 
+# --- serving snapshot (docs/SERVING.md §Throughput) ------------------------
+# In-process entries (ServeQps/*, ServeLatency*) come straight from
+# hero_loadgen --in-process: transport-free fused-pass numbers, stable enough
+# to gate. The socket A/B entries (ServeSocketQps/*) measure the whole
+# server — poll loop, framing, micro-batcher — and swing with machine load,
+# so they are recorded under their own metric key, which the gate below does
+# not compare.
+cmake --build "$build_dir" --target hero_train hero_serve hero_loadgen \
+    -j"$(nproc 2>/dev/null || echo 1)"
+
+serve_work=$(mktemp -d "${TMPDIR:-/tmp}/hero_bench_serve.XXXXXX")
+trap 'rm -rf "$serve_work"' EXIT INT TERM
+
+"$build_dir/tools/hero_train" --out "$serve_work/ckpt" --seed 5 \
+    --skill-episodes 1 --episodes 2 --hl-warmup 8 --hl-batch 8 \
+    > "$serve_work/train.log"
+
+"$build_dir/tools/hero_loadgen" --in-process --ckpt "$serve_work/ckpt" \
+    --clients 16 --ticks 400 --warmup 40 \
+    --bench-out "$repo_root/BENCH_serve.json" > "$serve_work/inproc.log"
+
+# Socket A/B: best-of-3 interleaved pairs of the same synthetic closed-loop
+# workload against --max-batch 16 then --max-batch 1.
+sock="$serve_work/serve.sock"
+socket_qps() {  # $1 = max-batch; prints qps
+    "$build_dir/tools/hero_serve" --ckpt "$serve_work/ckpt" --socket "$sock" \
+        --max-batch "$1" > "$serve_work/server.log" 2>&1 &
+    server_pid=$!
+    i=0
+    while [ ! -S "$sock" ]; do
+        i=$((i + 1))
+        [ "$i" -le 100 ] || { echo "server never listened" >&2; exit 1; }
+        sleep 0.1
+    done
+    "$build_dir/tools/hero_loadgen" --socket "$sock" --clients 48 \
+        --requests 100 --window 16 --synthetic --shutdown \
+        > "$serve_work/ab.log"
+    wait "$server_pid"
+    awk '/qps/ {print $NF}' "$serve_work/ab.log"
+}
+
+best_mb16=0; best_mb1=0
+for pair in 1 2 3; do
+    q16=$(socket_qps 16)
+    q1=$(socket_qps 1)
+    best_mb16=$(awk "BEGIN {print ($q16 > $best_mb16) ? $q16 : $best_mb16}")
+    best_mb1=$(awk "BEGIN {print ($q1 > $best_mb1) ? $q1 : $best_mb1}")
+done
+# Splice the socket entries into the snapshot, keeping the one-entry-per-line
+# format tools/bench_gate.sh parses.
+awk -v q16="$best_mb16" -v q1="$best_mb1" '
+    $0 == "]}" {
+        if (held != "") print held ","
+        printf "  {\"name\": \"ServeSocketQps/mb16\", \"socket_qps\": %s},\n", q16
+        printf "  {\"name\": \"ServeSocketQps/mb1\", \"socket_qps\": %s}\n", q1
+        print "]}"
+        held = ""
+        next
+    }
+    { if (held != "") print held; held = $0 }
+    END { if (held != "") print held }
+' "$repo_root/BENCH_serve.json" > "$repo_root/BENCH_serve.json.tmp"
+mv "$repo_root/BENCH_serve.json.tmp" "$repo_root/BENCH_serve.json"
+ratio=$(awk "BEGIN {print ($best_mb1 > 0) ? $best_mb16 / $best_mb1 : 0}")
+echo "serve socket A/B: mb16 $best_mb16 qps vs mb1 $best_mb1 qps (${ratio}x)"
+echo "wrote $repo_root/BENCH_serve.json"
+
 if [ "${BENCH_SKIP_CHECK:-0}" = "1" ]; then
     echo "BENCH_SKIP_CHECK=1 — skipping regression check"
     exit 0
@@ -75,6 +143,17 @@ echo "BENCH_train.json vs BENCH_train.seed.json (steps/sec, lower is worse):"
 "$repo_root/tools/bench_gate.sh" \
     "$repo_root/BENCH_train.json" "$repo_root/BENCH_train.seed.json" \
     steps_per_sec lower_is_worse "$threshold" || status=1
+# Only the in-process serving entries are gated (keys qps / us); the
+# ServeSocketQps entries carry the ungated socket_qps key on purpose —
+# whole-server throughput swings too much with machine load to hard-gate.
+echo "BENCH_serve.json vs BENCH_serve.seed.json (qps, lower is worse):"
+"$repo_root/tools/bench_gate.sh" \
+    "$repo_root/BENCH_serve.json" "$repo_root/BENCH_serve.seed.json" \
+    qps lower_is_worse "$threshold" || status=1
+echo "BENCH_serve.json vs BENCH_serve.seed.json (latency us, higher is worse):"
+"$repo_root/tools/bench_gate.sh" \
+    "$repo_root/BENCH_serve.json" "$repo_root/BENCH_serve.seed.json" \
+    us higher_is_worse "$threshold" || status=1
 # Flags-off instrumentation overhead: the whole bench run executes with the
 # obs layer disabled (no --metrics-out), so the gate above already proves the
 # dormant OBS_PHASE sites left the nn/train numbers inside the regression
