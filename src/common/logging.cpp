@@ -5,14 +5,17 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "common/sync.h"
 
 namespace hero {
 
 namespace {
 
 LogLevel initial_level() {
-  const char* env = std::getenv("HERO_LOG_LEVEL");
+  // Read exactly once, during static initialization, before any thread can
+  // exist — getenv's MT-unsafety cannot bite here.
+  const char* env = std::getenv("HERO_LOG_LEVEL");  // NOLINT(concurrency-mt-unsafe)
   if (!env) return LogLevel::kInfo;
   return parse_log_level(env).value_or(LogLevel::kInfo);
 }
@@ -23,8 +26,11 @@ std::atomic<bool> g_timestamps{false};
 // Serializes whole-line emission: without this, threads logging through raw
 // fprintf can interleave fragments (stderr is only atomic per call, and the
 // prefix + message + newline used to be observable mid-write on some libcs).
-std::mutex& log_mutex() {
-  static std::mutex mu;
+// The guarded "state" is the stderr stream itself, which no annotation can
+// name; the mutex is a leaf of the lock hierarchy (docs/CORRECTNESS.md) —
+// log_line never acquires anything else while holding it.
+Mutex& log_mutex() {
+  static Mutex mu;
   return mu;
 }
 
@@ -66,7 +72,7 @@ bool log_timestamps() { return g_timestamps.load(); }
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg) {
-  std::lock_guard<std::mutex> lock(log_mutex());
+  MutexLock lock(log_mutex());
   if (g_timestamps.load()) {
     std::fprintf(stderr, "[%s][+%.3fs] %s\n", level_tag(level),
                  seconds_since_start(), msg.c_str());

@@ -1,0 +1,167 @@
+// Synchronization primitives with Clang thread-safety (capability)
+// annotations — the repo's only sanctioned mutex/condvar types.
+//
+// Every mutex in src/ is a hero::Mutex, every scoped lock a hero::MutexLock,
+// every condition variable a hero::CondVar (enforced by tools/lint.py rule
+// R8 no-raw-mutex). The wrappers carry Clang's capability annotations, so a
+// clang build with -Wthread-safety -Werror=thread-safety-analysis proves at
+// compile time that:
+//
+//   * state declared HERO_GUARDED_BY(mu) is only touched while mu is held;
+//   * functions declared HERO_REQUIRES(mu) are only called under mu;
+//   * functions declared HERO_EXCLUDES(mu) are never called while mu is
+//     held (catches self-deadlock through a singleton re-entering itself);
+//   * every acquire has a matching release on every path.
+//
+// On non-Clang compilers (the GCC tier-1 build) every annotation macro
+// expands to nothing and the wrappers compile down to plain std::mutex /
+// std::condition_variable with zero overhead — all methods are inline
+// one-liners.
+//
+// The analysis gate runs as `tools/run_static_analysis.sh --thread-safety`
+// (pinned clang in CI's `thread-safety` job; skipped locally when no clang
+// is installed). The repo lock hierarchy — which locks may be held while
+// acquiring which — is documented in docs/CORRECTNESS.md.
+//
+// Annotating new state:
+//
+//   class Queue {
+//    public:
+//     void push(Item it) HERO_EXCLUDES(mu_) {
+//       MutexLock lock(mu_);
+//       items_.push_back(std::move(it));
+//     }
+//    private:
+//     void compact() HERO_REQUIRES(mu_);   // helper called under the lock
+//     Mutex mu_;
+//     std::vector<Item> items_ HERO_GUARDED_BY(mu_);
+//   };
+//
+// HERO_NO_THREAD_SAFETY_ANALYSIS is the escape hatch for intentionally
+// lock-free patterns the analysis cannot see (single-owner-writer reads,
+// init-before-threads access). Every use must carry a one-line
+// justification comment; the bar is "the analysis is wrong here", not
+// "the warning is annoying".
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------- macros ---
+// Attribute spellings follow the Clang Thread Safety Analysis documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), prefixed HERO_ to
+// avoid colliding with other libraries' unprefixed variants.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define HERO_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef HERO_THREAD_ANNOTATION
+#define HERO_THREAD_ANNOTATION(x)  // non-Clang: annotations compile away
+#endif
+
+// A type that is a lockable capability (mutexes).
+#define HERO_CAPABILITY(x) HERO_THREAD_ANNOTATION(capability(x))
+// An RAII type that acquires a capability in its ctor, releases in its dtor.
+#define HERO_SCOPED_CAPABILITY HERO_THREAD_ANNOTATION(scoped_lockable)
+// Data member readable/writable only while the named mutex is held.
+#define HERO_GUARDED_BY(x) HERO_THREAD_ANNOTATION(guarded_by(x))
+// Pointer member whose *pointee* is guarded by the named mutex.
+#define HERO_PT_GUARDED_BY(x) HERO_THREAD_ANNOTATION(pt_guarded_by(x))
+// Function may only be called while the named mutex(es) are held.
+#define HERO_REQUIRES(...) \
+  HERO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define HERO_REQUIRES_SHARED(...) \
+  HERO_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+// Function acquires / releases the named mutex(es) (no args: `this`).
+#define HERO_ACQUIRE(...) HERO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define HERO_RELEASE(...) HERO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+// Function conditionally acquires: first arg is the success return value.
+#define HERO_TRY_ACQUIRE(...) \
+  HERO_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+// Function must NOT be called while the named mutex(es) are held — declares
+// "this function takes the lock itself" and catches re-entrant deadlock.
+#define HERO_EXCLUDES(...) HERO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+// Static ordering hints for the (beta) lock-ordering analysis.
+#define HERO_ACQUIRED_BEFORE(...) \
+  HERO_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define HERO_ACQUIRED_AFTER(...) \
+  HERO_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+// Function returns a reference to the named mutex (accessor pattern).
+#define HERO_RETURN_CAPABILITY(x) HERO_THREAD_ANNOTATION(lock_returned(x))
+// Escape hatch: body is not analyzed. MUST carry a justification comment.
+#define HERO_NO_THREAD_SAFETY_ANALYSIS \
+  HERO_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace hero {
+
+// Exclusive mutex. Same semantics, size and cost as std::mutex; the class
+// exists so the capability annotations have a type to hang off.
+class HERO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() HERO_ACQUIRE() { mu_.lock(); }
+  void unlock() HERO_RELEASE() { mu_.unlock(); }
+  bool try_lock() HERO_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII scoped lock — the std::lock_guard of this codebase. Annotated as a
+// scoped capability so the analysis tracks the mutex as held for exactly
+// the lock object's lifetime.
+class HERO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) HERO_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() HERO_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable over hero::Mutex. wait() takes the mutex itself (not a
+// lock object) so the held-ness requirement is expressible as
+// HERO_REQUIRES(mu): callers hold mu via MutexLock, wait() releases it
+// while blocked and re-holds it before returning — net effect "still held",
+// which is exactly what the annotation states.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Blocks until notified. Spurious wakeups happen — callers loop on their
+  // predicate (or use the predicate overload below).
+  void wait(Mutex& mu) HERO_REQUIRES(mu) {
+    // Adopt the caller-held native mutex for the duration of the wait, then
+    // release ownership back without unlocking — the caller's MutexLock
+    // still owns the critical section when wait() returns.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  // Loops until stop_waiting() returns true. The predicate runs with mu
+  // held, like std::condition_variable::wait(lock, pred).
+  template <class Pred>
+  void wait(Mutex& mu, Pred stop_waiting) HERO_REQUIRES(mu) {
+    while (!stop_waiting()) wait(mu);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace hero

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 
+#include "common/sync.h"
 #include "nn/serialize.h"
 #include "obs/obs.h"
 #include "sim/scenario.h"
@@ -157,7 +157,10 @@ std::vector<double> SkillBank::train_skill(
 std::map<Option, std::vector<double>> SkillBank::train_all_parallel(
     int episodes_per_skill, std::uint64_t seed, runtime::ThreadPool& pool,
     const std::function<void(Option, int, double)>& hook) {
-  std::mutex hook_mutex;
+  // Serializes caller-supplied hook invocations across skill tasks. Local,
+  // so HERO_GUARDED_BY cannot name it — the hook std::function is the
+  // guarded state by convention.
+  Mutex hook_mutex;
   std::array<std::vector<double>, kNumOptions> results;
 
   // One pool task per learned option. The per-skill RNG stream is derived
@@ -175,7 +178,7 @@ std::map<Option, std::vector<double>> SkillBank::train_all_parallel(
     std::function<void(int, double)> task_hook;
     if (hook) {
       task_hook = [&](int ep, double r) {
-        std::lock_guard<std::mutex> lock(hook_mutex);
+        MutexLock lock(hook_mutex);
         hook(o, ep, r);
       };
     }

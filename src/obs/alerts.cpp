@@ -43,7 +43,7 @@ AlertEngine& AlertEngine::instance() {
 }
 
 void AlertEngine::reset(const AlertConfig& cfg) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   cfg_ = cfg;
   alerts_.clear();
   last_fired_.clear();
@@ -100,7 +100,7 @@ void AlertEngine::fire(const char* rule, const EpisodeHealth& h, double value,
 }
 
 void AlertEngine::observe_episode(const EpisodeHealth& h) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++episodes_;
   if (h.updated_this_episode) ++updates_seen_;
 
@@ -187,22 +187,22 @@ void AlertEngine::observe_episode(const EpisodeHealth& h) {
 }
 
 std::vector<Alert> AlertEngine::alerts() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return alerts_;
 }
 
 long long AlertEngine::episodes_seen() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return episodes_;
 }
 
 bool AlertEngine::healthy() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return alerts_.empty();
 }
 
 std::string AlertEngine::health_json() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   out.reserve(256);
   out += "{\"verdict\": \"";

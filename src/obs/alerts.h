@@ -25,9 +25,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace hero::obs {
 
@@ -101,34 +102,41 @@ class AlertEngine {
   static AlertEngine& instance();
 
   // Clears all state and installs `cfg`. Tests use this for isolation.
-  void reset(const AlertConfig& cfg = AlertConfig());
+  void reset(const AlertConfig& cfg = AlertConfig()) HERO_EXCLUDES(mu_);
 
-  void observe_episode(const EpisodeHealth& h);
+  void observe_episode(const EpisodeHealth& h) HERO_EXCLUDES(mu_);
 
-  std::vector<Alert> alerts() const;
-  long long episodes_seen() const;
-  bool healthy() const;
+  std::vector<Alert> alerts() const HERO_EXCLUDES(mu_);
+  long long episodes_seen() const HERO_EXCLUDES(mu_);
+  bool healthy() const HERO_EXCLUDES(mu_);
 
   // {"verdict": "healthy"|"sick", "episodes": N, "alerts": [...]} — embedded
   // under "health" in the metrics snapshot.
-  std::string health_json() const;
+  std::string health_json() const HERO_EXCLUDES(mu_);
 
  private:
   AlertEngine() = default;
+  // Both helpers run inside observe_episode's critical section. fire()
+  // emits telemetry and bumps counters while mu_ is held — safe because
+  // Telemetry/Registry sit strictly below AlertEngine in the lock
+  // hierarchy (docs/CORRECTNESS.md) and never call back into it.
   void fire(const char* rule, const EpisodeHealth& h, double value,
-            double threshold, std::string message, bool wallclock);
-  bool in_cooldown(const std::string& rule, long long episode) const;
+            double threshold, std::string message, bool wallclock)
+      HERO_REQUIRES(mu_);
+  bool in_cooldown(const std::string& rule, long long episode) const
+      HERO_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  AlertConfig cfg_;
-  std::vector<Alert> alerts_;
-  std::vector<std::pair<std::string, long long>> last_fired_;  // rule -> episode
-  long long episodes_ = 0;
-  long long updates_seen_ = 0;
-  std::deque<double> grad_hist_;
-  std::deque<double> rate_hist_;
-  std::deque<double> opp_hist_;
-  std::size_t thrash_run_ = 0;
+  mutable Mutex mu_;
+  AlertConfig cfg_ HERO_GUARDED_BY(mu_);
+  std::vector<Alert> alerts_ HERO_GUARDED_BY(mu_);
+  // rule -> last fired episode
+  std::vector<std::pair<std::string, long long>> last_fired_ HERO_GUARDED_BY(mu_);
+  long long episodes_ HERO_GUARDED_BY(mu_) = 0;
+  long long updates_seen_ HERO_GUARDED_BY(mu_) = 0;
+  std::deque<double> grad_hist_ HERO_GUARDED_BY(mu_);
+  std::deque<double> rate_hist_ HERO_GUARDED_BY(mu_);
+  std::deque<double> opp_hist_ HERO_GUARDED_BY(mu_);
+  std::size_t thrash_run_ HERO_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace hero::obs

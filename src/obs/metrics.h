@@ -18,9 +18,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace hero::obs {
 
@@ -122,25 +123,27 @@ class Registry {
   // Find-or-create by name. References stay valid for the process lifetime
   // (metrics are never erased). Histogram options apply only on the call
   // that first registers the name.
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
-  Histogram& histogram(const std::string& name, const HistogramOptions& opt = {});
+  Counter& counter(const std::string& name) HERO_EXCLUDES(mu_);
+  Gauge& gauge(const std::string& name) HERO_EXCLUDES(mu_);
+  Histogram& histogram(const std::string& name, const HistogramOptions& opt = {})
+      HERO_EXCLUDES(mu_);
 
   // {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
   //  mean, min, max, p50, p90, p95, p99}}}
-  std::string snapshot_json() const;
-  bool write_json(const std::string& path) const;
+  std::string snapshot_json() const HERO_EXCLUDES(mu_);
+  bool write_json(const std::string& path) const HERO_EXCLUDES(mu_);
 
-  std::size_t size() const;     // number of registered metrics
-  void reset_values();          // zero everything, keep registrations
+  std::size_t size() const HERO_EXCLUDES(mu_);  // number of registered metrics
+  void reset_values() HERO_EXCLUDES(mu_);       // zero everything, keep registrations
 
  private:
   Registry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ HERO_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ HERO_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      HERO_GUARDED_BY(mu_);
 };
 
 // Appends a JSON-escaped copy of `s` to `out` (shared by the trace and

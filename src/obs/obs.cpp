@@ -6,18 +6,22 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <mutex>
 
 #include "common/logging.h"
+#include "common/sync.h"
 
 namespace hero::obs {
 
 namespace {
 
-std::mutex g_state_mu;
-RunManifest g_manifest;
-std::string g_rolling_path;
-int g_rolling_every = 0;
+Mutex g_state_mu;
+RunManifest g_manifest HERO_GUARDED_BY(g_state_mu);
+std::string g_rolling_path HERO_GUARDED_BY(g_state_mu);
+int g_rolling_every HERO_GUARDED_BY(g_state_mu) = 0;
+// Serializes rolling-snapshot writes; sits at the TOP of the lock hierarchy
+// (snapshot_json acquires the registry/phase/alert/telemetry locks below
+// it — docs/CORRECTNESS.md).
+Mutex g_write_mu;
 std::atomic<std::uint64_t> g_episode_ticks{0};
 std::atomic<std::uint64_t> g_rolling_written{0};
 
@@ -94,7 +98,7 @@ std::string config_digest(const std::string& canonical) {
 
 void set_run_manifest(const RunManifest& m) {
   {
-    std::lock_guard<std::mutex> lock(g_state_mu);
+    MutexLock lock(g_state_mu);
     g_manifest = m;
   }
   if (telemetry_enabled()) {
@@ -111,15 +115,15 @@ void set_run_manifest(const RunManifest& m) {
   }
 }
 
-const RunManifest& run_manifest() {
-  // Callers read-only; the manifest is installed once at startup before
-  // worker threads exist, so unlocked access after that is benign. Tests
-  // that re-install take the same lock via set_run_manifest.
+// Waiver: returns an unlocked reference — the manifest is installed once at
+// startup before worker threads exist, so read-only access after that is
+// benign; tests that re-install take the lock via set_run_manifest.
+const RunManifest& run_manifest() HERO_NO_THREAD_SAFETY_ANALYSIS {
   return g_manifest;
 }
 
 std::string manifest_json() {
-  std::lock_guard<std::mutex> lock(g_state_mu);
+  MutexLock lock(g_state_mu);
   std::string out;
   out.reserve(256);
   out += '{';
@@ -182,7 +186,7 @@ bool write_snapshot_atomic(const std::string& path) {
 }
 
 void set_rolling_snapshot(const std::string& path, int every) {
-  std::lock_guard<std::mutex> lock(g_state_mu);
+  MutexLock lock(g_state_mu);
   g_rolling_path = path;
   g_rolling_every = every;
   g_episode_ticks.store(0, std::memory_order_relaxed);
@@ -193,7 +197,7 @@ void note_episode() {
   int every;
   std::string path;
   {
-    std::lock_guard<std::mutex> lock(g_state_mu);
+    MutexLock lock(g_state_mu);
     every = g_rolling_every;
     path = g_rolling_path;
   }
@@ -201,8 +205,7 @@ void note_episode() {
   const std::uint64_t n =
       g_episode_ticks.fetch_add(1, std::memory_order_relaxed) + 1;
   if (n % static_cast<std::uint64_t>(every) != 0) return;
-  static std::mutex write_mu;  // one writer at a time; ticks keep counting
-  std::lock_guard<std::mutex> lock(write_mu);
+  MutexLock lock(g_write_mu);  // one writer at a time; ticks keep counting
   if (write_snapshot_atomic(path)) {
     g_rolling_written.fetch_add(1, std::memory_order_relaxed);
   }

@@ -50,7 +50,7 @@ PhaseNode* phase_enter(const char* name) {
   }
   PhaseNode* node;
   {
-    std::lock_guard<std::mutex> lock(tree.mu);
+    MutexLock lock(tree.mu);
     auto fresh = std::make_unique<PhaseNode>();
     fresh->name = name;
     fresh->parent = cur;
@@ -79,7 +79,7 @@ PhaseRegistry& PhaseRegistry::instance() {
 }
 
 void PhaseRegistry::register_tree(std::shared_ptr<detail::PhaseThreadTree> tree) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   trees_.push_back(std::move(tree));
 }
 
@@ -143,10 +143,10 @@ void reset_node(detail::PhaseNode& node) {
 }  // namespace
 
 std::vector<PhaseStat> PhaseRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<PhaseStat> merged;
   for (const auto& tree : trees_) {
-    std::lock_guard<std::mutex> tree_lock(tree->mu);
+    MutexLock tree_lock(tree->mu);
     merge_node(tree->root, merged);
   }
   sort_stats(merged);
@@ -162,9 +162,9 @@ std::string PhaseRegistry::json() const {
 }
 
 void PhaseRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& tree : trees_) {
-    std::lock_guard<std::mutex> tree_lock(tree->mu);
+    MutexLock tree_lock(tree->mu);
     reset_node(tree->root);
   }
 }

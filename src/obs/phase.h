@@ -35,9 +35,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace hero::obs {
 
@@ -49,16 +50,19 @@ struct PhaseNode {
   PhaseNode* parent = nullptr;
   std::atomic<std::uint64_t> count{0};
   std::atomic<std::uint64_t> total_ns{0};
-  // Mutated by the owner thread under the tree mutex; read by snapshot()
-  // under the same mutex. The owner's lock-free lookups never race with
-  // another writer because only the owner creates children.
+  // Guarded by the *owning tree's* mu — not expressible as HERO_GUARDED_BY
+  // because the node has no back-pointer to its tree, so the thread-safety
+  // analysis cannot check accesses and the invariant lives here instead:
+  // only the owner thread appends (under the tree mutex, so snapshot
+  // readers on other threads are safe), and the owner's deliberately
+  // lock-free lookups in phase_enter cannot race its own appends.
   std::vector<std::unique_ptr<PhaseNode>> children;
 };
 
 struct PhaseThreadTree {
   PhaseNode root;           // unnamed sentinel; top-level phases hang off it
-  PhaseNode* current = &root;  // owner thread's position in the tree
-  std::mutex mu;            // guards children mutation vs snapshot readers
+  PhaseNode* current = &root;  // owner-thread-only: its position in the tree
+  Mutex mu;                 // guards children mutation vs snapshot readers
 };
 
 // Enters phase `name` under the calling thread's current node and returns
@@ -87,23 +91,25 @@ class PhaseRegistry {
 
   // Merged view of every thread's tree, children sorted by name. Phases
   // recorded on different threads under the same path fold together.
-  std::vector<PhaseStat> snapshot() const;
+  std::vector<PhaseStat> snapshot() const HERO_EXCLUDES(mu_);
 
   // {"stage2": {"count": 1, "total_us": 123.4, "children": {...}}, ...}
-  std::string json() const;
+  std::string json() const HERO_EXCLUDES(mu_);
 
   // Zeroes all counters and totals; keeps registered structure. In-flight
   // scopes still accumulate into their (now zeroed) nodes on exit.
-  void reset();
+  void reset() HERO_EXCLUDES(mu_);
 
   // Internal: called once per thread on first OBS_PHASE entry.
-  void register_tree(std::shared_ptr<detail::PhaseThreadTree> tree);
+  void register_tree(std::shared_ptr<detail::PhaseThreadTree> tree)
+      HERO_EXCLUDES(mu_);
 
  private:
   PhaseRegistry() = default;
 
-  mutable std::mutex mu_;
-  std::vector<std::shared_ptr<detail::PhaseThreadTree>> trees_;
+  mutable Mutex mu_;
+  std::vector<std::shared_ptr<detail::PhaseThreadTree>> trees_
+      HERO_GUARDED_BY(mu_);
 };
 
 class ScopedPhase {

@@ -55,7 +55,7 @@ Telemetry& Telemetry::instance() {
 }
 
 bool Telemetry::open(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   out_.open(path, std::ios::trunc);
   const bool ok = static_cast<bool>(out_);
   enabled_.store(ok, std::memory_order_relaxed);
@@ -63,13 +63,13 @@ bool Telemetry::open(const std::string& path) {
 }
 
 void Telemetry::close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   enabled_.store(false, std::memory_order_relaxed);
   if (out_.is_open()) out_.close();
 }
 
 void Telemetry::emit(const TelemetryEvent& e) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!out_.is_open()) return;
   out_ << e.line_ << ", \"seq\": " << seq_++ << "}\n";
   if (!out_) {

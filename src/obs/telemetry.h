@@ -25,8 +25,9 @@
 #include <atomic>
 #include <cstdint>
 #include <fstream>
-#include <mutex>
 #include <string>
+
+#include "common/sync.h"
 
 namespace hero::obs {
 
@@ -62,14 +63,14 @@ class Telemetry {
   static Telemetry& instance();
 
   // Opens (truncates) the JSONL sink and enables emission.
-  bool open(const std::string& path);
-  void close();
+  bool open(const std::string& path) HERO_EXCLUDES(mu_);
+  void close() HERO_EXCLUDES(mu_);
 
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   // Appends the sequence number, closes the object and writes the line.
   // No-op when no sink is open.
-  void emit(const TelemetryEvent& e);
+  void emit(const TelemetryEvent& e) HERO_EXCLUDES(mu_);
 
   std::uint64_t lines_written() const {
     return lines_.load(std::memory_order_relaxed);
@@ -88,9 +89,9 @@ class Telemetry {
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> lines_{0};
   std::atomic<std::uint64_t> write_errors_{0};
-  std::mutex mu_;
-  std::ofstream out_;
-  std::uint64_t seq_ = 0;
+  Mutex mu_;
+  std::ofstream out_ HERO_GUARDED_BY(mu_);
+  std::uint64_t seq_ HERO_GUARDED_BY(mu_) = 0;
 };
 
 inline bool telemetry_enabled() { return Telemetry::instance().enabled(); }

@@ -32,7 +32,7 @@ TraceRecorder& TraceRecorder::instance() {
 
 void TraceRecorder::record_complete(const char* name, double ts_us, double dur_us) {
   const std::uint32_t tid = current_tid();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (events_.size() >= cap_) {
     ++dropped_;
     return;
@@ -41,27 +41,27 @@ void TraceRecorder::record_complete(const char* name, double ts_us, double dur_u
 }
 
 std::vector<TraceEvent> TraceRecorder::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_;
 }
 
 std::size_t TraceRecorder::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_.size();
 }
 
 std::uint64_t TraceRecorder::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 
 void TraceRecorder::set_capacity(std::size_t cap) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   cap_ = cap;
 }
 
 void TraceRecorder::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.clear();
   dropped_ = 0;
 }
@@ -69,7 +69,7 @@ void TraceRecorder::clear() {
 bool TraceRecorder::write_chrome_trace(const std::string& path) const {
   std::ofstream f(path);
   if (!f) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   f << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
   for (std::size_t i = 0; i < events_.size(); ++i) {
     const TraceEvent& e = events_[i];

@@ -18,10 +18,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "obs/metrics.h"
 
 namespace hero::obs {
@@ -52,24 +52,26 @@ class TraceRecorder {
  public:
   static TraceRecorder& instance();
 
-  void record_complete(const char* name, double ts_us, double dur_us);
+  void record_complete(const char* name, double ts_us, double dur_us)
+      HERO_EXCLUDES(mu_);
 
   // Chrome trace_event "JSON object format": {"traceEvents": [...]}.
-  bool write_chrome_trace(const std::string& path) const;
+  bool write_chrome_trace(const std::string& path) const HERO_EXCLUDES(mu_);
 
-  std::vector<TraceEvent> snapshot() const;
-  std::size_t size() const;
-  std::uint64_t dropped() const;  // events discarded after hitting capacity
-  void set_capacity(std::size_t cap);
-  void clear();
+  std::vector<TraceEvent> snapshot() const HERO_EXCLUDES(mu_);
+  std::size_t size() const HERO_EXCLUDES(mu_);
+  // Events discarded after hitting capacity.
+  std::uint64_t dropped() const HERO_EXCLUDES(mu_);
+  void set_capacity(std::size_t cap) HERO_EXCLUDES(mu_);
+  void clear() HERO_EXCLUDES(mu_);
 
  private:
   TraceRecorder() = default;
 
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
-  std::size_t cap_ = 1u << 20;
-  std::uint64_t dropped_ = 0;
+  mutable Mutex mu_;
+  std::vector<TraceEvent> events_ HERO_GUARDED_BY(mu_);
+  std::size_t cap_ HERO_GUARDED_BY(mu_) = 1u << 20;
+  std::uint64_t dropped_ HERO_GUARDED_BY(mu_) = 0;
 };
 
 // Histogram "span.<name>" with microsecond log buckets (1us .. 1000s).

@@ -18,12 +18,12 @@
 #pragma once
 
 #include <cstddef>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/sync.h"
 
 namespace hero::runtime {
 
@@ -43,7 +43,7 @@ class ShardedReplay {
 
   void push(std::size_t shard, T item) {
     Shard& s = at(shard);
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     if (s.items.size() < shard_capacity_) {
       s.items.push_back(std::move(item));
     } else {
@@ -54,7 +54,7 @@ class ShardedReplay {
 
   std::size_t shard_size(std::size_t shard) const {
     const Shard& s = at(shard);
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     return s.items.size();
   }
 
@@ -77,7 +77,7 @@ class ShardedReplay {
     HERO_CHECK_MSG(!live.empty(), "sample() on an empty ShardedReplay");
     for (std::size_t k = 0; k < batch; ++k) {
       const Shard& s = at(live[k % live.size()]);
-      std::lock_guard<std::mutex> lock(s.mu);
+      MutexLock lock(s.mu);
       // Size may have grown since the snapshot; index against the live size.
       out.push_back(s.items[(s.head + rng.index(s.items.size())) % s.items.size()]);
     }
@@ -89,7 +89,7 @@ class ShardedReplay {
   template <class Fn>
   void drain_front(std::size_t shard, std::size_t n, Fn&& fn) {
     Shard& s = at(shard);
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     HERO_CHECK_MSG(n <= s.items.size(), "drain_front(" << n << ") from shard with "
                                                        << s.items.size() << " items");
     for (std::size_t k = 0; k < n; ++k) {
@@ -113,7 +113,7 @@ class ShardedReplay {
 
   void clear() {
     for (auto& sp : shards_) {
-      std::lock_guard<std::mutex> lock(sp.mu);
+      MutexLock lock(sp.mu);
       sp.items.clear();
       sp.head = 0;
     }
@@ -121,9 +121,9 @@ class ShardedReplay {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::vector<T> items;    // ring once full
-    std::size_t head = 0;    // index of the oldest item
+    mutable Mutex mu;
+    std::vector<T> items HERO_GUARDED_BY(mu);  // ring once full
+    std::size_t head HERO_GUARDED_BY(mu) = 0;  // index of the oldest item
   };
 
   Shard& at(std::size_t i) {

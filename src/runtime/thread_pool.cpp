@@ -13,22 +13,24 @@ namespace {
 
 // Completion latch shared between the submitting thread and the pool tasks
 // of one parallel_for call. Owned by shared_ptr so stray wakeups after the
-// caller returns cannot touch a dead object.
+// caller returns cannot touch a dead object. `remaining` is atomic (not
+// guarded) — count_down only takes the mutex to pair the final notify with
+// a waiter that checked between load and sleep.
 struct Latch {
   explicit Latch(std::size_t total) : remaining(total) {}
   std::atomic<std::size_t> remaining;
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
 
-  void count_down(std::size_t n) {
+  void count_down(std::size_t n) HERO_EXCLUDES(mu) {
     if (remaining.fetch_sub(n, std::memory_order_acq_rel) == n) {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       cv.notify_all();
     }
   }
-  void wait() {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  void wait() HERO_EXCLUDES(mu) {
+    MutexLock lock(mu);
+    cv.wait(mu, [&] { return remaining.load(std::memory_order_acquire) == 0; });
   }
 };
 
@@ -47,7 +49,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -59,8 +61,11 @@ void ThreadPool::worker_loop() {
     std::function<void()> task;
     {
       OBS_PHASE("pool_idle");  // time this worker spent parked waiting for work
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // Hand-rolled predicate loop (not the CondVar predicate overload): the
+      // predicate reads mu_-guarded state, which the analysis can only see
+      // in a plain loop body, not through a lambda.
+      while (!stop_ && queue_.empty()) cv_.wait(mu_);
       if (queue_.empty()) return;  // stop_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -73,7 +78,7 @@ void ThreadPool::submit(std::function<void()> task) {
   HERO_CHECK(task != nullptr);
   std::size_t depth;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     HERO_CHECK_MSG(!stop_, "submit() on a stopped ThreadPool");
     queue_.push_back(std::move(task));
     depth = queue_.size();

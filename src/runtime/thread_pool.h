@@ -26,13 +26,13 @@
 // observed at submit time (docs/OBSERVABILITY.md naming scheme).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace hero::runtime {
 
@@ -48,7 +48,7 @@ class ThreadPool {
   std::size_t size() const { return workers_.size(); }
 
   // Enqueues a task. Never blocks (unbounded queue).
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) HERO_EXCLUDES(mu_);
 
   // Dynamic-claim parallel loop; blocks until every index has run.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
@@ -59,13 +59,15 @@ class ThreadPool {
                           const std::function<void(std::size_t, std::size_t)>& fn);
 
  private:
-  void worker_loop();
+  void worker_loop() HERO_EXCLUDES(mu_);
 
+  // workers_ is written only by the constructor (before any worker can call
+  // back into the pool) and joined by the destructor — main-thread-only.
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ HERO_GUARDED_BY(mu_);
+  bool stop_ HERO_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hero::runtime

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+#include <system_error>
 
 namespace hero::serve {
 
@@ -16,13 +17,13 @@ ServeClient::ServeClient(const std::string& socket_path) {
   }
   fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd_ < 0) {
-    throw std::runtime_error(std::string("socket(): ") + std::strerror(errno));
+    throw std::runtime_error(std::string("socket(): ") + std::generic_category().message(errno));
   }
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const std::string err = std::strerror(errno);
+    const std::string err = std::generic_category().message(errno);
     ::close(fd_);
     fd_ = -1;
     throw std::runtime_error("connect(" + socket_path + "): " + err);
@@ -43,7 +44,7 @@ void ServeClient::send_all() {
     }
     if (wrote < 0 && errno == EINTR) continue;
     throw std::runtime_error(std::string("serve client write(): ") +
-                             std::strerror(errno));
+                             std::generic_category().message(errno));
   }
   out_.clear();
 }
@@ -63,7 +64,7 @@ bool ServeClient::read_frame(MsgType* type, std::vector<std::uint8_t>* payload) 
     if (got == 0) return false;  // server closed
     if (errno == EINTR) continue;
     throw std::runtime_error(std::string("serve client read(): ") +
-                             std::strerror(errno));
+                             std::generic_category().message(errno));
   }
 }
 

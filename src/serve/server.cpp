@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+#include <system_error>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -53,20 +54,20 @@ ServeServer::ServeServer(PolicyEngine& engine, const ServerConfig& cfg)
   }
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
-    throw std::runtime_error(std::string("socket(): ") + std::strerror(errno));
+    throw std::runtime_error(std::string("socket(): ") + std::generic_category().message(errno));
   }
   ::unlink(cfg_.socket_path.c_str());
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   std::strncpy(addr.sun_path, cfg_.socket_path.c_str(), sizeof(addr.sun_path) - 1);
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const std::string err = std::strerror(errno);
+    const std::string err = std::generic_category().message(errno);
     ::close(listen_fd_);
     listen_fd_ = -1;
     throw std::runtime_error("bind(" + cfg_.socket_path + "): " + err);
   }
   if (::listen(listen_fd_, 64) < 0) {
-    const std::string err = std::strerror(errno);
+    const std::string err = std::generic_category().message(errno);
     ::close(listen_fd_);
     listen_fd_ = -1;
     throw std::runtime_error("listen(" + cfg_.socket_path + "): " + err);
@@ -122,7 +123,7 @@ void ServeServer::run() {
     const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
     if (ready < 0) {
       if (errno == EINTR) continue;
-      throw std::runtime_error(std::string("poll(): ") + std::strerror(errno));
+      throw std::runtime_error(std::string("poll(): ") + std::generic_category().message(errno));
     }
 
     if ((fds[0].revents & POLLIN) != 0) accept_clients();

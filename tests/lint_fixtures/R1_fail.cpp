@@ -1,0 +1,5 @@
+// lint-fixture-path: src/hero/fixture.cpp
+double jitter() {
+  std::srand(time(nullptr));  // wall-clock seeding breaks determinism
+  return static_cast<double>(std::rand()) / RAND_MAX;
+}

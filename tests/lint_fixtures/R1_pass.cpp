@@ -1,0 +1,3 @@
+// lint-fixture-path: src/hero/fixture.cpp
+// Randomness goes through the seeded hero::Rng stream, never libc.
+double jitter(hero::Rng& rng) { return rng.uniform(-0.1, 0.1); }

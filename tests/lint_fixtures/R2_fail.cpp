@@ -1,0 +1,6 @@
+// lint-fixture-path: src/hero/fixture.cpp
+void encode_obs_into(const State& s, std::vector<double>& out) {
+  std::vector<double> scratch(4);  // allocating local in the hot path
+  scratch[0] = s.x;
+  out.push_back(scratch[0]);  // growth in a zero-alloc kernel
+}

@@ -1,0 +1,8 @@
+// lint-fixture-path: src/hero/fixture.cpp
+// *_into kernels write through preallocated spans; no growth, no locals
+// that allocate.
+void encode_obs_into(const State& s, std::vector<double>& out) {
+  out[0] = s.x;
+  out[1] = s.y;
+  for (std::size_t i = 2; i < out.size(); ++i) out[i] = 0.0;
+}

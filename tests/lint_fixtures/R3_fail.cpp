@@ -1,0 +1,5 @@
+// lint-fixture-path: src/hero/fixture.cpp
+void report(int id) {
+  std::printf("vehicle %d\n", id);
+  std::cout << "done";
+}

@@ -1,0 +1,7 @@
+// lint-fixture-path: src/hero/fixture.cpp
+// Buffer formatting is fine; only direct terminal output is banned.
+std::string format_id(int id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "veh-%d", id);
+  return std::string(buf);
+}

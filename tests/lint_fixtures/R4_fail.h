@@ -1,0 +1,7 @@
+// lint-fixture-path: src/hero/fixture.h
+#ifndef HERO_FIXTURE_H_
+#define HERO_FIXTURE_H_
+
+struct Fixture {};
+
+#endif

@@ -1,0 +1,4 @@
+// lint-fixture-path: src/hero/fixture.h
+#pragma once
+
+struct Fixture {};

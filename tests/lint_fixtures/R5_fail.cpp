@@ -1,0 +1,5 @@
+// lint-fixture-path: src/hero/fixture.cpp
+void train_all() {
+  std::thread t([] {});
+  t.join();
+}

@@ -1,0 +1,5 @@
+// lint-fixture-path: src/hero/fixture.cpp
+// Concurrency goes through the shared pool, not ad-hoc threads.
+void train_all(runtime::ThreadPool& pool) {
+  pool.parallel_for(4, [](std::size_t) {});
+}

@@ -1,0 +1,6 @@
+// lint-fixture-path: src/sim/fixture.cpp
+void BatchLaneWorld::step_lane(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    positions_.push_back(static_cast<double>(i));  // per-element growth
+  }
+}

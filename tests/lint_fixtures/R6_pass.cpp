@@ -1,0 +1,5 @@
+// lint-fixture-path: src/sim/fixture.cpp
+// Batch step writes into scratch sized at construction.
+void BatchLaneWorld::step_lane(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) positions_[i] += velocities_[i];
+}

@@ -1,0 +1,5 @@
+// lint-fixture-path: src/hero/fixture.cpp
+void timed_section() {
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+}

@@ -1,0 +1,6 @@
+// lint-fixture-path: src/hero/fixture.cpp
+// Timing goes through obs so phase attribution sees every clock read.
+void timed_section() {
+  const std::uint64_t t0 = obs::now_us();
+  (void)t0;
+}

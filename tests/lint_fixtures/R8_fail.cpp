@@ -1,0 +1,9 @@
+// lint-fixture-path: src/hero/fixture.cpp
+struct Counter {
+  void inc() {
+    std::lock_guard<std::mutex> lock(mu_);  // invisible to -Wthread-safety
+    ++n_;
+  }
+  std::mutex mu_;
+  int n_ = 0;
+};

@@ -1,0 +1,10 @@
+// lint-fixture-path: src/hero/fixture.cpp
+// Locking goes through the annotated wrappers from common/sync.h.
+struct Counter {
+  void inc() {
+    hero::MutexLock lock(mu_);
+    ++n_;
+  }
+  hero::Mutex mu_;
+  int n_ HERO_GUARDED_BY(mu_) = 0;
+};

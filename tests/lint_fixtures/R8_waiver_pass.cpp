@@ -1,0 +1,6 @@
+// lint-fixture-path: src/hero/fixture.cpp
+// Exercises the inline waiver: the lint-allow comment must suppress R8 on
+// exactly this line (and would be reviewed like a NOLINT in real code).
+struct ExternalInterop {
+  std::mutex raw_;  // lint-allow(R8): third-party API hands us a std::mutex
+};

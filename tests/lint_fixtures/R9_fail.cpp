@@ -1,0 +1,11 @@
+// lint-fixture-path: src/hero/fixture.cpp
+struct OptionStats {
+  std::unordered_map<int, double> rewards_;
+  double total() const {
+    double sum = 0.0;
+    // Hash-order iteration: sum is fine, but anything order-sensitive
+    // (tie-breaking, first-match, output order) silently diverges.
+    for (const auto& kv : rewards_) sum += kv.second;
+    return sum;
+  }
+};

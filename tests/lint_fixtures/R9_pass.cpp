@@ -1,0 +1,10 @@
+// lint-fixture-path: src/hero/fixture.cpp
+// Deterministic paths iterate sorted containers; order is part of results.
+struct OptionStats {
+  std::map<int, double> rewards_;
+  double total() const {
+    double sum = 0.0;
+    for (const auto& kv : rewards_) sum += kv.second;
+    return sum;
+  }
+};

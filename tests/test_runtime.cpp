@@ -31,9 +31,9 @@ TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce) {
 TEST(ThreadPool, ParallelForSlotsPartitionIsStatic) {
   ThreadPool pool(3);
   std::vector<int> slot_of(100, -1);
-  std::mutex mu;
+  hero::Mutex mu;
   pool.parallel_for_slots(slot_of.size(), [&](std::size_t i, std::size_t slot) {
-    std::lock_guard<std::mutex> lock(mu);
+    hero::MutexLock lock(mu);
     slot_of[i] = static_cast<int>(slot);
   });
   for (std::size_t i = 0; i < slot_of.size(); ++i) {

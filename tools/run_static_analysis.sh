@@ -1,17 +1,23 @@
 #!/usr/bin/env sh
-# Static-analysis gate: clang-tidy (curated .clang-tidy check set) and
-# cppcheck over src/, plus an optional clang-format conformance pass.
+# Static-analysis gate: clang-tidy (curated .clang-tidy check set), cppcheck
+# and Clang thread-safety analysis over src/, plus an optional clang-format
+# conformance pass.
 #
-#   tools/run_static_analysis.sh [build_dir] [--tidy] [--cppcheck] [--format]
+#   tools/run_static_analysis.sh [build_dir] [--tidy] [--cppcheck] \
+#                                [--thread-safety] [--format]
 #
 # With no selector flags, runs every analysis whose tool is installed and
 # *fails* only on findings — a missing tool is reported and skipped so the
 # script is usable in minimal containers (CI installs pinned versions and
 # exports HERO_REQUIRE_TOOLS=1, which turns a missing tool into a failure).
+# The thread-safety pass additionally skips when the available compiler is
+# not clang (GCC does not implement -Wthread-safety); the annotations in
+# common/sync.h compile away there, so only clang can check them.
 #
 # Outputs:
 #   <build_dir>/analysis/clang-tidy.log
-#   <build_dir>/analysis/cppcheck.log       (uploaded as CI artifacts)
+#   <build_dir>/analysis/cppcheck.log
+#   <build_dir>/analysis/thread-safety.log  (uploaded as CI artifacts)
 #
 # Requires compile_commands.json in the build dir (the top-level CMakeLists
 # sets CMAKE_EXPORT_COMPILE_COMMANDS ON).
@@ -19,19 +25,20 @@ set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir="$repo_root/build"
-run_tidy=0 run_cppcheck=0 run_format=0 any_selected=0
+run_tidy=0 run_cppcheck=0 run_threadsafety=0 run_format=0 any_selected=0
 
 for arg in "$@"; do
     case "$arg" in
-        --tidy)     run_tidy=1; any_selected=1 ;;
-        --cppcheck) run_cppcheck=1; any_selected=1 ;;
-        --format)   run_format=1; any_selected=1 ;;
-        -*)         echo "unknown flag: $arg" >&2; exit 2 ;;
-        *)          build_dir="$arg" ;;
+        --tidy)          run_tidy=1; any_selected=1 ;;
+        --cppcheck)      run_cppcheck=1; any_selected=1 ;;
+        --thread-safety) run_threadsafety=1; any_selected=1 ;;
+        --format)        run_format=1; any_selected=1 ;;
+        -*)              echo "unknown flag: $arg" >&2; exit 2 ;;
+        *)               build_dir="$arg" ;;
     esac
 done
 if [ "$any_selected" = "0" ]; then
-    run_tidy=1; run_cppcheck=1; run_format=1
+    run_tidy=1; run_cppcheck=1; run_threadsafety=1; run_format=1
 fi
 
 require_tools=${HERO_REQUIRE_TOOLS:-0}
@@ -92,6 +99,40 @@ if [ "$run_cppcheck" = "1" ]; then
         else
             echo "cppcheck: FINDINGS (see $out_dir/cppcheck.log)"
             tail -n 50 "$out_dir/cppcheck.log" || true
+            status=1
+        fi
+    fi
+fi
+
+if [ "$run_threadsafety" = "1" ]; then
+    # Compile-time lock checking (docs/CORRECTNESS.md): every translation
+    # unit must be clean under -Wthread-safety given the capability
+    # annotations on hero::Mutex/MutexLock/CondVar (common/sync.h) and the
+    # HERO_GUARDED_BY/HERO_REQUIRES contracts on guarded state. Syntax-only:
+    # no objects are produced, so this runs without a configured build.
+    cxx_bin=${CLANG_CXX:-clang++}
+    if ! command -v "$cxx_bin" > /dev/null 2>&1; then
+        missing "$cxx_bin" || status=1
+    elif ! "$cxx_bin" --version 2> /dev/null | grep -qi clang; then
+        # Only clang implements -Wthread-safety; under GCC the annotations
+        # compile away and there is nothing to check.
+        missing "clang ($cxx_bin is not clang)" || status=1
+    else
+        echo "== thread-safety ($("$cxx_bin" --version | head -n 1)) =="
+        : > "$out_dir/thread-safety.log"
+        ts_bad=0
+        for f in $src_files; do
+            if ! "$cxx_bin" -fsyntax-only -std=c++20 -I "$repo_root/src" \
+                    -Wthread-safety -Werror=thread-safety-analysis \
+                    "$f" >> "$out_dir/thread-safety.log" 2>&1; then
+                ts_bad=$((ts_bad + 1))
+            fi
+        done
+        if [ "$ts_bad" = "0" ]; then
+            echo "thread-safety: clean"
+        else
+            echo "thread-safety: $ts_bad file(s) with FINDINGS (see $out_dir/thread-safety.log)"
+            grep -E "(warning|error):" "$out_dir/thread-safety.log" | head -n 50 || true
             status=1
         fi
     fi
