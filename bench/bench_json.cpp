@@ -397,6 +397,69 @@ void run_batch_cases(std::vector<TrainSlice>& out) {
   }
 }
 
+// Dense-traffic sensing entries (docs/PERFORMANCE.md, "Spatial neighbor
+// index"): one env of the declarative dense scenario at V vehicles, where
+// each measured step is a step_all PLUS a full sensing pass — high- and
+// low-level obs for every learner, the per-step perception cost a rollout
+// actually pays and the part that is O(V²) without the index.
+// BM_BatchStep/V128_allpairs re-times V=128 with use_spatial_index off
+// (all-pairs staging, uncull lidar narrow phase) in the same run;
+// tools/run_benchmarks.sh asserts the indexed entry is ≥ 4× faster.
+void run_dense_cases(const std::string& scenario_path,
+                     std::vector<TrainSlice>& out) {
+  using namespace hero;
+
+  const auto dense_case = [&](const std::string& name, int vehicles,
+                              bool use_index, long steps_target) {
+    out.push_back(time_train(name, [&] {
+      sim::Scenario sc = sim::load_scenario(scenario_path, vehicles);
+      sc.config.use_spatial_index = use_index;
+      sim::BatchLaneWorld world(sc.config, /*num_envs=*/1);
+      Rng rng(1);
+      Rng* rng_ptr = &rng;
+      world.reset_env(0, rng);
+      const std::uint8_t active = 1;
+      const std::vector<sim::TwistCmd> cmds(
+          static_cast<std::size_t>(world.num_learners()),
+          sim::TwistCmd{0.12, 0.0});
+      std::vector<double> hl(world.high_level_obs_dim());
+      std::vector<double> ll(world.low_level_obs_dim());
+      sim::BatchStepResult res;
+      for (long s = 0; s < steps_target; ++s) {
+        if (world.done(0)) world.reset_env(0, rng);
+        world.step_all(cmds.data(), &rng_ptr, &active, res);
+        for (int k = 0; k < world.num_learners(); ++k) {
+          const int vi = world.learners()[static_cast<std::size_t>(k)];
+          world.high_level_obs_into(0, vi, hl.data());
+          world.low_level_obs_into(0, vi, world.lane(0, vi), ll.data());
+        }
+      }
+      return steps_target;
+    }));
+  };
+
+  dense_case("BM_BatchStep/V64", 64, /*use_index=*/true, 3000);
+  dense_case("BM_BatchStep/V128", 128, /*use_index=*/true, 1500);
+  dense_case("BM_BatchStep/V256", 256, /*use_index=*/true, 750);
+  dense_case("BM_BatchStep/V128_allpairs", 128, /*use_index=*/false, 1500);
+
+  // Full HERO batched rollout on the dense scene: 48 learners × 4 lockstep
+  // envs through selection, skills and opponent prediction.
+  out.push_back(time_train("BM_BatchedRollout/dense64", [&] {
+    sim::Scenario sc = sim::load_scenario(scenario_path, /*num_vehicles=*/64);
+    Rng rng(1);
+    core::HeroConfig cfg;
+    cfg.high.warmup_transitions = 16;
+    cfg.batch_envs = 4;
+    core::HeroTrainer t(sc, cfg, rng);
+    t.train_skills(/*episodes_per_skill=*/1, rng);
+    long steps = 0;
+    t.train(/*episodes=*/4, rng,
+            [&](int, const rl::EpisodeStats& s) { steps += s.steps; });
+    return steps;
+  }));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -408,6 +471,11 @@ int main(int argc, char** argv) {
   // Largest worker count for the "/wN" training slices; 1 keeps the run to
   // the historical single-worker set.
   const int max_workers = flags.get_int("max-workers", 8);
+  // Declarative config behind the BM_BatchStep/V* density sweep; empty
+  // skips the dense entries (a missing file is a hard error — a silently
+  // absent entry would make the regression gate vacuous).
+  const std::string dense_scenario =
+      flags.get_string("dense-scenario", "scenarios/dense_traffic.json");
   flags.check_unknown();
 
   std::fprintf(stderr, "== op-level benchmarks ==\n");
@@ -432,6 +500,7 @@ int main(int argc, char** argv) {
   std::vector<TrainSlice> train;
   for (int w = 1; w <= max_workers; w *= 2) run_train_cases(train_episodes, w, train);
   run_batch_cases(train);
+  if (!dense_scenario.empty()) run_dense_cases(dense_scenario, train);
   std::vector<std::pair<std::string, double>> train_entries;
   for (const auto& s : train) train_entries.emplace_back(s.name, s.steps_per_sec);
   write_json(train_out, "train_steps_per_sec", train_entries, "steps_per_sec", {});

@@ -46,6 +46,8 @@ BatchLaneWorld::BatchLaneWorld(const LaneWorldConfig& cfg, int num_envs)
   hit_.assign(total, 0);
   order_.assign(static_cast<std::size_t>(V_), 0);
   obs_boxes_.assign(static_cast<std::size_t>(V_), Obb{});
+  indices_.resize(static_cast<std::size_t>(E_));
+  idx_dirty_.assign(static_cast<std::size_t>(E_), 1);
 
   // Match the serial constructor: every env starts in the dummy-reset state.
   for (int e = 0; e < E_; ++e) {
@@ -58,6 +60,7 @@ void BatchLaneWorld::reset_env(int e, Rng& rng) {
   steps_[static_cast<std::size_t>(e)] = 0;
   done_[static_cast<std::size_t>(e)] = 0;
   had_collision_[static_cast<std::size_t>(e)] = 0;
+  idx_dirty_[static_cast<std::size_t>(e)] = 1;
 
   for (int i = 0; i < V_; ++i) {
     const std::size_t idx = flat(e, i);
@@ -218,29 +221,42 @@ void BatchLaneWorld::step_collide(const std::uint8_t* active,
     const std::size_t base = flat(e, 0);
     for (int i = 0; i < V_; ++i) hit_[base + static_cast<std::size_t>(i)] = 0;
 
-    // Broad-phase: insertion-sort vehicles by wrapped arc length (V is
-    // small), then sweep each vehicle's cyclic successors until the ring
-    // gap exceeds 2·reach — beyond that no footprint pair can overlap, so
-    // the narrow-phase SAT set is identical to the serial all-pairs loop.
-    for (int i = 0; i < V_; ++i) order_[static_cast<std::size_t>(i)] = i;
-    for (int i = 1; i < V_; ++i) {
-      const int v = order_[static_cast<std::size_t>(i)];
-      int j = i - 1;
-      while (j >= 0 &&
-             x_[base + static_cast<std::size_t>(order_[static_cast<std::size_t>(j)])] >
-                 x_[base + static_cast<std::size_t>(v)]) {
-        order_[static_cast<std::size_t>(j + 1)] = order_[static_cast<std::size_t>(j)];
-        --j;
+    // Broad-phase: sort vehicles by wrapped arc length, then sweep each
+    // vehicle's cyclic successors until the ring gap exceeds 2·reach —
+    // beyond that no footprint pair can overlap, so the narrow-phase SAT
+    // set is identical to the serial all-pairs loop. With the spatial index
+    // enabled the sorted order is the per-env SpatialIndex, built here once
+    // and reused by every obs call of this step; otherwise a local
+    // insertion sort (V is small in the paper scenarios) reproduces the
+    // same (position, id) order.
+    const int* ord = nullptr;
+    if (cfg_.use_spatial_index) {
+      SpatialIndex& idx = indices_[static_cast<std::size_t>(e)];
+      idx.build(&x_[base], V_, circ);
+      idx_dirty_[static_cast<std::size_t>(e)] = 0;
+      ord = idx.ids();
+    } else {
+      for (int i = 0; i < V_; ++i) order_[static_cast<std::size_t>(i)] = i;
+      for (int i = 1; i < V_; ++i) {
+        const int v = order_[static_cast<std::size_t>(i)];
+        int j = i - 1;
+        while (j >= 0 &&
+               x_[base + static_cast<std::size_t>(order_[static_cast<std::size_t>(j)])] >
+                   x_[base + static_cast<std::size_t>(v)]) {
+          order_[static_cast<std::size_t>(j + 1)] = order_[static_cast<std::size_t>(j)];
+          --j;
+        }
+        order_[static_cast<std::size_t>(j + 1)] = v;
       }
-      order_[static_cast<std::size_t>(j + 1)] = v;
+      ord = order_.data();
     }
 
     for (int a = 0; a < V_; ++a) {
-      const int ia = order_[static_cast<std::size_t>(a)];
+      const int ia = ord[static_cast<std::size_t>(a)];
       const double xa = x_[base + static_cast<std::size_t>(ia)];
       for (int t = 1; t < V_; ++t) {
         const int b = (a + t) % V_;
-        const int ib = order_[static_cast<std::size_t>(b)];
+        const int ib = ord[static_cast<std::size_t>(b)];
         double gap = x_[base + static_cast<std::size_t>(ib)] - xa;
         if (b < a) gap += circ;  // cyclic successor wrapped past the seam
         if (gap > near) break;   // sorted ⇒ later successors are farther
@@ -300,6 +316,15 @@ void BatchLaneWorld::step_rewards(const std::uint8_t* active,
   }
 }
 
+const SpatialIndex& BatchLaneWorld::ensure_index(int e) const {
+  SpatialIndex& idx = indices_[static_cast<std::size_t>(e)];
+  if (idx_dirty_[static_cast<std::size_t>(e)] || !idx.built()) {
+    idx.build(&x_[flat(e, 0)], V_, track_.circumference());
+    idx_dirty_[static_cast<std::size_t>(e)] = 0;
+  }
+  return idx;
+}
+
 void BatchLaneWorld::high_level_obs_into(int e, int vehicle, double* out,
                                          Rng* noise_rng) const {
   const std::size_t base = flat(e, 0);
@@ -307,19 +332,44 @@ void BatchLaneWorld::high_level_obs_into(int e, int vehicle, double* out,
   // Stage the other footprints ego-relative through the wrapped metric,
   // pruning boxes whose nearest point lies beyond lidar range — they cannot
   // lower any beam's minimum, so the scan is bit-identical to unpruned.
+  // Squared-distance form of `hypot(dx, dy) ≤ max_range + reach`: the same
+  // conservative predicate (1e-9 of slack dwarfs the rounding difference)
+  // without the libm call.
+  const double thr = cfg_.lidar.max_range + reach_ + 1e-9;
   std::size_t nb = 0;
-  for (int i = 0; i < V_; ++i) {
-    if (i == vehicle) continue;
-    const std::size_t idx = base + static_cast<std::size_t>(i);
-    const double dx = track_.signed_dx(x_[ego], x_[idx]);
-    const double dy = y_[idx] - y_[ego];
-    if (std::hypot(dx, dy) - reach_ > cfg_.lidar.max_range + 1e-9) continue;
-    obs_boxes_[nb] = Obb{{x_[ego] + dx, y_[idx]}, heading_[idx],
-                         0.5 * cfg_.vehicle.length, 0.5 * cfg_.vehicle.width};
-    ++nb;
+  if (cfg_.use_spatial_index) {
+    // Arc-window query first: |signed_dx| ≤ hypot(dx, dy), so the window of
+    // half-width thr is a superset of everything the fine prune keeps.
+    const int* ids = nullptr;
+    // Rank-order candidates: the scan reduces each beam to a minimum over
+    // ray casts, so staging order cannot change the output.
+    const int k =
+        ensure_index(e).query_unordered(x_[ego], thr, thr, vehicle, &ids);
+    for (int c = 0; c < k; ++c) {
+      const std::size_t idx = base + static_cast<std::size_t>(ids[c]);
+      const double dx = track_.signed_dx(x_[ego], x_[idx]);
+      const double dy = y_[idx] - y_[ego];
+      if (dx * dx + dy * dy > thr * thr) continue;
+      obs_boxes_[nb] = Obb{{x_[ego] + dx, y_[idx]}, heading_[idx],
+                           0.5 * cfg_.vehicle.length, 0.5 * cfg_.vehicle.width};
+      ++nb;
+    }
+    lidar_.scan_into(x_[ego], y_[ego], heading_[ego], obs_boxes_.data(), nb,
+                     noise_rng, out);
+  } else {
+    for (int i = 0; i < V_; ++i) {
+      if (i == vehicle) continue;
+      const std::size_t idx = base + static_cast<std::size_t>(i);
+      const double dx = track_.signed_dx(x_[ego], x_[idx]);
+      const double dy = y_[idx] - y_[ego];
+      if (dx * dx + dy * dy > thr * thr) continue;
+      obs_boxes_[nb] = Obb{{x_[ego] + dx, y_[idx]}, heading_[idx],
+                           0.5 * cfg_.vehicle.length, 0.5 * cfg_.vehicle.width};
+      ++nb;
+    }
+    lidar_.scan_into_allpairs(x_[ego], y_[ego], heading_[ego],
+                              obs_boxes_.data(), nb, noise_rng, out);
   }
-  lidar_.scan_into(x_[ego], y_[ego], heading_[ego], obs_boxes_.data(), nb,
-                   noise_rng, out);
   const std::size_t beams = static_cast<std::size_t>(cfg_.lidar.num_beams);
   out[beams] = speed_[ego] / cfg_.vehicle.max_speed;
   out[beams + 1] = static_cast<double>(track_.lane_of(y_[ego]));
@@ -333,7 +383,8 @@ void BatchLaneWorld::low_level_obs_into(int e, int vehicle, int reference_lane,
   camera_.features_into(s, cfg_.vehicle.max_speed, &x_[base], &y_[base],
                         &speed_[base], static_cast<std::size_t>(V_),
                         static_cast<std::size_t>(vehicle), track_, reference_lane,
-                        noise_rng, out);
+                        noise_rng,
+                        cfg_.use_spatial_index ? &ensure_index(e) : nullptr, out);
   out[kLaneCameraDim] = speed_[ego] / cfg_.vehicle.max_speed;
   out[kLaneCameraDim + 1] = static_cast<double>(track_.lane_of(y_[ego]));
 }
@@ -344,6 +395,7 @@ VehicleState BatchLaneWorld::state(int e, int i) const {
 }
 
 void BatchLaneWorld::set_state(int e, int i, const VehicleState& s) {
+  idx_dirty_[static_cast<std::size_t>(e)] = 1;
   const std::size_t idx = flat(e, i);
   x_[idx] = s.x;
   y_[idx] = s.y;

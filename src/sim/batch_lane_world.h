@@ -23,7 +23,11 @@
 // hypot(half_len, half_wid), the footprint's circumradius) reach the SAT
 // test. Pairs farther apart cannot overlap, so the resulting collision set
 // is identical to all-pairs (also enforced by test_sim on randomized
-// scenes).
+// scenes). With cfg.use_spatial_index (the default) the same per-env sorted
+// order lives in a SpatialIndex built once per step and shared with lidar
+// box staging and the camera's lead search, shrinking per-ego candidate
+// sets from V to the k vehicles inside the sensor window — conservatively,
+// so sensing stays bitwise identical (tests/test_spatial_index.cpp).
 //
 // Thread-safety: like LaneWorld, an instance is confined to one thread at a
 // time; observation methods use mutable scratch.
@@ -80,6 +84,7 @@ class BatchLaneWorld {
   // --- inspection (mirrors LaneWorld per env) ---
   VehicleState state(int e, int i) const;
   // Tests and skill wrappers overwrite start states through this.
+  // Invalidates env e's cached spatial index.
   void set_state(int e, int i, const VehicleState& s);
   int lane(int e, int i) const { return track_.lane_of(y_[flat(e, i)]); }
   int steps(int e) const { return steps_[static_cast<std::size_t>(e)]; }
@@ -110,6 +115,10 @@ class BatchLaneWorld {
   void step_collide(const std::uint8_t* active, BatchStepResult& out);
   void step_rewards(const std::uint8_t* active, BatchStepResult& out);
 
+  // Returns env e's SpatialIndex, rebuilding it from the current SoA state
+  // if a reset/set_state/step invalidated it. Requires use_spatial_index.
+  const SpatialIndex& ensure_index(int e) const;
+
   LaneWorldConfig cfg_;
   Track track_;
   LidarSensor lidar_;
@@ -136,8 +145,14 @@ class BatchLaneWorld {
   // step scratch (preallocated in the constructor)
   std::vector<TwistCmd> exec_;       // E × V resolved commands
   std::vector<std::uint8_t> hit_;    // E × V collision flags of the last step
-  std::vector<int> order_;           // V, per-env arc-length sort
+  std::vector<int> order_;           // V, per-env arc-length sort (all-pairs path)
   mutable std::vector<Obb> obs_boxes_;  // V, lidar box staging
+
+  // Per-env arc-length index shared by collision broad-phase and sensing;
+  // rebuilt eagerly in step_collide and lazily (via ensure_index) when a
+  // reset or set_state dirtied the env. Mutable: obs methods are const.
+  mutable std::vector<SpatialIndex> indices_;      // E
+  mutable std::vector<std::uint8_t> idx_dirty_;    // E
 };
 
 }  // namespace hero::sim

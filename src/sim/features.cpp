@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/spatial_index.h"
+
 namespace hero::sim {
 
 LaneCamera::LaneCamera(const LaneCameraConfig& cfg) : cfg_(cfg) {
@@ -33,20 +35,49 @@ void LaneCamera::features_into(const VehicleState& s, double ego_max_speed,
                                std::size_t ego_index, const Track& track,
                                int reference_lane, Rng* noise_rng,
                                double* out) const {
+  features_into(s, ego_max_speed, xs, ys, speeds, n, ego_index, track,
+                reference_lane, noise_rng, /*index=*/nullptr, out);
+}
+
+void LaneCamera::features_into(const VehicleState& s, double ego_max_speed,
+                               const double* xs, const double* ys,
+                               const double* speeds, std::size_t n,
+                               std::size_t ego_index, const Track& track,
+                               int reference_lane, Rng* noise_rng,
+                               const SpatialIndex* index, double* out) const {
   const double w = track.lane_width();
   const double ref_c = track.lane_center(reference_lane);
   const int ego_lane = track.lane_of(s.y);
 
-  // Nearest vehicle ahead in the ego's current lane.
+  // Nearest vehicle ahead in the ego's current lane. Any winner of the
+  // strict `d < gap` test has forward_gap < lead_range, so the index's
+  // inclusive forward window [s.x, s.x + lead_range] is a superset of every
+  // possible leader; candidates arrive ascending by id, the full scan's
+  // visit order, so ties resolve to the same vehicle.
   double gap = cfg_.lead_range;
   double lead_rel_speed = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (i == ego_index) continue;
-    if (track.lane_of(ys[i]) != ego_lane) continue;
-    const double d = track.forward_gap(s.x, xs[i]);
-    if (d < gap) {
-      gap = d;
-      lead_rel_speed = speeds[i] - s.speed;
+  if (index) {
+    const int* ids = nullptr;
+    const int k = index->query(s.x, 0.0, cfg_.lead_range,
+                               static_cast<int>(ego_index), &ids);
+    for (int c = 0; c < k; ++c) {
+      const std::size_t i = static_cast<std::size_t>(ids[c]);
+      if (track.lane_of(ys[i]) != ego_lane) continue;
+      const double d = track.forward_gap(s.x, xs[i]);
+      if (d < gap) {
+        gap = d;
+        lead_rel_speed = speeds[i] - s.speed;
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == ego_index) continue;
+      if (track.lane_of(ys[i]) != ego_lane) continue;
+      const double d = track.forward_gap(s.x, xs[i]);
+      if (d < gap) {
+        gap = d;
+        lead_rel_speed = speeds[i] - s.speed;
+      }
     }
   }
 

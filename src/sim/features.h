@@ -13,6 +13,8 @@
 
 namespace hero::sim {
 
+class SpatialIndex;
+
 struct LaneCameraConfig {
   double lead_range = 2.0;    // how far ahead the camera can resolve a leader
   double noise_stddev = 0.0;  // feature noise (real-world mode)
@@ -48,6 +50,18 @@ class LaneCamera {
                      const double* xs, const double* ys, const double* speeds,
                      std::size_t n, std::size_t ego_index, const Track& track,
                      int reference_lane, Rng* noise_rng, double* out) const;
+
+  // Index-staged variant: when `index` is non-null the lead search only
+  // visits vehicles the index reports inside the forward window
+  // [ego.x, ego.x + lead_range] — a conservative superset of every possible
+  // leader, visited in the same ascending-id order as the full scan, so the
+  // features are bitwise identical to the all-pairs path (`index == nullptr`
+  // falls back to it).
+  void features_into(const VehicleState& ego, double ego_max_speed,
+                     const double* xs, const double* ys, const double* speeds,
+                     std::size_t n, std::size_t ego_index, const Track& track,
+                     int reference_lane, Rng* noise_rng,
+                     const SpatialIndex* index, double* out) const;
 
   const LaneCameraConfig& config() const { return cfg_; }
 

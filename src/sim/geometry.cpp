@@ -55,10 +55,10 @@ bool obb_overlap(const Obb& a, const Obb& b) {
   return true;
 }
 
-std::optional<double> ray_obb(const Vec2& origin, const Vec2& dir, const Obb& box) {
-  // Transform the ray into the box frame, then slab test.
-  const Vec2 rel = (origin - box.center).rotated(-box.heading);
-  const Vec2 d = dir.rotated(-box.heading);
+namespace {
+// Slab test against an axis-aligned box of the given half-extents, with the
+// ray already expressed in the box frame.
+std::optional<double> slab_hit(const Vec2& rel, const Vec2& d, const Obb& box) {
   double tmin = 0.0;
   double tmax = std::numeric_limits<double>::infinity();
   const double lo[2] = {-box.half_len, -box.half_wid};
@@ -78,6 +78,29 @@ std::optional<double> ray_obb(const Vec2& origin, const Vec2& dir, const Obb& bo
     if (tmin > tmax) return std::nullopt;
   }
   return tmin;
+}
+}  // namespace
+
+std::optional<double> ray_obb(const Vec2& origin, const Vec2& dir, const Obb& box) {
+  // Transform the ray into the box frame, then slab test.
+  const Vec2 rel = (origin - box.center).rotated(-box.heading);
+  const Vec2 d = dir.rotated(-box.heading);
+  return slab_hit(rel, d, box);
+}
+
+std::optional<double> ray_obb_prerot(const Vec2& origin, const Vec2& dir,
+                                     const Obb& box, double rot_cos,
+                                     double rot_sin) {
+  // Same cast with cos(-heading)/sin(-heading) hoisted by the caller. The
+  // rotation expressions mirror Vec2::rotated term for term, so the result
+  // is bit-identical to ray_obb for rot_cos = cos(-heading),
+  // rot_sin = sin(-heading).
+  const Vec2 diff = origin - box.center;
+  const Vec2 rel{rot_cos * diff.x - rot_sin * diff.y,
+                 rot_sin * diff.x + rot_cos * diff.y};
+  const Vec2 d{rot_cos * dir.x - rot_sin * dir.y,
+               rot_sin * dir.x + rot_cos * dir.y};
+  return slab_hit(rel, d, box);
 }
 
 std::optional<double> ray_circle(const Vec2& origin, const Vec2& dir, const Vec2& center,

@@ -46,6 +46,15 @@ bool obb_overlap(const Obb& a, const Obb& b);
 // origin is inside, returns 0.
 std::optional<double> ray_obb(const Vec2& origin, const Vec2& dir, const Obb& box);
 
+// ray_obb with the box-frame rotation hoisted: callers that test one box
+// against several beams pass rot_cos = cos(-box.heading) and
+// rot_sin = sin(-box.heading) once instead of paying two sincos pairs per
+// cast. Bit-identical to ray_obb (the rotation arithmetic matches
+// Vec2::rotated term for term); the lidar narrow phase relies on that.
+std::optional<double> ray_obb_prerot(const Vec2& origin, const Vec2& dir,
+                                     const Obb& box, double rot_cos,
+                                     double rot_sin);
+
 // Distance along the ray to a circle, or nullopt on miss.
 std::optional<double> ray_circle(const Vec2& origin, const Vec2& dir, const Vec2& center,
                                  double radius);

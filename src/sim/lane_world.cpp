@@ -26,6 +26,13 @@ LaneWorld::LaneWorld(const LaneWorldConfig& cfg)
     if (!cfg_.specs[i].scripted) learners_.push_back(static_cast<int>(i));
   }
   total_travel_.assign(vehicles_.size(), 0.0);
+  reach_ = std::hypot(0.5 * cfg_.vehicle.length, 0.5 * cfg_.vehicle.width);
+  sx_.assign(vehicles_.size(), 0.0);
+  sy_.assign(vehicles_.size(), 0.0);
+  sheading_.assign(vehicles_.size(), 0.0);
+  sspeed_.assign(vehicles_.size(), 0.0);
+  obs_boxes_.assign(vehicles_.size(), Obb{});
+  hit_scratch_.assign(vehicles_.size(), 0);
   Rng dummy(0);
   reset(dummy);
 }
@@ -34,6 +41,7 @@ void LaneWorld::reset(Rng& rng) {
   steps_ = 0;
   done_ = false;
   had_collision_ = false;
+  scene_dirty_ = true;
   total_travel_.assign(vehicles_.size(), 0.0);
   latency_queues_.assign(vehicles_.size(), {});
   speed_gain_.assign(vehicles_.size(), 1.0);
@@ -105,6 +113,7 @@ StepResult LaneWorld::step(const std::vector<TwistCmd>& cmds, Rng& rng) {
     out.travel[i] = dx;
     total_travel_[i] += dx;
   }
+  scene_dirty_ = true;
 
   ++steps_;
 #if HERO_DEBUG_CHECKS_ENABLED
@@ -158,39 +167,142 @@ StepResult LaneWorld::step(const std::vector<TwistCmd>& cmds, Rng& rng) {
   return out;
 }
 
-void LaneWorld::detect_collisions(StepResult& out) const {
-  std::vector<bool> hit(vehicles_.size(), false);
+void LaneWorld::ensure_scene() const {
+  if (!scene_dirty_) return;
   for (std::size_t i = 0; i < vehicles_.size(); ++i) {
-    for (std::size_t j = i + 1; j < vehicles_.size(); ++j) {
-      Obb a = vehicles_[i].footprint();
-      Obb b = vehicles_[j].footprint();
-      // Respect the ring topology: place j relative to i.
-      b.center.x = a.center.x + track_.signed_dx(a.center.x, b.center.x);
-      // The separating-axis test is a symmetric relation; if it ever
-      // disagrees under argument order the collision reward is corrupt.
-      HERO_DCHECK_MSG(obb_overlap(a, b) == obb_overlap(b, a),
-                      "obb_overlap asymmetry between vehicles " << i << " and " << j);
-      if (obb_overlap(a, b)) {
-        hit[i] = hit[j] = true;
+    const VehicleState& st = vehicles_[i].state();
+    sx_[i] = st.x;
+    sy_[i] = st.y;
+    sheading_[i] = st.heading;
+    sspeed_[i] = st.speed;
+  }
+  if (cfg_.use_spatial_index) {
+    index_.build(sx_.data(), static_cast<int>(vehicles_.size()),
+                 track_.circumference());
+  }
+  scene_dirty_ = false;
+}
+
+void LaneWorld::detect_collisions(StepResult& out) const {
+  if (!cfg_.use_spatial_index) {
+    // All-pairs reference path: every pair through the SAT test.
+    std::vector<bool> hit(vehicles_.size(), false);
+    for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+      for (std::size_t j = i + 1; j < vehicles_.size(); ++j) {
+        Obb a = vehicles_[i].footprint();
+        Obb b = vehicles_[j].footprint();
+        // Respect the ring topology: place j relative to i.
+        b.center.x = a.center.x + track_.signed_dx(a.center.x, b.center.x);
+        // The separating-axis test is a symmetric relation; if it ever
+        // disagrees under argument order the collision reward is corrupt.
+        HERO_DCHECK_MSG(obb_overlap(a, b) == obb_overlap(b, a),
+                        "obb_overlap asymmetry between vehicles " << i << " and " << j);
+        if (obb_overlap(a, b)) {
+          hit[i] = hit[j] = true;
+        }
+      }
+      if (cfg_.offroad_is_collision && !track_.on_road(vehicles_[i].state().y)) {
+        hit[i] = true;
       }
     }
-    if (cfg_.offroad_is_collision && !track_.on_road(vehicles_[i].state().y)) {
-      hit[i] = true;
+    for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+      if (hit[i]) out.collided.push_back(static_cast<int>(i));
+    }
+    out.collision = !out.collided.empty();
+    return;
+  }
+
+  // Broad-phase via the shared index: sweep each vehicle's cyclic arc-length
+  // successors until the ring gap exceeds 2·reach — beyond that no footprint
+  // pair can overlap, so the narrow-phase SAT set (reference = lower id,
+  // exactly the all-pairs pair test) is identical to the loop above
+  // (tests/test_spatial_index.cpp, randomized scenes).
+  ensure_scene();
+  const int V = static_cast<int>(vehicles_.size());
+  for (int i = 0; i < V; ++i) hit_scratch_[static_cast<std::size_t>(i)] = 0;
+  const double near = 2.0 * reach_ + 1e-9;
+  const double circ = track_.circumference();
+  for (int a = 0; a < V; ++a) {
+    const int ia = index_.id(a);
+    const double xa = index_.pos(a);
+    for (int t = 1; t < V; ++t) {
+      const int b = (a + t) % V;
+      const int ib = index_.id(b);
+      double gap = index_.pos(b) - xa;
+      if (b < a) gap += circ;  // cyclic successor wrapped past the seam
+      if (gap > near) break;   // sorted ⇒ later successors are farther
+
+      const std::size_t pi = static_cast<std::size_t>(std::min(ia, ib));
+      const std::size_t pj = static_cast<std::size_t>(std::max(ia, ib));
+      Obb oa = vehicles_[pi].footprint();
+      Obb ob = vehicles_[pj].footprint();
+      ob.center.x = oa.center.x + track_.signed_dx(oa.center.x, ob.center.x);
+      HERO_DCHECK_MSG(obb_overlap(oa, ob) == obb_overlap(ob, oa),
+                      "obb_overlap asymmetry between vehicles " << pi << " and " << pj);
+      if (obb_overlap(oa, ob)) {
+        hit_scratch_[pi] = 1;
+        hit_scratch_[pj] = 1;
+      }
+    }
+    if (cfg_.offroad_is_collision &&
+        !track_.on_road(vehicles_[static_cast<std::size_t>(ia)].state().y)) {
+      hit_scratch_[static_cast<std::size_t>(ia)] = 1;
     }
   }
-  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
-    if (hit[i]) out.collided.push_back(static_cast<int>(i));
+  for (int i = 0; i < V; ++i) {
+    if (hit_scratch_[static_cast<std::size_t>(i)]) out.collided.push_back(i);
   }
   out.collision = !out.collided.empty();
 }
 
 std::vector<double> LaneWorld::high_level_obs(int vehicle, Rng* noise_rng) const {
-  const std::size_t i = static_cast<std::size_t>(vehicle);
-  std::vector<double> obs =
-      lidar_.scan(vehicles_[i], vehicles_, i, track_, noise_rng);
-  obs.push_back(vehicles_[i].state().speed / cfg_.vehicle.max_speed);
-  obs.push_back(static_cast<double>(lane(vehicle)));
+  std::vector<double> obs(high_level_obs_dim());
+  high_level_obs_into(vehicle, obs.data(), noise_rng);
   return obs;
+}
+
+void LaneWorld::high_level_obs_into(int vehicle, double* out,
+                                    Rng* noise_rng) const {
+  ensure_scene();
+  const std::size_t ei = static_cast<std::size_t>(vehicle);
+  const double ex = sx_[ei];
+  const double ey = sy_[ei];
+  // Stage the other footprints ego-relative through the wrapped metric,
+  // pruning boxes whose nearest point lies beyond lidar range — they cannot
+  // lower any beam's minimum, so the scan is bit-identical to unpruned.
+  const double thr = cfg_.lidar.max_range + reach_ + 1e-9;
+  std::size_t nb = 0;
+  if (cfg_.use_spatial_index) {
+    const int* ids = nullptr;
+    // Rank-order candidates: the scan reduces each beam to a minimum over
+    // ray casts, so staging order cannot change the output.
+    const int k = index_.query_unordered(ex, thr, thr, vehicle, &ids);
+    for (int c = 0; c < k; ++c) {
+      const std::size_t i = static_cast<std::size_t>(ids[c]);
+      const double dx = track_.signed_dx(ex, sx_[i]);
+      const double dy = sy_[i] - ey;
+      if (dx * dx + dy * dy > thr * thr) continue;
+      obs_boxes_[nb] = Obb{{ex + dx, sy_[i]}, sheading_[i],
+                           0.5 * cfg_.vehicle.length, 0.5 * cfg_.vehicle.width};
+      ++nb;
+    }
+    lidar_.scan_into(ex, ey, sheading_[ei], obs_boxes_.data(), nb, noise_rng,
+                     out);
+  } else {
+    // All-pairs reference: stage every other footprint, uncull narrow phase.
+    for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+      if (i == ei) continue;
+      obs_boxes_[nb] = Obb{{ex + track_.signed_dx(ex, sx_[i]), sy_[i]},
+                           sheading_[i], 0.5 * cfg_.vehicle.length,
+                           0.5 * cfg_.vehicle.width};
+      ++nb;
+    }
+    lidar_.scan_into_allpairs(ex, ey, sheading_[ei], obs_boxes_.data(), nb,
+                              noise_rng, out);
+  }
+  const std::size_t beams = static_cast<std::size_t>(cfg_.lidar.num_beams);
+  out[beams] = sspeed_[ei] / cfg_.vehicle.max_speed;
+  out[beams + 1] = static_cast<double>(lane(vehicle));
 }
 
 std::size_t LaneWorld::high_level_obs_dim() const {
@@ -199,12 +311,22 @@ std::size_t LaneWorld::high_level_obs_dim() const {
 
 std::vector<double> LaneWorld::low_level_obs(int vehicle, int reference_lane,
                                              Rng* noise_rng) const {
-  const std::size_t i = static_cast<std::size_t>(vehicle);
-  std::vector<double> obs = camera_.features(vehicles_[i], vehicles_, i, track_,
-                                             reference_lane, noise_rng);
-  obs.push_back(vehicles_[i].state().speed / cfg_.vehicle.max_speed);
-  obs.push_back(static_cast<double>(lane(vehicle)));
+  std::vector<double> obs(low_level_obs_dim());
+  low_level_obs_into(vehicle, reference_lane, obs.data(), noise_rng);
   return obs;
+}
+
+void LaneWorld::low_level_obs_into(int vehicle, int reference_lane, double* out,
+                                   Rng* noise_rng) const {
+  ensure_scene();
+  const std::size_t ei = static_cast<std::size_t>(vehicle);
+  const VehicleState& s = vehicles_[ei].state();
+  camera_.features_into(s, cfg_.vehicle.max_speed, sx_.data(), sy_.data(),
+                        sspeed_.data(), vehicles_.size(), ei, track_,
+                        reference_lane, noise_rng,
+                        cfg_.use_spatial_index ? &index_ : nullptr, out);
+  out[kLaneCameraDim] = s.speed / cfg_.vehicle.max_speed;
+  out[kLaneCameraDim + 1] = static_cast<double>(lane(vehicle));
 }
 
 std::size_t LaneWorld::low_level_obs_dim() const { return kLaneCameraDim + 2; }

@@ -10,12 +10,14 @@
 // per-episode dynamics perturbation.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "common/rng.h"
 #include "sim/features.h"
 #include "sim/lidar.h"
+#include "sim/spatial_index.h"
 #include "sim/vehicle.h"
 
 namespace hero::sim {
@@ -46,6 +48,14 @@ struct LaneWorldConfig {
   // true switches to team-mean travel (fully shared reward) for ablation.
   bool shared_travel = false;
   bool offroad_is_collision = true;
+
+  // Route collision broad-phase, lidar box staging and the camera's lead
+  // search through the shared per-step SpatialIndex (O(V·k) sensing instead
+  // of O(V²)). The pruning is conservative, so observations and collision
+  // sets are bitwise identical either way — false keeps the all-pairs
+  // reference path for equivalence tests and the dense-traffic benchmark
+  // baseline (docs/PERFORMANCE.md).
+  bool use_spatial_index = true;
 
   // --- domain shift (Table II real-world mode) ---
   double actuation_noise = 0.0;  // multiplicative linear / additive angular
@@ -98,11 +108,25 @@ class LaneWorld {
                                     Rng* noise_rng = nullptr) const;
   std::size_t low_level_obs_dim() const;
 
+  // Zero-allocation observation cores (layout identical to the vector
+  // overloads, which delegate here). `out` must hold *_obs_dim() doubles.
+  // Candidate staging goes through the shared SpatialIndex (or the
+  // all-pairs reference when use_spatial_index is off) and a reused box
+  // buffer — no allocating LidarSensor::scan() on the hot path.
+  void high_level_obs_into(int vehicle, double* out,
+                           Rng* noise_rng = nullptr) const;
+  void low_level_obs_into(int vehicle, int reference_lane, double* out,
+                          Rng* noise_rng = nullptr) const;
+
   // --- inspection ---
   const Vehicle& vehicle(int i) const { return vehicles_[static_cast<std::size_t>(i)]; }
   // Skill-training wrappers perturb start states (lateral offset / heading
-  // jitter) through this accessor right after reset().
-  Vehicle& mutable_vehicle(int i) { return vehicles_[static_cast<std::size_t>(i)]; }
+  // jitter) through this accessor right after reset(). Invalidates the
+  // cached scene mirror / spatial index: the caller may move the vehicle.
+  Vehicle& mutable_vehicle(int i) {
+    scene_dirty_ = true;
+    return vehicles_[static_cast<std::size_t>(i)];
+  }
   const Track& track() const { return track_; }
   const LaneWorldConfig& config() const { return cfg_; }
   int lane(int i) const { return vehicles_[static_cast<std::size_t>(i)].lane(track_); }
@@ -116,6 +140,10 @@ class LaneWorld {
  private:
   TwistCmd perturbed(int vehicle, TwistCmd cmd, Rng& rng) const;
   void detect_collisions(StepResult& out) const;
+  // Refreshes the SoA scene mirror (and, with use_spatial_index, the arc-
+  // length index) from vehicles_ if anything moved since the last build.
+  // One rebuild per step is shared by collisions and every obs call.
+  void ensure_scene() const;
 
   LaneWorldConfig cfg_;
   Track track_;
@@ -123,6 +151,7 @@ class LaneWorld {
   LaneCamera camera_;
   std::vector<Vehicle> vehicles_;
   std::vector<int> learners_;
+  double reach_ = 0.0;  // footprint circumradius (same role as the batch world)
 
   // episode state
   int steps_ = 0;
@@ -132,6 +161,15 @@ class LaneWorld {
   std::vector<std::vector<TwistCmd>> latency_queues_;
   std::vector<double> speed_gain_;     // per-episode actuator miscalibration
   std::vector<double> heading_drift_;  // per-episode steering bias (rad/s)
+
+  // Lazily rebuilt per-step scene mirror (SoA views of vehicles_) feeding
+  // the spatial index, the camera core and the lidar box staging without
+  // per-call allocation. Mutable: obs methods are const but cache.
+  mutable bool scene_dirty_ = true;
+  mutable std::vector<double> sx_, sy_, sheading_, sspeed_;
+  mutable SpatialIndex index_;
+  mutable std::vector<Obb> obs_boxes_;          // lidar staging scratch
+  mutable std::vector<std::uint8_t> hit_scratch_;  // collision sweep scratch
 };
 
 }  // namespace hero::sim

@@ -1,5 +1,12 @@
 #include "sim/scenario.h"
 
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.h"
+
 namespace hero::sim {
 
 Scenario cooperative_lane_change(int num_learners) {
@@ -109,6 +116,153 @@ Scenario overtaking_gauntlet(int num_learners) {
 
   sc.merger_index = 0;        // the lead learner must clear lane 0's blocker
   sc.merger_target_lane = 1;  // first manoeuvre: move to lane 1
+  return sc;
+}
+
+namespace {
+
+[[noreturn]] void scenario_error(const std::string& path, const std::string& what) {
+  throw std::runtime_error("load_scenario(" + path + "): " + what);
+}
+
+double require_positive(const std::string& path, const char* key, double v) {
+  if (!(v > 0.0)) {
+    std::ostringstream os;
+    os << key << " must be > 0, got " << v;
+    scenario_error(path, os.str());
+  }
+  return v;
+}
+
+}  // namespace
+
+Scenario load_scenario(const std::string& path, int num_vehicles_override) {
+  std::ifstream in(path);
+  if (!in) scenario_error(path, "cannot open file");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  obs::JsonValue doc;
+  std::string err;
+  if (!obs::JsonValue::parse(buf.str(), doc, &err)) {
+    scenario_error(path, "malformed JSON: " + err);
+  }
+  if (!doc.is_object()) scenario_error(path, "top-level value must be an object");
+
+  Scenario sc;
+  LaneWorldConfig& cfg = sc.config;
+
+  if (const obs::JsonValue* track = doc.find("track")) {
+    cfg.track.circumference = require_positive(
+        path, "track.circumference",
+        track->get_number("circumference", cfg.track.circumference));
+    cfg.track.lane_width = require_positive(
+        path, "track.lane_width",
+        track->get_number("lane_width", cfg.track.lane_width));
+    cfg.track.num_lanes =
+        static_cast<int>(track->get_number("num_lanes", cfg.track.num_lanes));
+    if (cfg.track.num_lanes < 1) scenario_error(path, "track.num_lanes must be >= 1");
+  }
+  cfg.dt = require_positive(path, "dt", doc.get_number("dt", cfg.dt));
+  cfg.max_steps = static_cast<int>(doc.get_number("max_steps", cfg.max_steps));
+  if (cfg.max_steps < 1) scenario_error(path, "max_steps must be >= 1");
+  cfg.alpha = doc.get_number("alpha", cfg.alpha);
+  cfg.collision_penalty =
+      doc.get_number("collision_penalty", cfg.collision_penalty);
+  if (const obs::JsonValue* v = doc.find("shared_travel")) {
+    cfg.shared_travel = v->bool_or(cfg.shared_travel);
+  }
+  if (const obs::JsonValue* v = doc.find("use_spatial_index")) {
+    cfg.use_spatial_index = v->bool_or(cfg.use_spatial_index);
+  }
+
+  const obs::JsonValue* vehicles = doc.find("vehicles");
+  const obs::JsonValue* traffic = doc.find("traffic");
+  if ((vehicles != nullptr) == (traffic != nullptr)) {
+    scenario_error(path, "exactly one of \"vehicles\" or \"traffic\" is required");
+  }
+
+  if (vehicles) {
+    if (!vehicles->is_array() || vehicles->items.empty()) {
+      scenario_error(path, "\"vehicles\" must be a non-empty array");
+    }
+    if (num_vehicles_override > 0) {
+      scenario_error(path, "num_vehicles override needs a \"traffic\" block");
+    }
+    for (const obs::JsonValue& v : vehicles->items) {
+      VehicleSpec sp;
+      sp.start_lane = static_cast<int>(v.get_number("lane", 0));
+      sp.start_x = v.get_number("x", 0.0);
+      sp.start_x_jitter = v.get_number("x_jitter", 0.0);
+      sp.start_speed = v.get_number("speed", sp.start_speed);
+      if (const obs::JsonValue* s = v.find("scripted")) {
+        sp.scripted = s->bool_or(false);
+      }
+      sp.scripted_speed = v.get_number("scripted_speed", sp.scripted_speed);
+      if (sp.start_lane < 0 || sp.start_lane >= cfg.track.num_lanes) {
+        scenario_error(path, "vehicle lane outside the track");
+      }
+      cfg.specs.push_back(sp);
+    }
+  } else {
+    // Parameterized dense-traffic generator: num_vehicles spread round-robin
+    // across the lanes, evenly spaced along each lane's arc with a per-lane
+    // stagger so adjacent lanes do not start as side-by-side walls; every
+    // plodder_every-th vehicle is a scripted plodder (mixed congestion).
+    int num_vehicles =
+        static_cast<int>(traffic->get_number("num_vehicles", 0));
+    if (num_vehicles_override > 0) num_vehicles = num_vehicles_override;
+    if (num_vehicles < 1) scenario_error(path, "traffic.num_vehicles must be >= 1");
+    const int plodder_every =
+        static_cast<int>(traffic->get_number("plodder_every", 0));
+    const double start_speed = traffic->get_number("start_speed", 0.10);
+    const double plodder_speed = traffic->get_number("plodder_speed", 0.04);
+    const double jitter = traffic->get_number("start_x_jitter", 0.0);
+
+    const int lanes = cfg.track.num_lanes;
+    for (int i = 0; i < num_vehicles; ++i) {
+      const int lane = i % lanes;
+      const int slot = i / lanes;
+      // Vehicles this lane receives under round-robin assignment.
+      const int lane_count = (num_vehicles - 1 - lane) / lanes + 1;
+      const double spacing = cfg.track.circumference / lane_count;
+      if (spacing <= cfg.vehicle.length + 2.0 * jitter) {
+        std::ostringstream os;
+        os << "lane " << lane << " is oversubscribed: spacing " << spacing
+           << " m cannot hold a " << cfg.vehicle.length
+           << " m vehicle with ±" << jitter << " m jitter";
+        scenario_error(path, os.str());
+      }
+      VehicleSpec sp;
+      sp.start_lane = lane;
+      sp.start_x = static_cast<double>(slot) * spacing +
+                   static_cast<double>(lane) * spacing /
+                       static_cast<double>(lanes);
+      sp.start_x_jitter = jitter;
+      sp.start_speed = start_speed;
+      if (plodder_every > 0 && (i % plodder_every) == plodder_every - 1) {
+        sp.scripted = true;
+        sp.scripted_speed = plodder_speed;
+      }
+      cfg.specs.push_back(sp);
+    }
+  }
+
+  bool any_learner = false;
+  for (const VehicleSpec& sp : cfg.specs) any_learner |= !sp.scripted;
+  if (!any_learner) scenario_error(path, "scenario has no learner vehicles");
+
+  sc.merger_index = static_cast<int>(doc.get_number("merger_index", 0));
+  sc.merger_target_lane =
+      static_cast<int>(doc.get_number("merger_target_lane", 1));
+  if (sc.merger_index < 0 ||
+      sc.merger_index >= static_cast<int>(cfg.specs.size()) ||
+      cfg.specs[static_cast<std::size_t>(sc.merger_index)].scripted) {
+    scenario_error(path, "merger_index must name a learner vehicle");
+  }
+  if (sc.merger_target_lane < 0 || sc.merger_target_lane >= cfg.track.num_lanes) {
+    scenario_error(path, "merger_target_lane outside the track");
+  }
   return sc;
 }
 

@@ -8,6 +8,8 @@
 //    skill learning (Sec. V-C), optionally with a slow leader.
 #pragma once
 
+#include <string>
+
 #include "sim/lane_world.h"
 
 namespace hero::sim {
@@ -31,5 +33,17 @@ LaneWorldConfig skill_training_world(bool with_leader = false);
 // repeatedly weave between lanes and negotiate passing order. Success is
 // judged on the first learner clearing the leading blocker.
 Scenario overtaking_gauntlet(int num_learners = 2);
+
+// Loads a declarative scenario config from a JSON file (see
+// scenarios/dense_traffic.json and the README quickstart). The file sets
+// track geometry, episode knobs and either an explicit "vehicles" list or a
+// parameterized "traffic" generator block (num_vehicles, plodder cadence,
+// start speeds) that lays vehicles out evenly across the lanes with
+// staggered arc offsets. `num_vehicles_override`, when > 0, replaces the
+// generator's num_vehicles — how the bench / determinism gates sweep
+// V ∈ {64, 128, 256} from one config. Throws std::runtime_error with a
+// descriptive message on unreadable files, malformed JSON, or invalid
+// values.
+Scenario load_scenario(const std::string& path, int num_vehicles_override = 0);
 
 }  // namespace hero::sim

@@ -1,0 +1,104 @@
+#include "sim/spatial_index.h"
+
+#include <algorithm>
+
+namespace hero::sim {
+
+void SpatialIndex::build(const double* xs, int n, double circumference) {
+  if (static_cast<int>(order_.size()) < n) {
+    order_.resize(static_cast<std::size_t>(n));
+    sx_.resize(static_cast<std::size_t>(n));
+    cand_.resize(static_cast<std::size_t>(n));
+  }
+  // (position, id) ordering ties equal positions by ascending id — the same
+  // order a stable sort (and the batch world's insertion sort) produces.
+  // Keys are unique, so every correct sort yields the same permutation and
+  // the two branches below are interchangeable bit for bit.
+  if (n_ != n) {
+    // First build at this size: no usable previous order.
+    n_ = n;
+    for (int i = 0; i < n; ++i) order_[static_cast<std::size_t>(i)] = i;
+    std::sort(order_.begin(), order_.begin() + n, [xs](int a, int b) {
+      const double xa = xs[a];
+      const double xb = xs[b];
+      if (xa != xb) return xa < xb;
+      return a < b;
+    });
+  } else {
+    // Rebuild at the same size: one step moves each vehicle a fraction of
+    // the typical spacing, so the previous order is nearly sorted and an
+    // insertion sort runs in O(n + inversions) ≈ O(n).
+    for (int k = 1; k < n; ++k) {
+      const int v = order_[static_cast<std::size_t>(k)];
+      const double xv = xs[v];
+      int j = k - 1;
+      while (j >= 0) {
+        const int u = order_[static_cast<std::size_t>(j)];
+        const double xu = xs[u];
+        if (xu < xv || (xu == xv && u < v)) break;
+        order_[static_cast<std::size_t>(j + 1)] = u;
+        --j;
+      }
+      order_[static_cast<std::size_t>(j + 1)] = v;
+    }
+  }
+  circ_ = circumference;
+  for (int k = 0; k < n; ++k) {
+    sx_[static_cast<std::size_t>(k)] = xs[order_[static_cast<std::size_t>(k)]];
+  }
+}
+
+int SpatialIndex::query_collect(double x0, double behind, double ahead,
+                                int exclude) const {
+  int m = 0;
+  if (behind + ahead >= circ_) {
+    // Degenerate window covering the whole ring: everyone qualifies. Emit
+    // 0..n-1 directly — ascending by id, which satisfies both query orders.
+    for (int i = 0; i < n_; ++i) {
+      if (i != exclude) cand_[static_cast<std::size_t>(m++)] = i;
+    }
+    return m;
+  }
+
+  // Wrapped window endpoints. x0 ∈ [0, C) and behind/ahead < C here, so one
+  // conditional re-wrap suffices on each side.
+  double lo = x0 - behind;
+  if (lo < 0.0) lo += circ_;
+  double hi = x0 + ahead;
+  if (hi >= circ_) hi -= circ_;
+
+  const auto emit = [&](double a, double b) {
+    const auto first = std::lower_bound(sx_.begin(), sx_.begin() + n_, a);
+    const auto last = std::upper_bound(sx_.begin(), sx_.begin() + n_, b);
+    for (auto it = first; it != last; ++it) {
+      const int vid = order_[static_cast<std::size_t>(it - sx_.begin())];
+      if (vid != exclude) cand_[static_cast<std::size_t>(m++)] = vid;
+    }
+  };
+  if (lo <= hi) {
+    emit(lo, hi);
+  } else {
+    // Window crosses the seam: [lo, C) ∪ [0, hi].
+    emit(lo, circ_);
+    emit(0.0, hi);
+  }
+  return m;
+}
+
+int SpatialIndex::query(double x0, double behind, double ahead, int exclude,
+                        const int** out_ids) const {
+  const int m = query_collect(x0, behind, ahead, exclude);
+  // Rank order → id order; k is small (vehicles within one sensor window).
+  std::sort(cand_.begin(), cand_.begin() + m);
+  *out_ids = cand_.data();
+  return m;
+}
+
+int SpatialIndex::query_unordered(double x0, double behind, double ahead,
+                                  int exclude, const int** out_ids) const {
+  const int m = query_collect(x0, behind, ahead, exclude);
+  *out_ids = cand_.data();
+  return m;
+}
+
+}  // namespace hero::sim

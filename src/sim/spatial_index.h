@@ -1,0 +1,83 @@
+// SpatialIndex: shared per-step neighbor index over wrapped arc length.
+//
+// One build per (env, step) sorts the vehicles by wrapped arc-length
+// position; every consumer of "who is near x?" — collision broad-phase,
+// lidar box staging, LaneCamera's lead search — then answers with a
+// binary-search range query over the ring metric instead of scanning all V
+// vehicles. Candidate sets shrink from V to the k vehicles inside the sensor
+// window, which is what lets the sim hold hundreds of vehicles per scene
+// (docs/PERFORMANCE.md, "Spatial neighbor index").
+//
+// Equivalence contract: the index is a *conservative* pruner. A window query
+// of half-widths (behind, ahead) returns every vehicle whose wrapped
+// position lies in [x0 − behind, x0 + ahead] — a superset of any predicate
+// on the Euclidean or forward-gap metric with the same reach, because
+// |signed_dx| and forward_gap are lower-bounded by window membership.
+// Consumers re-apply their exact fine-grained predicate to the candidates,
+// so sensing output stays bitwise identical to the all-pairs path
+// (tests/test_spatial_index.cpp enforces this on randomized scenes).
+//
+// query() returns candidate ids in ascending vehicle id — the same visit
+// order as the all-pairs loops they replace, so order-sensitive consumers
+// (the camera's first-minimal-gap lead search) keep their tie behavior.
+// query_unordered() skips that final sort for consumers whose reduction is
+// order-invariant (the lidar per-beam minimum).
+//
+// Thread-safety: thread-confined like the worlds that own it; query() uses
+// mutable scratch.
+#pragma once
+
+#include <vector>
+
+namespace hero::sim {
+
+class SpatialIndex {
+ public:
+  // Sorts vehicle ids 0..n-1 by (position, id). Positions must already be
+  // wrapped into [0, circumference). Grows internal storage only when `n`
+  // exceeds every earlier build — steady-state rebuilds are allocation-free.
+  // Rebuilds at an unchanged `n` insertion-sort the previous build's order,
+  // which one sim step leaves nearly sorted, so the per-step re-sort is
+  // effectively linear; the resulting order is identical either way because
+  // (position, id) keys are unique.
+  void build(const double* xs, int n, double circumference);
+
+  bool built() const { return n_ > 0; }
+  void invalidate() { n_ = 0; }
+  int size() const { return n_; }
+
+  // Sorted-order accessors for sweep consumers (collision broad-phase).
+  // ids()[rank] is the vehicle at the given arc-length rank; ties are broken
+  // by ascending id, matching a stable sort of the all-pairs order.
+  const int* ids() const { return order_.data(); }
+  int id(int rank) const { return order_[static_cast<std::size_t>(rank)]; }
+  double pos(int rank) const { return sx_[static_cast<std::size_t>(rank)]; }
+
+  // Writes the ids of every vehicle (except `exclude`) whose position lies
+  // in the wrapped window [x0 − behind, x0 + ahead] — endpoints inclusive —
+  // to internal scratch, ascending by id, and points *out_ids at it. Returns
+  // the candidate count. A window spanning the whole ring returns everyone.
+  // Preconditions: built(), x0 ∈ [0, circumference), behind/ahead ≥ 0.
+  int query(double x0, double behind, double ahead, int exclude,
+            const int** out_ids) const;
+
+  // As query(), but candidates arrive in arc-length rank order instead of
+  // ascending id. Only valid for consumers that reduce over the candidate
+  // set in an order-invariant way (min/any/count); the lidar box staging
+  // qualifies because the per-beam best is a minimum over ray casts.
+  int query_unordered(double x0, double behind, double ahead, int exclude,
+                      const int** out_ids) const;
+
+ private:
+  // Shared window walk: writes candidates to cand_ in rank order and
+  // returns the count.
+  int query_collect(double x0, double behind, double ahead, int exclude) const;
+
+  int n_ = 0;
+  double circ_ = 0.0;
+  std::vector<int> order_;       // vehicle id per arc-length rank
+  std::vector<double> sx_;       // wrapped position per rank (ascending)
+  mutable std::vector<int> cand_;  // query scratch
+};
+
+}  // namespace hero::sim

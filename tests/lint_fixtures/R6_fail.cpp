@@ -4,3 +4,10 @@ void BatchLaneWorld::step_lane(std::size_t n) {
     positions_.push_back(static_cast<double>(i));  // per-element growth
   }
 }
+int SpatialIndex::query(double x0, double behind, double ahead, int exclude,
+                        const int** out_ids) const {
+  for (int i = 0; i < n_; ++i) {
+    cand_.push_back(i);  // sensing kernels carry the same contract
+  }
+  return n_;
+}

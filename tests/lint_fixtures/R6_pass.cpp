@@ -1,5 +1,15 @@
 // lint-fixture-path: src/sim/fixture.cpp
-// Batch step writes into scratch sized at construction.
+// Batch step and the shared sensing kernels write into scratch sized at
+// construction (or grown only when the scene outgrows every earlier build).
 void BatchLaneWorld::step_lane(std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) positions_[i] += velocities_[i];
+}
+int SpatialIndex::query(double x0, double behind, double ahead, int exclude,
+                        const int** out_ids) const {
+  int m = 0;
+  for (int i = 0; i < n_; ++i) {
+    if (i != exclude) cand_[static_cast<std::size_t>(m++)] = i;
+  }
+  *out_ids = cand_.data();
+  return m;
 }

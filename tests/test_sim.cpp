@@ -486,7 +486,12 @@ TEST(BatchLaneWorld, BroadPhaseCollisionSetMatchesAllPairs) {
   // all-pairs OBB result exactly.
   auto cfg = batch_test_config(6, false);
   for (auto& sp : cfg.specs) sp.start_x_jitter = 0.0;  // keep streams trivial
-  LaneWorld sw(cfg);
+  // The serial reference must stay genuine all-pairs OBB ground truth — with
+  // the flag on it would use the same sorted sweep as the batch world and the
+  // comparison would be sweep-vs-sweep.
+  auto serial_cfg = cfg;
+  serial_cfg.use_spatial_index = false;
+  LaneWorld sw(serial_cfg);
   BatchLaneWorld bw(cfg, 1);
   Rng scene(42);
   const int n = sw.num_learners();

@@ -15,6 +15,8 @@
 #   DET_WORKERS         --num-workers for both runs    (default 1)
 #   DET_ENVS            --num-envs for both runs       (default 0 = workers)
 #   DET_BATCH_ENVS      --batch-envs for both runs     (default 0 = off)
+#   DET_SCENARIO        --scenario config for both runs (default "" = off)
+#   DET_SCENARIO_VEHICLES  --scenario-vehicles override (default 0 = config)
 #
 # With DET_WORKERS > 1 the gate checks the parallel runtime's same-seed
 # self-consistency: episode RNG streams are keyed to (seed, num_envs), so
@@ -25,6 +27,11 @@
 # (docs/BATCHING.md): results are keyed to (seed, batch_envs), so two
 # identically-seeded runs at the same width must agree bitwise. CI runs
 # the gate at widths 1 and 16.
+#
+# With DET_SCENARIO set the gate trains on a declarative scenario config
+# instead of the built-in cooperative lane-change — CI uses this to pin
+# the dense-traffic spatial-index paths (scenarios/dense_traffic.json at
+# V=64) to the same bitwise contract.
 #
 # A diff here means a hidden entropy source crept in (an unseeded RNG,
 # iteration over pointer-keyed containers, uninitialized reads feeding
@@ -41,6 +48,8 @@ skill_episodes=${DET_SKILL_EPISODES:-2}
 workers=${DET_WORKERS:-1}
 envs=${DET_ENVS:-0}
 batch_envs=${DET_BATCH_ENVS:-0}
+scenario=${DET_SCENARIO:-}
+scenario_vehicles=${DET_SCENARIO_VEHICLES:-0}
 
 cmake -B "$build_dir" -S "$repo_root" > /dev/null
 cmake --build "$build_dir" --target hero_train -j"$(nproc 2>/dev/null || echo 1)" \
@@ -60,11 +69,13 @@ run() {
         --hl-warmup 8 --hl-batch 8 \
         --num-workers "$workers" --num-envs "$envs" \
         --batch-envs "$batch_envs" \
+        ${scenario:+--scenario "$scenario"} \
+        ${scenario:+--scenario-vehicles "$scenario_vehicles"} \
         --telemetry-out "$out_dir/telemetry.jsonl" \
         > "$out_dir/stdout.log"
 }
 
-echo "run 1/2 (seed $seed, $skill_episodes skill episodes, $episodes episodes, $workers workers, batch $batch_envs)..."
+echo "run 1/2 (seed $seed, $skill_episodes skill episodes, $episodes episodes, $workers workers, batch $batch_envs${scenario:+, scenario $scenario})..."
 run 1
 echo "run 2/2..."
 run 2

@@ -2,12 +2,15 @@
 // clean simulator and/or the domain-shifted "real-world" configuration.
 //
 //   hero_eval --ckpt ckpt/ [--episodes 50] [--learners 3] [--seed 9]
+//             [--scenario cfg.json] [--scenario-vehicles N]
 //             [--real-world] [--svg episode.svg]
 //             [--metrics-out m.json] [--trace-out t.json]
 //             [--telemetry-out run.jsonl]
 //
 // `--svg` renders the first evaluation episode's trajectories. The three
 // `--*-out` flags enable the observability layer (docs/OBSERVABILITY.md).
+// `--scenario` evaluates on a declarative scenario config (must match the
+// geometry the checkpoint was trained on); --learners is then ignored.
 #include <cstdio>
 #include <exception>
 
@@ -26,6 +29,8 @@ int main(int argc, char** argv) {
   const std::string ckpt = flags.get_string("ckpt", "hero_ckpt");
   const int episodes = flags.get_int("episodes", 50);
   const int learners = flags.get_int("learners", 3);
+  const std::string scenario_path = flags.get_string("scenario", "");
+  const int scenario_vehicles = flags.get_int("scenario-vehicles", 0);
   const unsigned seed = static_cast<unsigned>(flags.get_int("seed", 9));
   const bool real_world = flags.get_bool("real-world", false);
   const std::string svg = flags.get_string("svg", "");
@@ -33,7 +38,17 @@ int main(int argc, char** argv) {
   flags.check_unknown();
 
   Rng rng(seed);
-  auto scenario = sim::cooperative_lane_change(learners);
+  sim::Scenario scenario;
+  if (!scenario_path.empty()) {
+    try {
+      scenario = sim::load_scenario(scenario_path, scenario_vehicles);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "hero_eval: %s\n", e.what());
+      return 1;
+    }
+  } else {
+    scenario = sim::cooperative_lane_change(learners);
+  }
   core::HeroConfig cfg;
   try {
     // Checkpoints are self-describing: adopt the manifest's network widths

@@ -3,6 +3,7 @@
 //
 //   hero_train --out ckpt/ [--skill-episodes 400] [--episodes 2000]
 //              [--learners 3] [--seed 1] [--no-opponent-model]
+//              [--scenario cfg.json] [--scenario-vehicles N]
 //              [--synchronous-termination] [--curves prefix]
 //              [--hl-warmup N] [--hl-batch N]
 //              [--num-workers N] [--num-envs N] [--batch-envs N]
@@ -23,6 +24,11 @@
 // rollout engine instead: N episodes step in lockstep through a vectorized
 // world with batched network evaluation (docs/BATCHING.md). Takes
 // precedence over --num-workers; results are keyed to (seed, batch_envs).
+//
+// `--scenario cfg.json` trains on a declarative scenario config (e.g.
+// scenarios/dense_traffic.json) instead of the built-in cooperative
+// lane-change; --learners is ignored. `--scenario-vehicles N` overrides the
+// config's traffic.num_vehicles (the V ∈ {64, 128, 256} density sweep).
 //
 // `--curves prefix` additionally writes <prefix>_reward.svg /
 // <prefix>_collision.svg / <prefix>_success.svg learning-curve plots.
@@ -48,6 +54,8 @@ int main(int argc, char** argv) {
   const int skill_episodes = flags.get_int("skill-episodes", 400);
   const int episodes = flags.get_int("episodes", 2000);
   const int learners = flags.get_int("learners", 3);
+  const std::string scenario_path = flags.get_string("scenario", "");
+  const int scenario_vehicles = flags.get_int("scenario-vehicles", 0);
   const unsigned seed = static_cast<unsigned>(flags.get_int("seed", 1));
   const bool use_opp = flags.get_bool("opponent-model", true);
   const bool sync_term = flags.get_bool("synchronous-termination", false);
@@ -62,7 +70,17 @@ int main(int argc, char** argv) {
   flags.check_unknown();
 
   Rng rng(seed);
-  auto scenario = sim::cooperative_lane_change(learners);
+  sim::Scenario scenario;
+  if (!scenario_path.empty()) {
+    try {
+      scenario = sim::load_scenario(scenario_path, scenario_vehicles);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  } else {
+    scenario = sim::cooperative_lane_change(learners);
+  }
   core::HeroConfig cfg;
   cfg.high.use_opponent_model = use_opp;
   cfg.skill.termination.synchronous = sync_term;

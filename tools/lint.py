@@ -35,7 +35,12 @@ Rules (docs/CORRECTNESS.md):
                         hot path (docs/BATCHING.md); per-element container
                         growth (push_back/emplace_back) is forbidden there —
                         all step scratch is sized at construction, mirroring
-                        R2's no-alloc contract for *_into kernels.
+                        R2's no-alloc contract for *_into kernels. The shared
+                        sensing kernels ride the same contract:
+                        SpatialIndex::build/query, BatchLaneWorld::ensure_index
+                        and LaneWorld::ensure_scene run inside every step and
+                        obs call (docs/PERFORMANCE.md, "Spatial neighbor
+                        index").
   R7  no-raw-clock      std::chrono::steady_clock (and the other std::chrono
                         clocks) are forbidden outside src/obs — trainer and
                         rollout code times itself through obs::now_us() /
@@ -271,7 +276,15 @@ class NoGrowthInBatchStep(Rule):
     PATTERNS = [
         (re.compile(r"\.(push_back|emplace_back)\s*\("), "per-element growth"),
     ]
-    STEP_DEF = re.compile(r"\bBatchLaneWorld::(step\w*)\s*\(")
+    # step* phases plus the shared sensing kernels that run inside them:
+    # the per-step index rebuild / window queries and the serial world's
+    # scene-mirror refresh must stay growth-free too. (The serial
+    # detect_collisions is excluded on purpose: it fills the caller's
+    # StepResult::collided, which is per-call output, not step scratch.)
+    STEP_DEF = re.compile(
+        r"\b((?:BatchLaneWorld::(?:step\w*|ensure_index)|"
+        r"SpatialIndex::(?:build|query\w*)|"
+        r"LaneWorld::ensure_scene))\s*\(")
 
     def check(self, f: SourceFile, ctx: dict) -> list[Violation]:
         out = []
@@ -280,7 +293,7 @@ class NoGrowthInBatchStep(Rule):
                 for m in pat.finditer(body):
                     out.append(
                         Violation(f.rel, f.line_of(start + m.start()),
-                                  f"{what} inside BatchLaneWorld::{fn}()"))
+                                  f"{what} inside {fn}()"))
         return out
 
 

@@ -51,6 +51,7 @@ cmake --build "$build_dir" --target bench_json -j"$(nproc 2>/dev/null || echo 1)
 "$build_dir/bench/bench_json" \
     --nn-out "$repo_root/BENCH_nn.json" \
     --train-out "$repo_root/BENCH_train.json" \
+    --dense-scenario "$repo_root/scenarios/dense_traffic.json" \
     ${BENCH_FLAGS:-}
 
 echo "wrote $repo_root/BENCH_nn.json"
@@ -171,6 +172,30 @@ LIMIT_NS = 50.0  # generous for QEMU/shared runners; native cost is ~1-2 ns
 if ns > LIMIT_NS:
     sys.exit(f"disabled OBS_PHASE scope costs {ns:.1f} ns/iter (limit {LIMIT_NS})")
 print(f"ok: disabled OBS_PHASE scope {ns:.2f} ns/iter (limit {LIMIT_NS})")
+PYEOF
+
+# Spatial-index speedup gate (docs/PERFORMANCE.md §Spatial index): both sides
+# are measured in this same run, so the ratio is immune to machine-speed
+# drift. The shared index must keep dense-traffic stepping at least 4x the
+# all-pairs baseline at V=128.
+python3 - "$repo_root/BENCH_train.json" <<'PYEOF' || status=1
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+entries = {e["name"]: e["steps_per_sec"] for e in doc["benchmarks"]}
+indexed = entries.get("BM_BatchStep/V128")
+allpairs = entries.get("BM_BatchStep/V128_allpairs")
+if indexed is None or allpairs is None:
+    sys.exit("BM_BatchStep/V128 or BM_BatchStep/V128_allpairs missing from "
+             "BENCH_train.json")
+MIN_RATIO = 4.0
+ratio = indexed / allpairs if allpairs > 0 else 0.0
+if ratio < MIN_RATIO:
+    sys.exit(f"spatial index speedup at V=128 is {ratio:.2f}x "
+             f"(need >= {MIN_RATIO}x): indexed {indexed:.0f} steps/s vs "
+             f"all-pairs {allpairs:.0f} steps/s")
+print(f"ok: spatial index speedup at V=128 is {ratio:.2f}x "
+      f"(need >= {MIN_RATIO}x)")
 PYEOF
 
 if [ "$status" -ne 0 ]; then
